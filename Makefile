@@ -1,0 +1,23 @@
+# Development entry points for the PHOcus reproduction.
+
+.PHONY: install test bench examples results clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
+	@echo "all examples ran cleanly"
+
+results:
+	@cat benchmarks/results/*.txt
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,64 @@
+"""Shared machinery for the Figure 5a/5b/5c quality-by-budget benches."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bench.harness import QualityGrid, format_grid, ordering_violations, run_quality_grid
+from repro.datasets.base import Dataset
+
+ALGORITHMS = ["rand-a", "greedy-nr", "greedy-ncs", "phocus"]
+
+
+def run_quality_figure(dataset: Dataset, fractions: Dict[str, float], seed: int = 0) -> QualityGrid:
+    """Run the RAND/G-NR/G-NCS/PHOcus sweep over the paper's budget grid."""
+    total_mb = dataset.total_cost_mb()
+    budgets_mb = [total_mb * f for f in fractions.values()]
+    return run_quality_grid(dataset, budgets_mb, ALGORITHMS, seed=seed)
+
+
+def assert_figure5_shape(grid: QualityGrid) -> None:
+    """The orderings the paper reports for Figures 5a-5c.
+
+    * PHOcus is the best algorithm at every budget;
+    * RAND is (weakly) the worst;
+    * the greedy variants sit in between (G-NCS and G-NR may nearly tie —
+      Section 5.3 notes several such cases — so only a loose ordering is
+      required between them);
+    * at the full-corpus budget every algorithm reaches the ceiling.
+    """
+    assert ordering_violations(grid, ["phocus", "greedy-ncs"], tolerance=0.01) == []
+    assert ordering_violations(grid, ["phocus", "greedy-nr"], tolerance=0.01) == []
+    assert ordering_violations(grid, ["phocus", "rand-a"]) == []
+    assert ordering_violations(grid, ["greedy-nr", "rand-a"], tolerance=0.05) == []
+    assert ordering_violations(grid, ["greedy-ncs", "rand-a"], tolerance=0.05) == []
+    full_budget = grid.budgets[-1]
+    for algorithm in grid.algorithms:
+        value = grid.value(full_budget, algorithm)
+        assert value >= 0.99 * grid.max_value, (
+            f"{algorithm} below ceiling at the retain-everything budget"
+        )
+
+
+def grid_data(grid: QualityGrid, fractions: Dict[str, float]) -> Dict:
+    """Machine-readable form of a quality grid (for the .json artefact)."""
+    return {
+        "dataset": grid.dataset_name,
+        "budgets_bytes": list(grid.budgets),
+        "paper_budget_fractions": dict(fractions),
+        "max_value": grid.max_value,
+        "series": {a: grid.series(a) for a in grid.algorithms},
+    }
+
+
+def render(grid: QualityGrid, fractions: Dict[str, float], paper_labels: bool = True) -> str:
+    from repro.bench.ascii_chart import quality_grid_chart
+
+    text = format_grid(grid)
+    if paper_labels:
+        labels = ", ".join(
+            f"{label}≈{frac:.0%} of corpus" for label, frac in fractions.items()
+        )
+        text += f"\n(paper budgets: {labels})"
+    text += "\n\n" + quality_grid_chart(grid)
+    return text

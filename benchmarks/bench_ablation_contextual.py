@@ -1,0 +1,59 @@
+"""Ablation — contextualised vs plain similarity (the Section 2 novelty).
+
+"An important novelty is that the embedding is contextualized by the
+predefined subset, i.e. there is a different embedding of the same photo
+for different predefined subsets."  The bench quantifies what the
+contextualisation buys: the same dataset is solved under each similarity
+derivation mode, each solution is scored under the full contextual
+objective, and the paper's narrative (Section 5.3: "Using a contextual
+similarity function improves performance") is asserted as
+contextual-aware ≥ plain-cosine at every budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.objective import score
+from repro.core.solver import solve
+
+from benchmarks.conftest import write_result
+
+MODES = ("cosine", "max-distance", "centroid-reweight", "reweight+normalise")
+FRACTIONS = (0.05, 0.15, 0.3)
+
+
+def _run(ec_fashion):
+    corpus = ec_fashion.total_cost()
+    # The evaluation objective: the full contextual instance.
+    rows = []
+    for fraction in FRACTIONS:
+        reference = ec_fashion.instance(corpus * fraction)
+        row = {}
+        for mode in MODES:
+            surrogate = ec_fashion.instance(corpus * fraction, contextual_mode=mode)
+            selection = solve(surrogate, "phocus").selection
+            row[mode] = score(reference, selection)
+        rows.append((fraction, row))
+    return rows
+
+
+def test_ablation_contextual_similarity(benchmark, ec_fashion):
+    rows = benchmark.pedantic(_run, args=(ec_fashion,), rounds=1, iterations=1)
+    lines = [
+        "Ablation — solve under each SIM derivation, score on the contextual objective",
+        f"{'budget':>8} " + " ".join(f"{m:>20}" for m in MODES),
+    ]
+    for fraction, row in rows:
+        lines.append(
+            f"{fraction:>7.0%} " + " ".join(f"{row[m]:>20.4f}" for m in MODES)
+        )
+        # Greedy is not monotone in its surrogate, so allow per-budget
+        # near-ties; the contextual solve must never lose visibly.
+        assert row["reweight+normalise"] >= row["cosine"] * (1 - 0.005)
+    # In aggregate across the sweep, optimising the true contextual
+    # objective dominates the plain-cosine surrogate.
+    total_ctx = sum(row["reweight+normalise"] for _, row in rows)
+    total_cos = sum(row["cosine"] for _, row in rows)
+    assert total_ctx >= total_cos - 1e-9
+    write_result("ablation_contextual", "\n".join(lines))

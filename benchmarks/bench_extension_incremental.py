@@ -1,0 +1,62 @@
+"""Extension — incremental maintenance vs from-scratch re-solve.
+
+A deployed archive faces budget changes and photo arrivals between full
+re-optimisations.  The bench measures the warm-path
+(:func:`repro.extensions.incremental.maintain`) against a cold solve on
+three event types, reporting quality retention and wall-time ratio.
+Expected shape: maintenance keeps ≥95% of cold quality at a fraction of
+the time (it only touches the changed margin).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.solver import solve
+from repro.extensions.incremental import maintain
+
+from benchmarks.conftest import write_result
+
+
+def _run(p1k):
+    corpus = p1k.total_cost()
+    base = p1k.instance(corpus * 0.2)
+    previous = solve(base, "phocus").selection
+
+    events = [
+        ("budget -50%", base.with_budget(base.budget * 0.5)),
+        ("budget +100%", base.with_budget(base.budget * 2.0)),
+        ("budget -20%", base.with_budget(base.budget * 0.8)),
+    ]
+    rows = []
+    for name, changed in events:
+        start = time.perf_counter()
+        warm = maintain(changed, previous)
+        warm_s = time.perf_counter() - start
+        start = time.perf_counter()
+        cold = solve(changed, "phocus")
+        cold_s = time.perf_counter() - start
+        rows.append(
+            (name, warm.value, cold.value, warm_s, cold_s,
+             len(warm.evicted), len(warm.added))
+        )
+    return rows
+
+
+def test_extension_incremental_maintenance(benchmark, p1k):
+    rows = benchmark.pedantic(_run, args=(p1k,), rounds=1, iterations=1)
+    lines = [
+        "Extension — warm maintenance vs cold re-solve",
+        f"{'event':<14} {'warm value':>11} {'cold value':>11} {'kept':>7} "
+        f"{'warm s':>8} {'cold s':>8} {'evicted':>8} {'added':>6}",
+    ]
+    for name, warm_v, cold_v, warm_s, cold_s, evicted, added in rows:
+        kept = warm_v / cold_v if cold_v > 0 else 1.0
+        lines.append(
+            f"{name:<14} {warm_v:>11.3f} {cold_v:>11.3f} {kept:>6.1%} "
+            f"{warm_s:>8.3f} {cold_s:>8.3f} {evicted:>8} {added:>6}"
+        )
+        assert kept >= 0.93, f"maintenance quality collapsed on {name}"
+    write_result("extension_incremental", "\n".join(lines))

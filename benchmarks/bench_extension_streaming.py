@@ -1,0 +1,57 @@
+"""Extension — single-pass streaming PAR vs the offline solver.
+
+Measures what one pass over an arrival stream costs relative to offline
+CELF (Section 2 cites streaming submodular maximisation [5] as the
+regime for data too large or too fast to hold).  Expected shape: the
+sieve solution lands within a constant factor of offline — well above
+its pessimistic worst-case — with memory bounded by the threshold grid,
+not the stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.solver import solve
+from repro.extensions.streaming import StreamingArchiver
+
+from benchmarks.conftest import write_result
+
+FRACTIONS = (0.1, 0.25, 0.5)
+EPSILON = 0.15
+
+
+def _run(p1k):
+    corpus = p1k.total_cost()
+    rows = []
+    for fraction in FRACTIONS:
+        inst = p1k.instance(corpus * fraction)
+        offline = solve(inst, "phocus")
+        archiver = StreamingArchiver(inst, epsilon=EPSILON)
+        order = np.random.default_rng(3).permutation(inst.n)
+        for p in order:
+            archiver.offer(int(p))
+        _, streamed_value = archiver.current_solution()
+        rows.append(
+            (fraction, streamed_value, offline.value, archiver.candidates, inst.n)
+        )
+    return rows
+
+
+def test_extension_streaming(benchmark, p1k):
+    rows = benchmark.pedantic(_run, args=(p1k,), rounds=1, iterations=1)
+    lines = [
+        f"Extension — streaming sieve (eps={EPSILON}) vs offline CELF",
+        f"{'budget':>8} {'streaming':>10} {'offline':>10} {'ratio':>7} "
+        f"{'candidates':>11} {'stream n':>9}",
+    ]
+    for fraction, streamed, offline, candidates, n in rows:
+        ratio = streamed / offline if offline > 0 else 1.0
+        lines.append(
+            f"{fraction:>7.0%} {streamed:>10.3f} {offline:>10.3f} {ratio:>6.1%} "
+            f"{candidates:>11} {n:>9}"
+        )
+        assert ratio >= 0.5, "streaming fell below half of offline"
+        assert candidates < n, "candidate state must not scale with the stream"
+    write_result("extension_streaming", "\n".join(lines))

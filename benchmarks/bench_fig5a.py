@@ -1,0 +1,25 @@
+"""Figure 5a — quality by budget on P-1K (RAND, G-NR, G-NCS, PHOcus).
+
+Paper shape: PHOcus best at every budget, then the greedy variants, then
+RAND; the rightmost (50 MB) budget retains everything, so all algorithms
+reach the maximum score there.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._quality import assert_figure5_shape, grid_data, render, run_quality_figure
+from benchmarks.conftest import FIG5A_FRACTIONS, write_result
+
+
+def test_fig5a_p1k_quality(benchmark, p1k):
+    grid = benchmark.pedantic(
+        run_quality_figure, args=(p1k, FIG5A_FRACTIONS), rounds=1, iterations=1
+    )
+    assert_figure5_shape(grid)
+    write_result(
+        "fig5a",
+        "Figure 5a — P-1K\n" + render(grid, FIG5A_FRACTIONS),
+        data=grid_data(grid, FIG5A_FRACTIONS),
+    )

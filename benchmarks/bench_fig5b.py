@@ -1,0 +1,26 @@
+"""Figure 5b — quality by budget on P-5K.
+
+Same protocol as Figure 5a on the larger public dataset.  The paper notes
+that at some budgets G-NCS and G-NR are nearly indistinguishable here;
+the shape assertion therefore only enforces PHOcus on top and RAND at the
+bottom, with both greedies strictly above RAND.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._quality import assert_figure5_shape, grid_data, render, run_quality_figure
+from benchmarks.conftest import FIG5B_FRACTIONS, write_result
+
+
+def test_fig5b_p5k_quality(benchmark, p5k):
+    grid = benchmark.pedantic(
+        run_quality_figure, args=(p5k, FIG5B_FRACTIONS), rounds=1, iterations=1
+    )
+    assert_figure5_shape(grid)
+    write_result(
+        "fig5b",
+        "Figure 5b — P-5K\n" + render(grid, FIG5B_FRACTIONS),
+        data=grid_data(grid, FIG5B_FRACTIONS),
+    )

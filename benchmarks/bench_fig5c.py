@@ -1,0 +1,25 @@
+"""Figure 5c — quality by budget on the private EC-Fashion dataset.
+
+The e-commerce instance: subsets are the top query-log queries, weights
+are query frequencies, relevance is the retrieval score.  Paper shape as
+in Figures 5a/5b.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._quality import assert_figure5_shape, grid_data, render, run_quality_figure
+from benchmarks.conftest import FIG5C_FRACTIONS, write_result
+
+
+def test_fig5c_ec_fashion_quality(benchmark, ec_fashion):
+    grid = benchmark.pedantic(
+        run_quality_figure, args=(ec_fashion, FIG5C_FRACTIONS), rounds=1, iterations=1
+    )
+    assert_figure5_shape(grid)
+    write_result(
+        "fig5c",
+        "Figure 5c — EC-Fashion\n" + render(grid, FIG5C_FRACTIONS),
+        data=grid_data(grid, FIG5C_FRACTIONS),
+    )

@@ -1,0 +1,58 @@
+"""Figure 5e — sparsification's effect on solution quality (P-5K).
+
+PHOcus (with τ-sparsification) vs PHOcus-NS (no sparsification) across
+the Figure 5b budget grid.  Paper: the quality decrease is at most 5%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.objective import score
+from repro.core.solver import solve
+from repro.sparsify.pipeline import sparsify_instance
+
+from benchmarks.conftest import FIG5B_FRACTIONS, write_result
+
+TAU = 0.5
+
+
+def _run(p5k):
+    total = p5k.total_cost()
+    rows = []
+    for label, fraction in FIG5B_FRACTIONS.items():
+        inst = p5k.instance(total * fraction)
+        ns = solve(inst, "phocus")
+        sparse_inst, report = sparsify_instance(inst, TAU, method="exact")
+        sp = solve(sparse_inst, "phocus")
+        sp_value = score(inst, sp.selection)
+        loss = 1.0 - (sp_value / ns.value if ns.value > 0 else 1.0)
+        rows.append((label, fraction, sp_value, ns.value, loss, report.kept_fraction))
+    return rows
+
+
+def test_fig5e_sparsification_quality(benchmark, p5k):
+    rows = benchmark.pedantic(_run, args=(p5k,), rounds=1, iterations=1)
+    lines = [
+        f"Figure 5e — PHOcus (tau={TAU}) vs PHOcus-NS quality (P-5K)",
+        f"{'budget':>8} {'fraction':>9} {'PHOcus':>10} {'PHOcus-NS':>10} {'loss':>7} {'entries kept':>13}",
+    ]
+    for label, fraction, sp, ns, loss, kept in rows:
+        lines.append(
+            f"{label:>8} {fraction:>8.0%} {sp:>10.3f} {ns:>10.3f} {loss:>6.1%} {kept:>12.1%}"
+        )
+        # Paper: "decrease of at most 5%".
+        assert loss <= 0.05, f"sparsification loss {loss:.1%} at {label}"
+    from repro.bench.ascii_chart import grouped_bar_chart
+
+    lines.append("")
+    lines.append(
+        grouped_bar_chart(
+            [label for label, *_ in rows],
+            {
+                "PHOcus": [r[2] for r in rows],
+                "PHOcus-NS": [r[3] for r in rows],
+            },
+        )
+    )
+    write_result("fig5e", "\n".join(lines))

@@ -1,0 +1,67 @@
+"""Figure 5g — user study: solution quality, PHOcus vs Manual.
+
+The paper's analysts produced manual selections 15-25% *below* PHOcus'
+quality across the three e-commerce domains.  We replay the protocol with
+the simulated analyst (see DESIGN.md §4 for the substitution) and assert
+the shape: PHOcus above Manual in every domain, with a visible gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.objective import score
+from repro.core.solver import solve
+from repro.study.manual import simulated_analyst
+
+from benchmarks.conftest import write_result
+
+BUDGET_FRACTION = 0.15
+
+
+def _run(domains):
+    rows = []
+    for name, dataset in domains:
+        inst = dataset.instance(dataset.total_cost() * BUDGET_FRACTION)
+        phocus = solve(inst, "phocus")
+        manual = simulated_analyst(inst, rng=np.random.default_rng(31))
+        manual_value = score(inst, manual.selection)
+        advantage = (
+            phocus.value / manual_value - 1.0 if manual_value > 0 else float("inf")
+        )
+        rows.append((name, phocus.value, manual_value, advantage))
+    return rows
+
+
+def test_fig5g_user_study_quality(benchmark, ec_electronics, ec_fashion, ec_home):
+    domains = [
+        ("Electronics", ec_electronics),
+        ("Fashion", ec_fashion),
+        ("Home & Garden", ec_home),
+    ]
+    rows = benchmark.pedantic(_run, args=(domains,), rounds=1, iterations=1)
+    lines = [
+        "Figure 5g — user study quality (PHOcus vs Manual)",
+        f"{'domain':<15} {'PHOcus':>10} {'Manual':>10} {'advantage':>10}",
+    ]
+    for name, phocus, manual, advantage in rows:
+        lines.append(f"{name:<15} {phocus:>10.3f} {manual:>10.3f} {advantage:>9.1%}")
+        # Paper shape: PHOcus 15-25% higher.  We assert a clear win in
+        # every domain without pinning the simulated gap to human numbers.
+        assert phocus > manual, f"PHOcus did not beat Manual in {name}"
+        assert advantage > 0.02, f"advantage {advantage:.1%} in {name} is negligible"
+    from repro.bench.ascii_chart import grouped_bar_chart
+
+    lines.append("")
+    lines.append(
+        grouped_bar_chart(
+            [r[0] for r in rows],
+            {
+                "PHOcus": [r[1] for r in rows],
+                "Manual": [r[2] for r in rows],
+            },
+            value_format="{:.3f}",
+        )
+    )
+    write_result("fig5g", "\n".join(lines))

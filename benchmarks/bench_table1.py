@@ -1,0 +1,86 @@
+"""Table 1 — system comparison matrix.
+
+Table 1 of the paper contrasts PHOcus with five image-summarisation
+systems along three dimensions: byte-sum space constraint, specifiable
+coverage focus, and worst-case approximation guarantee.  The comparison
+rows for the prior systems are literature facts; the PHOcus row is
+*verified programmatically* here — the bench demonstrates each claimed
+property on a live instance and renders the full matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import performance_certificate
+from repro.core.solver import solve
+
+from benchmarks.conftest import write_result
+
+# (system, byte-sum space constraint, coverage focus, approximation guarantee)
+_LITERATURE_ROWS = [
+    ("Canonview [42]", False, False, False),
+    ("Personal photologs [44]", False, False, False),
+    ("Submodular mixture [46]", False, True, True),
+    ("Fantom [35]", False, True, True),
+    ("Image corpus [43]", False, False, False),
+]
+
+
+def _verify_phocus_row(p1k):
+    """Demonstrate the three ✓ properties of the PHOcus row."""
+    total = p1k.total_cost()
+    instance = p1k.instance(total * 0.2)
+
+    # 1. Space constraint is on the SUM OF SIZES, not photo count: the
+    # solver fills heterogeneous-size photos up to a byte budget.
+    solution = solve(instance, "phocus")
+    sizes = {float(instance.costs[p]) for p in solution.selection}
+    assert solution.cost <= instance.budget
+    assert len(sizes) > 1, "photos have heterogeneous byte sizes"
+
+    # 2. Coverage focus is specifiable: doubling one subset's weight makes
+    # the solver cover it at least as well.
+    from repro.core.instance import PredefinedSubset
+
+    target = instance.subsets[0]
+    boosted_subsets = [
+        PredefinedSubset(
+            q.subset_id, q.weight * (50.0 if qi == 0 else 1.0), q.members,
+            q.relevance, q.similarity, normalize=False,
+        )
+        for qi, q in enumerate(instance.subsets)
+    ]
+    boosted = instance.with_subsets(boosted_subsets)
+    from repro.core.objective import score_breakdown
+
+    base_cov = score_breakdown(instance, solution.selection)[target.subset_id] / target.weight
+    boosted_sol = solve(boosted, "phocus")
+    boosted_cov = (
+        score_breakdown(instance, boosted_sol.selection)[target.subset_id] / target.weight
+    )
+    assert boosted_cov >= base_cov - 1e-9
+
+    # 3. Worst-case guarantee: the online certificate confirms the solution
+    # is at least the a-priori (1 - 1/e)/2 fraction of optimal.
+    _, ratio = performance_certificate(instance, solution.selection)
+    assert ratio >= (1 - 1 / np.e) / 2
+    return ratio
+
+
+def test_table1_system_comparison(benchmark, p1k):
+    ratio = benchmark.pedantic(_verify_phocus_row, args=(p1k,), rounds=1, iterations=1)
+
+    def mark(flag):
+        return "yes" if flag else "no "
+
+    lines = [
+        "Table 1: image summarisation systems vs PHOcus",
+        f"{'system':<28} {'space-constraint':>16} {'coverage-focus':>15} {'guarantee':>10}",
+    ]
+    for name, space, coverage, guarantee in _LITERATURE_ROWS:
+        lines.append(f"{name:<28} {mark(space):>16} {mark(coverage):>15} {mark(guarantee):>10}")
+    lines.append(f"{'PHOcus':<28} {'yes':>16} {'yes':>15} {'yes':>10}")
+    lines.append(f"(PHOcus properties verified live; certificate ratio {ratio:.3f})")
+    write_result("table1", "\n".join(lines))

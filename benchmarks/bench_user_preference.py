@@ -1,0 +1,65 @@
+"""Section 5.4, part 2 — expert preference study (PHOcus vs Greedy-NCS).
+
+Experts compared the two best methods on 50 samples of ~100 photos per
+domain and picked the better selection (or "cannot decide").  Paper
+counts — Fashion 35/3/12, Electronics 37/4/9, Home & Garden 34/5/11 —
+i.e. PHOcus preferred by a wide margin with a meaningful tie fraction.
+
+The bench replays the protocol with the simulated expert judge and
+asserts the count shape per domain: PHOcus wins a clear majority of the
+decided comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.study.gold import ExpertJudge, run_preference_study
+
+from benchmarks.conftest import write_result
+
+ITERATIONS = 20
+SAMPLE_SIZE = 60
+
+
+def _run(domains):
+    rows = []
+    for name, dataset in domains:
+        inst = dataset.instance(dataset.total_cost())
+        counts = run_preference_study(
+            inst,
+            iterations=ITERATIONS,
+            sample_size=min(SAMPLE_SIZE, inst.n),
+            budget_fraction=0.2,
+            judge=ExpertJudge(indifference=0.03, error_rate=0.05,
+                              rng=np.random.default_rng(97)),
+            rng=np.random.default_rng(97),
+        )
+        rows.append((name, counts))
+    return rows
+
+
+def test_user_preference_study(benchmark, ec_fashion, ec_electronics, ec_home):
+    domains = [
+        ("Fashion", ec_fashion),
+        ("Electronics", ec_electronics),
+        ("Home & Garden", ec_home),
+    ]
+    rows = benchmark.pedantic(_run, args=(domains,), rounds=1, iterations=1)
+    lines = [
+        f"Section 5.4 part 2 — preference counts over {ITERATIONS} iterations",
+        f"{'domain':<15} {'PHOcus':>8} {'G-NCS':>8} {'cannot decide':>14}",
+    ]
+    for name, counts in rows:
+        lines.append(
+            f"{name:<15} {counts.a_wins:>8} {counts.b_wins:>8} {counts.ties:>14}"
+        )
+        # Paper shape: PHOcus preferred in the large majority of decided
+        # rounds (35-37 of 38-41 decided in the paper).
+        decided = counts.a_wins + counts.b_wins
+        if decided:
+            assert counts.a_wins / decided >= 0.6, f"{name}: PHOcus not preferred"
+        assert counts.iterations == ITERATIONS
+    lines.append("(paper, 50 iterations: 35/3/12, 37/4/9, 34/5/11)")
+    write_result("user_preference", "\n".join(lines))

@@ -1,0 +1,96 @@
+"""Shared fixtures for the per-figure benchmark targets.
+
+Every bench runs on faithfully *shaped* but laptop-sized datasets: the
+``--repro-scale`` option (default sizes chosen to finish the whole suite
+in minutes) controls how far the Table 2 datasets are scaled down, and
+budgets are expressed as the same *fractions of the corpus size* the
+paper's absolute budgets correspond to.  Each bench appends its result
+rows to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.ecommerce import generate_ecommerce_dataset
+from repro.datasets.public import generate_public_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# Paper budget grids, as fractions of the full corpus cost.  The paper's
+# largest budget per figure is "large enough to retain all photos"
+# (Section 5.3 discussion of Figure 5a), anchoring the conversion.
+FIG5A_FRACTIONS = {"5MB": 0.10, "10MB": 0.20, "25MB": 0.50, "50MB": 1.00}
+FIG5B_FRACTIONS = {"25MB": 0.10, "50MB": 0.20, "100MB": 0.40, "250MB": 1.00}
+FIG5C_FRACTIONS = {"100MB": 0.10, "250MB": 0.25, "500MB": 0.50, "1GB": 1.00}
+FIG5D_FRACTIONS = {"1MB": 0.10, "2MB": 0.20, "5MB": 0.50, "10MB": 0.90}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        type=float,
+        default=1.0,
+        help="multiply the default bench dataset sizes (1.0 = quick laptop run)",
+    )
+
+
+@pytest.fixture(scope="session")
+def repro_scale(request) -> float:
+    return request.config.getoption("--repro-scale")
+
+
+def write_result(name: str, text: str, data=None) -> None:
+    """Persist a bench's formatted rows under benchmarks/results/.
+
+    ``data`` (optional) is additionally written as ``<name>.json`` for
+    machine consumption (downstream plotting / regression tracking).
+    """
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    if data is not None:
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(data, indent=2, default=float), encoding="utf-8"
+        )
+    print(f"\n{text}\n[saved to {path}]")
+
+
+@pytest.fixture(scope="session")
+def p1k(repro_scale):
+    """The P-1K analogue (scaled)."""
+    n = int(250 * repro_scale)
+    return generate_public_dataset(n, max(10, n // 5), name="P-1K", seed=101)
+
+
+@pytest.fixture(scope="session")
+def p5k(repro_scale):
+    """The P-5K analogue (scaled).  Denser subsets than P-1K, like Table 2."""
+    n = int(400 * repro_scale)
+    return generate_public_dataset(n, max(20, int(n * 0.28)), name="P-5K", seed=102)
+
+
+@pytest.fixture(scope="session")
+def ec_fashion(repro_scale):
+    return generate_ecommerce_dataset(
+        "Fashion", int(160 * repro_scale), n_queries=30, name="EC-Fashion", seed=103
+    )
+
+
+@pytest.fixture(scope="session")
+def ec_electronics(repro_scale):
+    return generate_ecommerce_dataset(
+        "Electronics", int(160 * repro_scale), n_queries=30, name="EC-Electronics", seed=104
+    )
+
+
+@pytest.fixture(scope="session")
+def ec_home(repro_scale):
+    return generate_ecommerce_dataset(
+        "Home & Garden", int(160 * repro_scale), n_queries=30,
+        name="EC-Home & Garden", seed=105,
+    )

@@ -1,0 +1,128 @@
+"""Personal photo cleanup: free space on your phone without losing memories.
+
+Run with::
+
+    python examples/personal_photo_cleanup.py
+
+The paper's second motivating scenario (Section 1): delete photos locally
+to meet a storage budget, relying on the cloud for the full collection.
+This example exercises the *image substrate* end to end — photos are
+actually rendered (synthetic scenes), embedded, quality-scored and sized;
+albums come from automatic EXIF/date tagging (Section 5.1 input mode 3);
+the passport scan is pinned by a retention policy.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+import numpy as np
+
+from repro.core.instance import Photo
+from repro.images.embedder import PhotoEmbedder
+from repro.images.exif import synthesize_event_exif
+from repro.images.filesize import file_size_bytes
+from repro.images.quality import quality_score
+from repro.images.synthetic import random_prototype, render_cluster
+from repro.storage.policy import derive_retained, metadata_flag_policy
+from repro.system.phocus import DataRepresentationModule, PHOcus, PhocusConfig
+
+MB = 1_000_000.0
+
+EVENTS = [
+    ("paris-trip", 14, datetime(2023, 6, 10, tzinfo=timezone.utc)),
+    ("beach-weekend", 10, datetime(2023, 7, 22, tzinfo=timezone.utc)),
+    ("birthday-party", 8, datetime(2023, 9, 2, tzinfo=timezone.utc)),
+    ("hiking-day", 8, datetime(2023, 10, 14, tzinfo=timezone.utc)),
+]
+
+
+def main() -> None:
+    rng = np.random.default_rng(12)
+    embedder = PhotoEmbedder(out_dim=48, seed=1)
+
+    print("Shooting the photo collection (rendered synthetic scenes) ...")
+    photos, images = [], []
+    for event_name, n_shots, when in EVENTS:
+        prototype = random_prototype(event_name, rng)
+        shots = render_cluster(prototype, n_shots, rng, blur_fraction=0.25)
+        exif = synthesize_event_exif(n_shots, rng, base_time=when, spread_km=1.0)
+        for image, record in zip(shots, exif):
+            photo_id = len(photos)
+            photos.append(
+                Photo(
+                    photo_id=photo_id,
+                    cost=file_size_bytes(image),
+                    label=f"{event_name}-{photo_id}.jpg",
+                    metadata={
+                        "labels": [event_name],
+                        "exif": record.as_dict(),
+                        "quality": quality_score(image),
+                    },
+                )
+            )
+            images.append(image)
+
+    # One important document photo that must never leave the device.
+    doc_proto = random_prototype("passport", rng)
+    doc_image = render_cluster(doc_proto, 1, rng, blur_fraction=0.0)[0]
+    photos.append(
+        Photo(
+            photo_id=len(photos),
+            cost=file_size_bytes(doc_image),
+            label="passport.jpg",
+            metadata={"labels": ["documents"], "must_keep": True,
+                      "quality": quality_score(doc_image)},
+        )
+    )
+    images.append(doc_image)
+
+    embeddings = embedder.embed_batch(images)
+    total = sum(p.cost for p in photos)
+    print(f"  {len(photos)} photos, {total / MB:.1f} MB on device")
+
+    # S0 via the policy engine (the paper's personal must-keeps).
+    retained = derive_retained(photos, [metadata_flag_policy("must_keep")])
+    print(f"  pinned by policy: {[photos[p].label for p in retained]}")
+
+    # Automatic tagging (input mode 3): event labels + EXIF day buckets.
+    budget = total * 0.35
+    module = DataRepresentationModule()
+    instance = module.from_metadata(
+        photos, embeddings, budget=budget, retained=retained
+    )
+    print(f"  auto-derived albums: {[q.subset_id for q in instance.subsets]}")
+
+    print(f"\nFreeing space down to {budget / MB:.1f} MB ({0.35:.0%} of current) ...")
+    report = PHOcus(PhocusConfig(certificate=True)).run(instance)
+    keep = set(report.solution.selection)
+
+    print(f"  keep {len(keep)} photos, upload {len(photos) - len(keep)} to the cloud")
+    print(f"  G(S) = {report.solution.value:.3f}, certified >= "
+          f"{report.solution.ratio_certificate:.1%} of optimal")
+    for event_name, _, _ in EVENTS:
+        event_ids = [p.photo_id for p in photos if event_name in p.metadata["labels"]]
+        kept_ids = [p for p in event_ids if p in keep]
+        avg_q = np.mean([photos[p].metadata["quality"] for p in kept_ids]) if kept_ids else 0
+        print(f"  {event_name:<16}: kept {len(kept_ids)}/{len(event_ids)} "
+              f"(mean quality of keepers {avg_q:.2f})")
+    assert retained[0] in keep, "policy pin must survive"
+    print("  passport.jpg stays on the device, as required.")
+
+    # Visual artefact: contact sheets of the keepers and the archived shots.
+    from pathlib import Path
+
+    from repro.images.ppm import contact_sheet, write_ppm
+
+    out_dir = Path("examples/output")
+    kept_images = [images[p] for p in sorted(keep)]
+    archived_images = [
+        images[p] for p in range(len(photos)) if p not in keep
+    ]
+    write_ppm(contact_sheet(kept_images, columns=8), out_dir / "kept.ppm")
+    write_ppm(contact_sheet(archived_images, columns=8), out_dir / "archived.ppm")
+    print(f"  contact sheets written to {out_dir}/kept.ppm and archived.ppm")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Scalability sweep: dataset size vs solve time, with and without LSH.
+
+Run with::
+
+    python examples/scalability_sweep.py [--paper-scale]
+
+Reproduces the *shape* of the paper's efficiency story (Figures 5e/5f):
+as instances grow, τ-sparsification (optionally via SimHash LSH) cuts the
+similarity structure the solver traverses while the online bound
+certifies the solution quality stays high.  By default runs laptop-sized
+steps; ``--paper-scale`` uses the real Table 2 sizes (slow!).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.core.bounds import performance_certificate
+from repro.core.objective import score
+from repro.core.solver import solve
+from repro.datasets.registry import load
+from repro.sparsify.pipeline import sparsify_instance
+
+MB = 1_000_000.0
+TAU = 0.55
+
+
+def run_step(name: str, scale: float, seed: int = 3) -> None:
+    dataset = load(name, scale=scale, seed=seed)
+    instance = dataset.instance(dataset.total_cost() * 0.1)
+
+    start = time.perf_counter()
+    dense_sol = solve(instance, "phocus")
+    dense_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sparse_inst, report = sparsify_instance(
+        instance, TAU, method="lsh", rng=np.random.default_rng(0)
+    )
+    sparse_sol = solve(sparse_inst, "phocus")
+    sparse_s = time.perf_counter() - start
+    sparse_true = score(instance, sparse_sol.selection)
+
+    _, ratio = performance_certificate(instance, sparse_sol.selection)
+    print(
+        f"{dataset.name:<10} n={dataset.n_photos:<6} |Q|={dataset.n_subsets:<5} "
+        f"dense {dense_s:6.2f}s | lsh {sparse_s:6.2f}s "
+        f"(pairs compared {report.checked_fraction:5.1%}, "
+        f"quality kept {sparse_true / dense_sol.value:6.1%}, "
+        f"certified >= {ratio:.2f})"
+    )
+
+
+def main() -> None:
+    paper_scale = "--paper-scale" in sys.argv
+    print(f"tau = {TAU}, budget = 10% of each corpus, LSH sparsification")
+    print("-" * 100)
+    if paper_scale:
+        steps = [("P-1K", 1.0), ("P-5K", 1.0), ("P-10K", 1.0), ("P-50K", 1.0)]
+    else:
+        steps = [("P-1K", 0.1), ("P-1K", 0.4), ("P-1K", 1.0), ("P-5K", 0.4)]
+    for name, scale in steps:
+        run_step(name, scale)
+    print("-" * 100)
+    print("Shape to observe: LSH compares a shrinking fraction of pairs as n")
+    print("grows, while the certified quality stays far above the worst case.")
+
+
+if __name__ == "__main__":
+    main()

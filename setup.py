@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so the package
+installs in fully offline environments where the PEP 517 build path is
+unavailable (no ``wheel`` distribution).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,76 @@
+"""PHOcus — reproduction of "Efficiently Archiving Photos under Storage
+Constraints" (Davidson, Gershtein, Milo, Novgorodov, Shoshan — EDBT 2023).
+
+The library is organised as:
+
+* :mod:`repro.core` — the PAR model, objective and every solver
+  (Algorithms 1/2, Sviridenko, exact, baselines, bounds);
+* :mod:`repro.sparsify` — τ-sparsification and SimHash LSH (Section 4.3);
+* :mod:`repro.gfl` — the Generalised Facility Location formulation;
+* :mod:`repro.similarity` — cosine and contextual similarity derivation;
+* :mod:`repro.images` — the synthetic photo substrate (scenes, features,
+  embeddings, EXIF, quality);
+* :mod:`repro.search` — the BM25 engine used to derive subsets from queries;
+* :mod:`repro.datasets` — generators for the paper's eight datasets;
+* :mod:`repro.storage` — tiered archive simulator + retention policies;
+* :mod:`repro.study` — the simulated user study (analyst model, gold
+  standard);
+* :mod:`repro.system` — the end-to-end PHOcus pipeline and CLI.
+
+Quickstart::
+
+    from repro import figure1_instance, solve
+    solution = solve(figure1_instance(budget_mb=4.0), "phocus")
+    print(solution.selection, solution.value)
+"""
+
+from repro.core import (
+    CoverageState,
+    DenseSimilarity,
+    PARInstance,
+    Photo,
+    PredefinedSubset,
+    Solution,
+    SparseSimilarity,
+    SubsetSpec,
+    available_algorithms,
+    main_algorithm,
+    max_score,
+    online_bound,
+    score,
+    score_breakdown,
+    solve,
+)
+from repro.core.paper_example import figure1_instance
+from repro.errors import (
+    ConfigurationError,
+    InfeasibleError,
+    ReproError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "PARInstance",
+    "Photo",
+    "PredefinedSubset",
+    "SubsetSpec",
+    "DenseSimilarity",
+    "SparseSimilarity",
+    "CoverageState",
+    "Solution",
+    "solve",
+    "available_algorithms",
+    "main_algorithm",
+    "score",
+    "score_breakdown",
+    "max_score",
+    "online_bound",
+    "figure1_instance",
+    "ReproError",
+    "ValidationError",
+    "InfeasibleError",
+    "ConfigurationError",
+]

@@ -1,0 +1,22 @@
+"""Benchmark harness utilities shared by the per-figure bench targets."""
+
+from repro.bench.ascii_chart import grouped_bar_chart, quality_grid_chart
+from repro.bench.harness import (
+    DISPLAY_NAMES,
+    QualityCell,
+    QualityGrid,
+    format_grid,
+    ordering_violations,
+    run_quality_grid,
+)
+
+__all__ = [
+    "QualityCell",
+    "QualityGrid",
+    "run_quality_grid",
+    "format_grid",
+    "ordering_violations",
+    "DISPLAY_NAMES",
+    "grouped_bar_chart",
+    "quality_grid_chart",
+]

@@ -1,0 +1,78 @@
+"""Plain-text bar charts for the benchmark result files.
+
+The paper's Figure 5 panels are grouped bar charts; the benches render
+the same visual in monospace text so `benchmarks/results/*.txt` can be
+read as figures without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["grouped_bar_chart", "quality_grid_chart"]
+
+_FULL = "█"
+_PART = " ▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, max_value: float, width: int) -> str:
+    if max_value <= 0:
+        return ""
+    cells = value / max_value * width
+    full = int(cells)
+    frac = cells - full
+    partial = _PART[int(frac * 8)] if full < width else ""
+    return _FULL * full + partial
+
+
+def grouped_bar_chart(
+    groups: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 40,
+    value_format: str = "{:.2f}",
+    title: Optional[str] = None,
+) -> str:
+    """Render grouped horizontal bars (one block of bars per group).
+
+    ``series`` maps series names to per-group values; every series must
+    provide one value per group.  Bars share a global scale so lengths
+    are comparable across the whole chart.
+    """
+    for name, values in series.items():
+        if len(values) != len(groups):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for {len(groups)} groups"
+            )
+    peak = max((max(values) for values in series.values()), default=0.0)
+    label_width = max((len(name) for name in series), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for gi, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for name, values in series.items():
+            value = values[gi]
+            rendered = value_format.format(value)
+            lines.append(
+                f"  {name:<{label_width}} |{_bar(value, peak, width):<{width}}| {rendered}"
+            )
+    return "\n".join(lines)
+
+
+def quality_grid_chart(grid, *, width: int = 40) -> str:
+    """Render a :class:`repro.bench.harness.QualityGrid` as bars.
+
+    Groups are budgets (labelled in MB), series are algorithms under
+    their Figure 5 display names.
+    """
+    from repro.bench.harness import DISPLAY_NAMES, QualityGrid
+
+    assert isinstance(grid, QualityGrid)
+    groups = [f"{b / 1e6:.1f}MB" for b in grid.budgets]
+    series = {
+        DISPLAY_NAMES.get(a, a): grid.series(a) for a in grid.algorithms
+    }
+    return grouped_bar_chart(
+        groups, series, width=width, title=f"[{grid.dataset_name}] quality by budget"
+    )

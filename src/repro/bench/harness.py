@@ -1,0 +1,178 @@
+"""Experiment harness shared by all benchmark targets.
+
+Every figure/table bench follows the same pattern: build a dataset, sweep
+budgets, run a set of algorithms, and print rows shaped like the paper's
+plots.  This module centralises that machinery so each bench file only
+declares *what* to run.
+
+The harness reports the true contextual objective for every algorithm
+regardless of what surrogate the algorithm optimised — the same protocol
+as Section 5.3.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.instance import PARInstance
+from repro.core.objective import max_score
+from repro.core.solver import Solution, solve
+from repro.datasets.base import MB, Dataset
+
+__all__ = [
+    "QualityCell",
+    "QualityGrid",
+    "run_quality_grid",
+    "format_grid",
+    "ordering_violations",
+]
+
+# Canonical display names used across the benches (matches Figure 5 legends).
+DISPLAY_NAMES = {
+    "rand-a": "RAND",
+    "rand-d": "RAND-D",
+    "greedy-nr": "G-NR",
+    "greedy-ncs": "G-NCS",
+    "phocus": "PHOcus",
+    "bruteforce": "Brute-Force",
+    "sviridenko": "Sviridenko",
+}
+
+
+@dataclass
+class QualityCell:
+    """One (budget, algorithm) measurement."""
+
+    budget: float
+    algorithm: str
+    value: float
+    cost: float
+    seconds: float
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def budget_mb(self) -> float:
+        return self.budget / MB
+
+
+@dataclass
+class QualityGrid:
+    """A full sweep: budgets × algorithms, plus the instance ceiling."""
+
+    dataset_name: str
+    budgets: List[float]
+    algorithms: List[str]
+    cells: List[QualityCell]
+    max_value: float
+
+    def value(self, budget: float, algorithm: str) -> float:
+        for cell in self.cells:
+            if cell.budget == budget and cell.algorithm == algorithm:
+                return cell.value
+        raise KeyError((budget, algorithm))
+
+    def series(self, algorithm: str) -> List[float]:
+        """Values across budgets (in sweep order) for one algorithm."""
+        return [self.value(b, algorithm) for b in self.budgets]
+
+
+def run_quality_grid(
+    dataset: Dataset,
+    budgets_mb: Sequence[float],
+    algorithms: Sequence[str],
+    *,
+    seed: int = 0,
+    contextual_mode: str = "reweight+normalise",
+    instance_transform: Optional[Callable[[PARInstance], PARInstance]] = None,
+) -> QualityGrid:
+    """Run the standard budget × algorithm sweep on a dataset.
+
+    ``instance_transform`` lets a bench inject preprocessing (e.g.
+    τ-sparsification) between instance construction and solving; the
+    reported values are still measured on the untransformed objective.
+    """
+    cells: List[QualityCell] = []
+    budgets = [b * MB for b in budgets_mb]
+    ceiling = 0.0
+    for budget in budgets:
+        instance = dataset.instance(budget, contextual_mode=contextual_mode)
+        ceiling = max_score(instance)
+        solver_instance = (
+            instance_transform(instance) if instance_transform else instance
+        )
+        for algorithm in algorithms:
+            rng = np.random.default_rng(seed)
+            start = time.perf_counter()
+            solution: Solution = solve(solver_instance, algorithm, rng=rng)
+            elapsed = time.perf_counter() - start
+            # Score against the TRUE instance (transform may be lossy).
+            from repro.core.objective import score
+
+            true_value = (
+                solution.value
+                if solver_instance is instance
+                else score(instance, solution.selection)
+            )
+            cells.append(
+                QualityCell(
+                    budget=budget,
+                    algorithm=algorithm,
+                    value=true_value,
+                    cost=solution.cost,
+                    seconds=elapsed,
+                    extras=dict(solution.extras),
+                )
+            )
+    return QualityGrid(
+        dataset_name=dataset.name,
+        budgets=budgets,
+        algorithms=list(algorithms),
+        cells=cells,
+        max_value=ceiling,
+    )
+
+
+def format_grid(grid: QualityGrid, *, relative: bool = False) -> str:
+    """Render a grid the way the paper's bar charts read: one row per
+    budget, one column per algorithm."""
+    names = [DISPLAY_NAMES.get(a, a) for a in grid.algorithms]
+    header = f"{'budget':>10} | " + " | ".join(f"{n:>12}" for n in names)
+    lines = [f"[{grid.dataset_name}] quality by budget", header, "-" * len(header)]
+    for budget in grid.budgets:
+        row = [f"{budget / MB:>8.1f}MB"]
+        for algorithm in grid.algorithms:
+            value = grid.value(budget, algorithm)
+            if relative and grid.max_value > 0:
+                row.append(f"{value / grid.max_value:>11.1%} ")
+            else:
+                row.append(f"{value:>12.2f}")
+        lines.append(" | ".join(row))
+    return "\n".join(lines)
+
+
+def ordering_violations(
+    grid: QualityGrid,
+    expected_order: Sequence[str],
+    *,
+    tolerance: float = 0.0,
+) -> List[Tuple[float, str, str]]:
+    """Check the paper's quality ranking holds at every budget.
+
+    ``expected_order`` lists algorithms best-first.  Returns the
+    violations as ``(budget, should_be_better, was_better)`` triples —
+    empty means the ranking held everywhere (within ``tolerance`` of the
+    better value, to absorb near-ties the paper also reports).
+    """
+    violations = []
+    for budget in grid.budgets:
+        for hi in range(len(expected_order)):
+            for lo in range(hi + 1, len(expected_order)):
+                better = grid.value(budget, expected_order[hi])
+                worse = grid.value(budget, expected_order[lo])
+                if worse > better * (1.0 + tolerance) + 1e-9:
+                    violations.append((budget, expected_order[hi], expected_order[lo]))
+    return violations

@@ -1,0 +1,172 @@
+"""The paper's baseline algorithms (Section 5.2).
+
+* :func:`rand_add` (``RAND-A``) — grow a random selection until the budget
+  is exhausted.
+* :func:`rand_delete` (``RAND-D``) — start from the full archive and delete
+  random photos (never from ``S0``) until the budget is met.
+* :func:`greedy_no_redundancy` (``Greedy-NR``) — iterative greedy that
+  values a photo only by its own weighted relevance, ignoring the covering
+  effect a selected photo has on similar photos (the paper describes this
+  as running the Section 3.1 score with a degenerate SIM: each photo covers
+  only itself).
+* :func:`greedy_non_contextual` (``Greedy-NCS``) — iterative greedy that
+  does model covering, but through a single *non-contextual* similarity
+  shared by all pre-defined subsets.
+
+Each baseline returns the selected photo ids; quality is always measured
+afterwards against the true contextual objective via
+:func:`repro.core.objective.score`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.greedy import CB, UC, GreedyRun, lazy_greedy
+from repro.core.instance import (
+    DenseSimilarity,
+    PARInstance,
+    PredefinedSubset,
+)
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "rand_add",
+    "rand_delete",
+    "greedy_no_redundancy",
+    "greedy_non_contextual",
+    "non_contextual_instance",
+]
+
+
+def rand_add(instance: PARInstance, rng: Optional[np.random.Generator] = None) -> List[int]:
+    """``RAND-A``: random insertion order, keep whatever fits the budget."""
+    rng = rng or np.random.default_rng()
+    selection = set(instance.retained)
+    spent = instance.cost_of(selection)
+    for p in rng.permutation(instance.n):
+        p = int(p)
+        if p in selection:
+            continue
+        if spent + instance.costs[p] <= instance.budget * (1 + 1e-12):
+            selection.add(p)
+            spent += float(instance.costs[p])
+    return sorted(selection)
+
+
+def rand_delete(instance: PARInstance, rng: Optional[np.random.Generator] = None) -> List[int]:
+    """``RAND-D``: start from the full archive, delete random photos.
+
+    Photos in the retention set ``S0`` are never deleted.  Deletion stops as
+    soon as the remaining cost fits the budget.
+    """
+    rng = rng or np.random.default_rng()
+    selection = set(range(instance.n))
+    spent = instance.total_cost()
+    order = [int(p) for p in rng.permutation(instance.n) if int(p) not in instance.retained]
+    for p in order:
+        if spent <= instance.budget * (1 + 1e-12):
+            break
+        selection.discard(p)
+        spent -= float(instance.costs[p])
+    if spent > instance.budget * (1 + 1e-12):
+        # Only S0 remains and it fits by instance validation.
+        selection = set(instance.retained)
+    return sorted(selection)
+
+
+def greedy_no_redundancy(
+    instance: PARInstance,
+    *,
+    cost_aware: bool = False,
+) -> List[int]:
+    """``Greedy-NR``: greedy on additive per-photo value, no covering effect.
+
+    Under the degenerate SIM (a photo is similar only to itself) the
+    objective becomes additive: the value of photo ``p`` is
+    ``Σ_{q ∋ p} W(q) · R(q, p)`` and never changes as the selection grows.
+    The iterative greedy therefore reduces to scanning photos in decreasing
+    value (or value density when ``cost_aware``) and keeping what fits.
+    """
+    values = np.zeros(instance.n, dtype=np.float64)
+    for qi, subset in enumerate(instance.subsets):
+        for local, photo_id in enumerate(subset.members):
+            values[int(photo_id)] += subset.weight * subset.relevance[local]
+    keys = values / instance.costs if cost_aware else values
+    order = np.argsort(-keys, kind="stable")
+
+    selection = set(instance.retained)
+    spent = instance.cost_of(selection)
+    for p in order:
+        p = int(p)
+        if p in selection:
+            continue
+        if spent + instance.costs[p] <= instance.budget * (1 + 1e-12):
+            selection.add(p)
+            spent += float(instance.costs[p])
+    return sorted(selection)
+
+
+def non_contextual_instance(
+    instance: PARInstance,
+    global_similarity: Optional[np.ndarray] = None,
+) -> PARInstance:
+    """Replace every subset's SIM with one shared non-contextual similarity.
+
+    The replacement similarity of a member pair is the plain (context-free)
+    cosine similarity of their photo embeddings, or a caller-provided global
+    ``n × n`` matrix.  Weights, relevance, costs and budget are untouched,
+    so the returned instance differs from the original *only* in SIM — the
+    isolation the Greedy-NCS baseline needs.
+    """
+    if global_similarity is None:
+        if instance.embeddings is None:
+            raise ConfigurationError(
+                "Greedy-NCS needs either a global similarity matrix or "
+                "instance embeddings to derive one"
+            )
+        emb = instance.embeddings
+        norms = np.linalg.norm(emb, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        unit = emb / norms
+        global_similarity = np.clip(unit @ unit.T, 0.0, 1.0)
+    else:
+        global_similarity = np.asarray(global_similarity, dtype=np.float64)
+        if global_similarity.shape != (instance.n, instance.n):
+            raise ConfigurationError(
+                "global similarity must be an (n, n) matrix over photo ids"
+            )
+
+    new_subsets: List[PredefinedSubset] = []
+    for subset in instance.subsets:
+        ids = subset.members
+        sub = global_similarity[np.ix_(ids, ids)].copy()
+        sub = (sub + sub.T) / 2.0
+        np.fill_diagonal(sub, 1.0)
+        new_subsets.append(subset.with_similarity(DenseSimilarity(sub, validate=False)))
+    return instance.with_subsets(new_subsets)
+
+
+def greedy_non_contextual(
+    instance: PARInstance,
+    global_similarity: Optional[np.ndarray] = None,
+    *,
+    cost_aware: bool = False,
+) -> List[int]:
+    """``Greedy-NCS``: iterative greedy against the non-contextual SIM.
+
+    Per Section 5.2 the baseline "in each iteration finds the photo that
+    maximizes the gain" — a plain max-gain (unit-cost) greedy, with no
+    cost-benefit pass; Section 5.3 attributes much of PHOcus' edge to
+    exactly this missing cost-awareness ("algorithms without explicit
+    costs are not suited for our problem").  Pass ``cost_aware=True`` to
+    study the stronger gain-per-byte variant.
+
+    The greedy decisions are made with the shared similarity; the caller
+    scores the returned selection with the true contextual objective.
+    """
+    surrogate = non_contextual_instance(instance, global_similarity)
+    run: GreedyRun = lazy_greedy(surrogate, CB if cost_aware else UC)
+    return sorted(run.selection)

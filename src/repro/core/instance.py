@@ -1,0 +1,630 @@
+"""The PAR problem model: photos, pre-defined subsets, and instances.
+
+This module implements the formal model of Section 3.1 of the paper.  A
+:class:`PARInstance` is the validated tuple ``⟨P, S0, Q, C, W, R, SIM, B⟩``:
+
+* ``P`` — the photo archive, held as a list of :class:`Photo` records whose
+  position in the list is the photo id (``0 .. n-1``),
+* ``S0`` — the retention set (photos that must be kept, e.g. for legal or
+  policy reasons),
+* ``Q`` — the pre-defined subsets (landing pages, albums, query results),
+  each a :class:`PredefinedSubset` carrying its importance weight ``W(q)``,
+  normalised relevance scores ``R(q, ·)`` and contextualised similarity
+  ``SIM(q, ·, ·)``,
+* ``C`` — per-photo byte costs,
+* ``B`` — the storage budget in bytes.
+
+Similarities are stored *per subset* because the paper's SIM function is
+contextual: the same pair of photos may have different similarity in
+different subsets.  Two interchangeable backends are provided:
+
+* :class:`DenseSimilarity` — an ``m × m`` matrix, the natural form for the
+  exact (non-sparsified) instance;
+* :class:`SparseSimilarity` — per-row neighbour lists, the form produced by
+  τ-sparsification (Section 4.3).  Entries absent from a row are treated as
+  similarity 0, exactly matching the paper's "round down to zero" semantics,
+  except the mandatory self-similarity of 1 which is always present.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import InfeasibleError, ValidationError
+
+__all__ = [
+    "Photo",
+    "DenseSimilarity",
+    "SparseSimilarity",
+    "SimilarityBackend",
+    "PredefinedSubset",
+    "SubsetSpec",
+    "PARInstance",
+    "normalize_relevance",
+]
+
+_SIM_ATOL = 1e-9
+
+
+def normalize_relevance(raw: Sequence[float]) -> np.ndarray:
+    """Normalise raw relevance scores so they sum to 1 (Section 3.1).
+
+    Raises :class:`ValidationError` if any score is negative or the total is
+    zero — a subset in which no photo is relevant cannot be scored.
+    """
+    arr = np.asarray(raw, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValidationError("relevance must be a 1-D sequence")
+    if arr.size == 0:
+        raise ValidationError("relevance must be non-empty")
+    if np.any(arr < 0):
+        raise ValidationError("relevance scores must be nonnegative")
+    total = float(arr.sum())
+    if total <= 0.0:
+        raise ValidationError("relevance scores must not all be zero")
+    return arr / total
+
+
+@dataclass(frozen=True)
+class Photo:
+    """A single photo in the archive.
+
+    Parameters
+    ----------
+    photo_id:
+        Integer identifier; equals the photo's index in ``PARInstance.photos``.
+    cost:
+        Storage cost in bytes (the paper's ``C(p)``); must be positive.
+    label:
+        Optional human-readable name (file name, product title, ...).
+    metadata:
+        Free-form attributes (EXIF fields, product category, quality score).
+    """
+
+    photo_id: int
+    cost: float
+    label: str = ""
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.photo_id < 0:
+            raise ValidationError(f"photo_id must be nonnegative, got {self.photo_id}")
+        if not (self.cost > 0):
+            raise ValidationError(
+                f"photo {self.photo_id}: cost must be positive, got {self.cost!r}"
+            )
+
+
+class DenseSimilarity:
+    """Contextual similarity stored as a full ``m × m`` matrix.
+
+    The matrix indexes photos by their *local* position within the subset's
+    member list.  Values must lie in ``[0, 1]`` with a unit diagonal (the
+    similarity of a photo to itself is 1 by definition).
+    """
+
+    is_sparse = False
+
+    def __init__(self, matrix: np.ndarray, *, validate: bool = True) -> None:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValidationError("similarity matrix must be square")
+        if validate:
+            if np.any(matrix < -_SIM_ATOL) or np.any(matrix > 1.0 + _SIM_ATOL):
+                raise ValidationError("similarities must lie in [0, 1]")
+            if not np.allclose(np.diag(matrix), 1.0, atol=1e-6):
+                raise ValidationError("self-similarity must be 1")
+            if not np.allclose(matrix, matrix.T, atol=1e-6):
+                # SIM is a normalised measure of how alike two photos are;
+                # the incremental evaluators rely on symmetry.
+                raise ValidationError("similarity matrix must be symmetric")
+            matrix = (matrix + matrix.T) / 2.0
+        self.matrix = np.clip(matrix, 0.0, 1.0)
+        np.fill_diagonal(self.matrix, 1.0)
+
+    def __len__(self) -> int:
+        return self.matrix.shape[0]
+
+    def row(self, local_idx: int) -> np.ndarray:
+        """Similarities of member ``local_idx`` to every member (dense row)."""
+        return self.matrix[local_idx]
+
+    def pair(self, i: int, j: int) -> float:
+        return float(self.matrix[i, j])
+
+    def neighbors(self, local_idx: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Indices and similarities of the nonzero entries of a row."""
+        row = self.matrix[local_idx]
+        idx = np.nonzero(row)[0]
+        return idx, row[idx]
+
+    def nnz(self) -> int:
+        """Number of stored (nonzero) similarity entries."""
+        return int(np.count_nonzero(self.matrix))
+
+    def sparsified(self, tau: float) -> "SparseSimilarity":
+        """Return the τ-sparsified copy: entries below ``tau`` become 0."""
+        m = len(self)
+        indices: List[np.ndarray] = []
+        values: List[np.ndarray] = []
+        for i in range(m):
+            row = self.matrix[i]
+            keep = np.nonzero(row >= tau)[0]
+            if i not in keep:
+                keep = np.sort(np.append(keep, i))
+            indices.append(keep.astype(np.int64))
+            values.append(row[keep])
+        return SparseSimilarity(m, indices, values, validate=False)
+
+
+class SparseSimilarity:
+    """Contextual similarity stored as per-row neighbour lists.
+
+    Row ``i`` holds the local indices and similarity values of the photos
+    whose similarity to member ``i`` survived sparsification.  The diagonal
+    entry ``(i, i) = 1`` is always present so a retained photo covers itself
+    perfectly regardless of the threshold.
+    """
+
+    is_sparse = True
+
+    def __init__(
+        self,
+        size: int,
+        indices: Sequence[np.ndarray],
+        values: Sequence[np.ndarray],
+        *,
+        validate: bool = True,
+    ) -> None:
+        if len(indices) != size or len(values) != size:
+            raise ValidationError("one neighbour list required per member")
+        self._size = size
+        self._indices: List[np.ndarray] = []
+        self._values: List[np.ndarray] = []
+        for i in range(size):
+            idx = np.asarray(indices[i], dtype=np.int64)
+            val = np.asarray(values[i], dtype=np.float64)
+            if idx.shape != val.shape:
+                raise ValidationError(f"row {i}: index/value length mismatch")
+            if validate:
+                if idx.size and (idx.min() < 0 or idx.max() >= size):
+                    raise ValidationError(f"row {i}: neighbour index out of range")
+                if np.any(val < -_SIM_ATOL) or np.any(val > 1.0 + _SIM_ATOL):
+                    raise ValidationError(f"row {i}: similarity outside [0, 1]")
+                if idx.size != np.unique(idx).size:
+                    raise ValidationError(f"row {i}: duplicate neighbour index")
+            val = np.clip(val, 0.0, 1.0)
+            self_pos = np.nonzero(idx == i)[0]
+            if self_pos.size == 0:
+                idx = np.append(idx, i)
+                val = np.append(val, 1.0)
+            else:
+                val[self_pos[0]] = 1.0
+            self._indices.append(idx)
+            self._values.append(val)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def row(self, local_idx: int) -> np.ndarray:
+        """Materialise a dense row (zeros where no entry is stored)."""
+        dense = np.zeros(self._size, dtype=np.float64)
+        dense[self._indices[local_idx]] = self._values[local_idx]
+        return dense
+
+    def pair(self, i: int, j: int) -> float:
+        pos = np.nonzero(self._indices[i] == j)[0]
+        return float(self._values[i][pos[0]]) if pos.size else 0.0
+
+    def neighbors(self, local_idx: int) -> Tuple[np.ndarray, np.ndarray]:
+        return self._indices[local_idx], self._values[local_idx]
+
+    def nnz(self) -> int:
+        return int(sum(idx.size for idx in self._indices))
+
+
+SimilarityBackend = Union[DenseSimilarity, SparseSimilarity]
+
+
+class PredefinedSubset:
+    """A pre-defined subset ``q ∈ Q`` with weight, relevance and similarity.
+
+    Parameters
+    ----------
+    subset_id:
+        Stable identifier, e.g. the landing-page title or the query string.
+    weight:
+        Importance ``W(q) > 0``.
+    members:
+        Photo ids belonging to the subset, in local-index order.
+    relevance:
+        ``R(q, p)`` per member.  Normalised to sum to 1 on construction
+        unless ``normalize=False`` is passed (in which case the values must
+        already sum to 1).
+    similarity:
+        A :class:`DenseSimilarity` or :class:`SparseSimilarity` over the
+        members, indexed by local position.
+    """
+
+    __slots__ = ("subset_id", "weight", "members", "relevance", "similarity", "_local")
+
+    def __init__(
+        self,
+        subset_id: str,
+        weight: float,
+        members: Sequence[int],
+        relevance: Sequence[float],
+        similarity: SimilarityBackend,
+        *,
+        normalize: bool = True,
+    ) -> None:
+        if not (weight > 0):
+            raise ValidationError(f"subset {subset_id!r}: weight must be positive")
+        member_arr = np.asarray(members, dtype=np.int64)
+        if member_arr.ndim != 1 or member_arr.size == 0:
+            raise ValidationError(f"subset {subset_id!r}: members must be non-empty")
+        if np.unique(member_arr).size != member_arr.size:
+            raise ValidationError(f"subset {subset_id!r}: duplicate member")
+        if normalize:
+            rel = normalize_relevance(relevance)
+        else:
+            rel = np.asarray(relevance, dtype=np.float64)
+            if np.any(rel < 0):
+                raise ValidationError(f"subset {subset_id!r}: negative relevance")
+            if abs(float(rel.sum()) - 1.0) > 1e-6:
+                raise ValidationError(
+                    f"subset {subset_id!r}: relevance must sum to 1 "
+                    f"(got {float(rel.sum()):.6f})"
+                )
+        if rel.size != member_arr.size:
+            raise ValidationError(
+                f"subset {subset_id!r}: relevance length {rel.size} != "
+                f"member count {member_arr.size}"
+            )
+        if len(similarity) != member_arr.size:
+            raise ValidationError(
+                f"subset {subset_id!r}: similarity size {len(similarity)} != "
+                f"member count {member_arr.size}"
+            )
+        self.subset_id = subset_id
+        self.weight = float(weight)
+        self.members = member_arr
+        self.relevance = rel
+        self.similarity = similarity
+        self._local: Dict[int, int] = {int(p): i for i, p in enumerate(member_arr)}
+
+    def __len__(self) -> int:
+        return self.members.size
+
+    def __contains__(self, photo_id: int) -> bool:
+        return int(photo_id) in self._local
+
+    def local_index(self, photo_id: int) -> int:
+        """Local position of ``photo_id`` inside this subset."""
+        try:
+            return self._local[int(photo_id)]
+        except KeyError:
+            raise ValidationError(
+                f"photo {photo_id} is not a member of subset {self.subset_id!r}"
+            ) from None
+
+    def sim(self, p1: int, p2: int) -> float:
+        """``SIM(q, p1, p2)`` by *photo id* (0 if either is not a member)."""
+        i = self._local.get(int(p1))
+        j = self._local.get(int(p2))
+        if i is None or j is None:
+            return 0.0
+        return self.similarity.pair(i, j)
+
+    def with_similarity(self, similarity: SimilarityBackend) -> "PredefinedSubset":
+        """Copy of this subset with a replaced similarity backend."""
+        return PredefinedSubset(
+            self.subset_id,
+            self.weight,
+            self.members,
+            self.relevance,
+            similarity,
+            normalize=False,
+        )
+
+
+@dataclass
+class SubsetSpec:
+    """Raw, pre-validation description of a subset (builder input).
+
+    ``relevance`` may be un-normalised; ``similarity`` may be omitted when
+    the instance builder is given photo embeddings and a similarity function.
+    """
+
+    subset_id: str
+    weight: float
+    members: Sequence[int]
+    relevance: Sequence[float]
+    similarity: Optional[np.ndarray] = None
+
+
+class PARInstance:
+    """A fully validated Photo Archive Reduction instance.
+
+    Provides the inputs of Section 3.1 plus the derived *membership index*
+    (for each photo, the subsets containing it and its local index there),
+    which every solver uses to evaluate marginal gains efficiently.
+    """
+
+    def __init__(
+        self,
+        photos: Sequence[Photo],
+        subsets: Sequence[PredefinedSubset],
+        budget: float,
+        retained: Iterable[int] = (),
+        embeddings: Optional[np.ndarray] = None,
+    ) -> None:
+        self.photos: List[Photo] = list(photos)
+        self.n = len(self.photos)
+        if self.n == 0:
+            raise ValidationError("instance must contain at least one photo")
+        for idx, photo in enumerate(self.photos):
+            if photo.photo_id != idx:
+                raise ValidationError(
+                    f"photo at position {idx} has photo_id {photo.photo_id}; "
+                    "photo_id must equal list position"
+                )
+        self.costs = np.array([p.cost for p in self.photos], dtype=np.float64)
+        if not (budget > 0):
+            raise ValidationError(f"budget must be positive, got {budget!r}")
+        self.budget = float(budget)
+
+        self.subsets: List[PredefinedSubset] = list(subsets)
+        seen_ids = set()
+        for q in self.subsets:
+            if q.subset_id in seen_ids:
+                raise ValidationError(f"duplicate subset id {q.subset_id!r}")
+            seen_ids.add(q.subset_id)
+            if q.members.size and (q.members.min() < 0 or q.members.max() >= self.n):
+                raise ValidationError(
+                    f"subset {q.subset_id!r} references a photo outside 0..{self.n - 1}"
+                )
+
+        self.retained = frozenset(int(p) for p in retained)
+        for p in self.retained:
+            if p < 0 or p >= self.n:
+                raise ValidationError(f"retained photo {p} outside 0..{self.n - 1}")
+        retained_cost = float(self.costs[list(self.retained)].sum()) if self.retained else 0.0
+        if retained_cost > self.budget * (1 + 1e-12):
+            raise InfeasibleError(
+                f"retention set costs {retained_cost:.1f} bytes, which exceeds "
+                f"the budget of {self.budget:.1f} bytes"
+            )
+
+        if embeddings is not None:
+            embeddings = np.asarray(embeddings, dtype=np.float64)
+            if embeddings.ndim != 2 or embeddings.shape[0] != self.n:
+                raise ValidationError(
+                    "embeddings must be an (n_photos, dim) array when provided"
+                )
+        self.embeddings = embeddings
+
+        # Membership index: photo id -> [(subset index, local index), ...].
+        self.membership: List[List[Tuple[int, int]]] = [[] for _ in range(self.n)]
+        for qi, q in enumerate(self.subsets):
+            for local, photo_id in enumerate(q.members):
+                self.membership[int(photo_id)].append((qi, local))
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+
+    def cost_of(self, selection: Iterable[int]) -> float:
+        """Total byte cost ``C(S)`` of a selection of photo ids."""
+        ids = list(selection)
+        return float(self.costs[ids].sum()) if ids else 0.0
+
+    def total_cost(self) -> float:
+        """Cost of retaining the entire archive."""
+        return float(self.costs.sum())
+
+    def feasible(self, selection: Iterable[int]) -> bool:
+        """Whether a selection respects both the budget and ``S0 ⊆ S``."""
+        sel = set(int(p) for p in selection)
+        if not self.retained.issubset(sel):
+            return False
+        return self.cost_of(sel) <= self.budget * (1 + 1e-12)
+
+    def is_sparse(self) -> bool:
+        """True when every subset uses a sparse similarity backend."""
+        return all(q.similarity.is_sparse for q in self.subsets)
+
+    def similarity_nnz(self) -> int:
+        """Total stored similarity entries across all subsets."""
+        return sum(q.similarity.nnz() for q in self.subsets)
+
+    def with_subsets(self, subsets: Sequence[PredefinedSubset]) -> "PARInstance":
+        """Copy of this instance with the subset list replaced."""
+        return PARInstance(
+            self.photos,
+            subsets,
+            self.budget,
+            self.retained,
+            embeddings=self.embeddings,
+        )
+
+    def with_budget(self, budget: float) -> "PARInstance":
+        """Copy of this instance with a different budget."""
+        return PARInstance(
+            self.photos,
+            self.subsets,
+            budget,
+            self.retained,
+            embeddings=self.embeddings,
+        )
+
+    def with_adjusted_weights(
+        self,
+        factors: Mapping[str, float],
+        *,
+        strict: bool = True,
+    ) -> "PARInstance":
+        """Copy with some subsets' importance weights rescaled.
+
+        Section 5.1: "The weights for subsets derived by all methods may
+        be adjusted using a dedicated UI."  ``factors`` maps subset ids to
+        positive multipliers; unmentioned subsets keep their weight.  With
+        ``strict`` (default) an unknown subset id raises — silently
+        ignoring an analyst's adjustment would be worse than failing.
+        """
+        known = {q.subset_id for q in self.subsets}
+        unknown = set(factors) - known
+        if unknown and strict:
+            raise ValidationError(
+                f"weight adjustment references unknown subsets: {sorted(unknown)[:5]}"
+            )
+        for subset_id, factor in factors.items():
+            if not (factor > 0):
+                raise ValidationError(
+                    f"weight factor for {subset_id!r} must be positive, got {factor!r}"
+                )
+        new_subsets = [
+            PredefinedSubset(
+                q.subset_id,
+                q.weight * float(factors.get(q.subset_id, 1.0)),
+                q.members,
+                q.relevance,
+                q.similarity,
+                normalize=False,
+            )
+            for q in self.subsets
+        ]
+        return self.with_subsets(new_subsets)
+
+    def restricted(
+        self,
+        photo_ids: Sequence[int],
+        budget: Optional[float] = None,
+    ) -> "PARInstance":
+        """Sub-instance over a subset of the photos (ids are remapped).
+
+        Photos are renumbered ``0 .. k-1`` in the order given.  Each
+        pre-defined subset is intersected with the sample (its similarity
+        matrix sliced, its relevance renormalised); subsets left empty are
+        dropped.  Retained photos outside the sample are dropped from
+        ``S0``.  Used by the user-study benches, which evaluate methods on
+        ~100-photo samples the way Section 5.4 does.
+        """
+        ids = [int(p) for p in photo_ids]
+        if len(set(ids)) != len(ids):
+            raise ValidationError("restricted(): duplicate photo ids")
+        remap = {old: new for new, old in enumerate(ids)}
+        photos = [
+            dataclasses.replace(self.photos[old], photo_id=new)
+            for new, old in enumerate(ids)
+        ]
+        subsets: List[PredefinedSubset] = []
+        for q in self.subsets:
+            kept_locals = [j for j, p in enumerate(q.members) if int(p) in remap]
+            if not kept_locals:
+                continue
+            rel = q.relevance[kept_locals]
+            if float(rel.sum()) <= 0:
+                continue
+            members = [remap[int(q.members[j])] for j in kept_locals]
+            if q.similarity.is_sparse:
+                local_remap = {old: new for new, old in enumerate(kept_locals)}
+                indices, values = [], []
+                for j in kept_locals:
+                    idx, val = q.similarity.neighbors(j)
+                    keep = [k for k, x in enumerate(idx) if int(x) in local_remap]
+                    indices.append(
+                        np.asarray([local_remap[int(idx[k])] for k in keep], dtype=np.int64)
+                    )
+                    values.append(val[keep])
+                backend: SimilarityBackend = SparseSimilarity(
+                    len(kept_locals), indices, values, validate=False
+                )
+            else:
+                matrix = q.similarity.matrix[np.ix_(kept_locals, kept_locals)]
+                backend = DenseSimilarity(matrix, validate=False)
+            subsets.append(
+                PredefinedSubset(q.subset_id, q.weight, members, rel, backend)
+            )
+        if not subsets:
+            raise ValidationError("restriction removed every subset")
+        retained = [remap[p] for p in self.retained if p in remap]
+        embeddings = self.embeddings[ids] if self.embeddings is not None else None
+        return PARInstance(
+            photos,
+            subsets,
+            self.budget if budget is None else budget,
+            retained,
+            embeddings=embeddings,
+        )
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        photos: Sequence[Photo],
+        subset_specs: Sequence[SubsetSpec],
+        budget: float,
+        retained: Iterable[int] = (),
+        embeddings: Optional[np.ndarray] = None,
+        similarity_fn=None,
+    ) -> "PARInstance":
+        """Build an instance from raw specs, deriving similarities if needed.
+
+        For specs without an explicit matrix, ``similarity_fn(spec, emb)`` is
+        called with the spec and the member-row slice of ``embeddings`` and
+        must return an ``m × m`` matrix; if ``similarity_fn`` is omitted the
+        cosine similarity of the member embeddings (clipped to ``[0, 1]``)
+        is used.
+        """
+        subsets: List[PredefinedSubset] = []
+        for spec in subset_specs:
+            if spec.similarity is not None:
+                backend: SimilarityBackend = DenseSimilarity(spec.similarity)
+            else:
+                if embeddings is None:
+                    raise ValidationError(
+                        f"subset {spec.subset_id!r} has no similarity matrix and "
+                        "no embeddings were provided to derive one"
+                    )
+                member_emb = np.asarray(embeddings, dtype=np.float64)[
+                    np.asarray(spec.members, dtype=np.int64)
+                ]
+                if similarity_fn is not None:
+                    matrix = similarity_fn(spec, member_emb)
+                else:
+                    matrix = _cosine_similarity_matrix(member_emb)
+                backend = DenseSimilarity(matrix)
+            subsets.append(
+                PredefinedSubset(
+                    spec.subset_id,
+                    spec.weight,
+                    spec.members,
+                    spec.relevance,
+                    backend,
+                )
+            )
+        return cls(photos, subsets, budget, retained, embeddings=embeddings)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PARInstance(n={self.n}, subsets={len(self.subsets)}, "
+            f"budget={self.budget:.0f}, retained={len(self.retained)})"
+        )
+
+
+def _cosine_similarity_matrix(embeddings: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarity, clipped into [0, 1] with a unit diagonal."""
+    norms = np.linalg.norm(embeddings, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    unit = embeddings / norms
+    matrix = np.clip(unit @ unit.T, 0.0, 1.0)
+    np.fill_diagonal(matrix, 1.0)
+    return matrix

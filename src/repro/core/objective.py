@@ -1,0 +1,215 @@
+"""The PAR objective ``G`` and its incremental evaluation.
+
+The score of a solution ``S`` (Section 3.1) is
+
+    G(S) = Σ_{q ∈ Q} W(q) · Σ_{p ∈ q} R(q, p) · SIM(q, p, NN(q, p, S))
+
+where ``NN(q, p, S)`` is the most similar photo to ``p`` among ``S ∩ q``.
+Because SIM is 0 across subset boundaries and 1 on the diagonal, the inner
+sum only needs, for every member ``p`` of ``q``, the *best similarity seen so
+far* to any selected member.  :class:`CoverageState` maintains exactly that
+array per subset, which makes
+
+* a marginal-gain query ``gain(p)`` cost ``O(Σ_{q ∋ p} |q|)`` (dense) or the
+  size of ``p``'s neighbour lists (sparse), and
+* an update ``add(p)`` the same.
+
+All solvers in :mod:`repro.core` are built on this structure.  The module
+also exposes :func:`score`, a from-scratch evaluator used by tests to verify
+the incremental state, and :func:`score_breakdown` for per-subset reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.core.instance import PARInstance
+
+__all__ = ["CoverageState", "score", "score_breakdown", "max_score"]
+
+
+class CoverageState:
+    """Incremental tracker of ``G`` under element insertions.
+
+    The state holds, for every subset ``q`` and member position ``j``, the
+    similarity of member ``j`` to its current nearest neighbour in the
+    selection (0 when the selection contains no member of ``q``).  The total
+    objective value is maintained as selections are added, and marginal
+    gains are evaluated without mutating the state.
+
+    Parameters
+    ----------
+    instance:
+        The PAR instance whose objective is tracked.
+    selection:
+        Optional initial selection (e.g. the retention set ``S0``).
+    """
+
+    def __init__(self, instance: PARInstance, selection: Iterable[int] = ()) -> None:
+        self.instance = instance
+        # best[qi][j] = max similarity of member j of subset qi to the selection.
+        self._best: List[np.ndarray] = [
+            np.zeros(len(q), dtype=np.float64) for q in instance.subsets
+        ]
+        self._weighted_rel: List[np.ndarray] = [
+            q.weight * q.relevance for q in instance.subsets
+        ]
+        self._value = 0.0
+        self._selected: set = set()
+        for p in selection:
+            self.add(int(p))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def value(self) -> float:
+        """Current objective value ``G(S)``."""
+        return self._value
+
+    @property
+    def selected(self) -> frozenset:
+        """The photos added so far."""
+        return frozenset(self._selected)
+
+    def __contains__(self, photo_id: int) -> bool:
+        return int(photo_id) in self._selected
+
+    def gain(self, photo_id: int) -> float:
+        """Marginal gain ``G(S ∪ {p}) − G(S)`` without changing the state."""
+        p = int(photo_id)
+        if p in self._selected:
+            return 0.0
+        total = 0.0
+        for qi, local in self.instance.membership[p]:
+            subset = self.instance.subsets[qi]
+            best = self._best[qi]
+            wrel = self._weighted_rel[qi]
+            idx, sims = subset.similarity.neighbors(local)
+            delta = sims - best[idx]
+            positive = delta > 0
+            if np.any(positive):
+                total += float(wrel[idx[positive]] @ delta[positive])
+        return total
+
+    def all_gains(self) -> np.ndarray:
+        """Marginal gains of every photo at once (vectorised).
+
+        Equivalent to ``[self.gain(p) for p in range(n)]`` but computed
+        per subset with one matrix operation, which is substantially
+        faster when many candidates must be ranked (online bounds,
+        branch-and-bound root ordering, batch heuristics).  Selected
+        photos report 0.
+        """
+        gains = np.zeros(self.instance.n, dtype=np.float64)
+        for qi, subset in enumerate(self.instance.subsets):
+            best = self._best[qi]
+            wrel = self._weighted_rel[qi]
+            sim = subset.similarity
+            if not sim.is_sparse:
+                delta = sim.matrix - best[None, :]
+                np.maximum(delta, 0.0, out=delta)
+                local_gains = delta @ wrel
+            else:
+                local_gains = np.empty(len(subset))
+                for local in range(len(subset)):
+                    idx, sims = sim.neighbors(local)
+                    diff = sims - best[idx]
+                    positive = diff > 0
+                    local_gains[local] = (
+                        float(wrel[idx[positive]] @ diff[positive])
+                        if np.any(positive)
+                        else 0.0
+                    )
+            np.add.at(gains, subset.members, local_gains)
+        if self._selected:
+            gains[list(self._selected)] = 0.0
+        return gains
+
+    def add(self, photo_id: int) -> float:
+        """Add a photo to the selection; return the realised marginal gain."""
+        p = int(photo_id)
+        if p in self._selected:
+            return 0.0
+        realized = 0.0
+        for qi, local in self.instance.membership[p]:
+            subset = self.instance.subsets[qi]
+            best = self._best[qi]
+            wrel = self._weighted_rel[qi]
+            idx, sims = subset.similarity.neighbors(local)
+            delta = sims - best[idx]
+            positive = delta > 0
+            if np.any(positive):
+                pos_idx = idx[positive]
+                realized += float(wrel[pos_idx] @ delta[positive])
+                best[pos_idx] = sims[positive]
+        self._selected.add(p)
+        self._value += realized
+        return realized
+
+    def copy(self) -> "CoverageState":
+        """Deep copy (shares the immutable instance, copies mutable state)."""
+        clone = CoverageState.__new__(CoverageState)
+        clone.instance = self.instance
+        clone._best = [b.copy() for b in self._best]
+        clone._weighted_rel = self._weighted_rel
+        clone._value = self._value
+        clone._selected = set(self._selected)
+        return clone
+
+    def subset_value(self, qi: int) -> float:
+        """Weighted score contribution ``W(q) · G(q, S)`` of subset ``qi``."""
+        return float(self._weighted_rel[qi] @ self._best[qi])
+
+    def coverage_of(self, qi: int) -> np.ndarray:
+        """Per-member nearest-neighbour similarities for subset ``qi`` (copy)."""
+        return self._best[qi].copy()
+
+
+def score(instance: PARInstance, selection: Iterable[int]) -> float:
+    """Evaluate ``G(S)`` from scratch (reference implementation).
+
+    Quadratic in subset size; used for validation and small instances.
+    """
+    return sum(contrib for _, contrib in _subset_contributions(instance, selection))
+
+
+def score_breakdown(
+    instance: PARInstance, selection: Iterable[int]
+) -> Dict[str, float]:
+    """Per-subset weighted contributions ``{subset_id: W(q) · G(q, S)}``."""
+    return {
+        instance.subsets[qi].subset_id: contrib
+        for qi, contrib in _subset_contributions(instance, selection)
+    }
+
+
+def max_score(instance: PARInstance) -> float:
+    """The maximum attainable score ``G(P) = Σ_q W(q)``.
+
+    Selecting every photo gives each member a nearest neighbour of
+    similarity 1 (itself), so each subset scores exactly its weight.
+    """
+    return float(sum(q.weight for q in instance.subsets))
+
+
+def _subset_contributions(
+    instance: PARInstance, selection: Iterable[int]
+) -> List[Tuple[int, float]]:
+    sel = set(int(p) for p in selection)
+    out: List[Tuple[int, float]] = []
+    for qi, subset in enumerate(instance.subsets):
+        local_selected = [
+            j for j, photo_id in enumerate(subset.members) if int(photo_id) in sel
+        ]
+        if not local_selected:
+            out.append((qi, 0.0))
+            continue
+        m = len(subset)
+        best = np.zeros(m, dtype=np.float64)
+        for j in local_selected:
+            idx, sims = subset.similarity.neighbors(j)
+            np.maximum.at(best, idx, sims)
+        out.append((qi, float(subset.weight * (subset.relevance @ best))))
+    return out

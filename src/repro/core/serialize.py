@@ -1,0 +1,193 @@
+"""JSON (de)serialisation of PAR instances and solutions.
+
+The PHOcus service (see :mod:`repro.system.service`) speaks JSON over
+HTTP, mirroring the paper's Flask-based Solver deployment.  This module
+defines the wire format:
+
+* instances serialise with their full similarity backends (dense matrices
+  as nested lists, sparse backends as neighbour lists), so a solve request
+  is self-contained;
+* solutions serialise flat, with the diagnostics a UI needs.
+
+Round-tripping is exact up to float representation: tests assert that a
+round-tripped instance produces identical solver output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.core.instance import (
+    DenseSimilarity,
+    PARInstance,
+    Photo,
+    PredefinedSubset,
+    SparseSimilarity,
+)
+from repro.core.solver import Solution
+from repro.errors import ValidationError
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "instance_to_json",
+    "instance_from_json",
+    "solution_to_dict",
+]
+
+_FORMAT = 1
+
+
+def _similarity_to_dict(sim: Union[DenseSimilarity, SparseSimilarity]) -> Dict[str, Any]:
+    if isinstance(sim, DenseSimilarity):
+        return {"kind": "dense", "matrix": sim.matrix.tolist()}
+    rows = []
+    for i in range(len(sim)):
+        idx, val = sim.neighbors(i)
+        rows.append({"indices": idx.tolist(), "values": val.tolist()})
+    return {"kind": "sparse", "size": len(sim), "rows": rows}
+
+
+def _similarity_from_dict(doc: Dict[str, Any]):
+    kind = doc.get("kind")
+    if kind == "dense":
+        return DenseSimilarity(np.asarray(doc["matrix"], dtype=np.float64))
+    if kind == "sparse":
+        rows = doc["rows"]
+        return SparseSimilarity(
+            int(doc["size"]),
+            [np.asarray(r["indices"], dtype=np.int64) for r in rows],
+            [np.asarray(r["values"], dtype=np.float64) for r in rows],
+        )
+    raise ValidationError(f"unknown similarity kind {kind!r}")
+
+
+def instance_to_dict(instance: PARInstance) -> Dict[str, Any]:
+    """Render an instance as a JSON-compatible dict."""
+    return {
+        "format": _FORMAT,
+        "budget": instance.budget,
+        "retained": sorted(instance.retained),
+        "photos": [
+            {
+                "photo_id": p.photo_id,
+                "cost": p.cost,
+                "label": p.label,
+                "metadata": _jsonable(dict(p.metadata)),
+            }
+            for p in instance.photos
+        ],
+        "subsets": [
+            {
+                "subset_id": q.subset_id,
+                "weight": q.weight,
+                "members": q.members.tolist(),
+                "relevance": q.relevance.tolist(),
+                "similarity": _similarity_to_dict(q.similarity),
+            }
+            for q in instance.subsets
+        ],
+        "embeddings": (
+            instance.embeddings.tolist() if instance.embeddings is not None else None
+        ),
+    }
+
+
+def instance_from_dict(doc: Dict[str, Any]) -> PARInstance:
+    """Rebuild an instance from :func:`instance_to_dict` output.
+
+    Any structural defect in the document (missing keys, wrong types,
+    malformed arrays) surfaces as :class:`ValidationError` so service
+    callers get a 4xx, never a crash.
+    """
+    if not isinstance(doc, dict):
+        raise ValidationError("instance document must be an object")
+    if doc.get("format") != _FORMAT:
+        raise ValidationError(f"unsupported instance format {doc.get('format')!r}")
+    try:
+        return _instance_from_dict_unchecked(doc)
+    except ValidationError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError, IndexError) as exc:
+        raise ValidationError(f"malformed instance document: {exc!r}") from exc
+
+
+def _instance_from_dict_unchecked(doc: Dict[str, Any]) -> PARInstance:
+    photos = [
+        Photo(
+            photo_id=int(p["photo_id"]),
+            cost=float(p["cost"]),
+            label=p.get("label", ""),
+            metadata=p.get("metadata", {}),
+        )
+        for p in doc["photos"]
+    ]
+    subsets = [
+        PredefinedSubset(
+            q["subset_id"],
+            float(q["weight"]),
+            q["members"],
+            q["relevance"],
+            _similarity_from_dict(q["similarity"]),
+            normalize=False,
+        )
+        for q in doc["subsets"]
+    ]
+    embeddings = doc.get("embeddings")
+    return PARInstance(
+        photos,
+        subsets,
+        float(doc["budget"]),
+        retained=doc.get("retained", ()),
+        embeddings=np.asarray(embeddings, dtype=np.float64)
+        if embeddings is not None
+        else None,
+    )
+
+
+def instance_to_json(instance: PARInstance) -> str:
+    """Serialise an instance to a JSON string."""
+    return json.dumps(instance_to_dict(instance))
+
+
+def instance_from_json(text: str) -> PARInstance:
+    """Parse an instance from a JSON string."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"invalid instance JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ValidationError("instance JSON must be an object")
+    return instance_from_dict(doc)
+
+
+def solution_to_dict(solution: Solution) -> Dict[str, Any]:
+    """Render a solver result for the wire."""
+    return {
+        "algorithm": solution.algorithm,
+        "selection": list(solution.selection),
+        "value": solution.value,
+        "cost": solution.cost,
+        "budget": solution.budget,
+        "budget_utilisation": solution.budget_utilisation,
+        "elapsed_seconds": solution.elapsed_seconds,
+        "ratio_certificate": solution.ratio_certificate,
+        "extras": _jsonable(solution.extras),
+    }
+
+
+def _jsonable(value):
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value

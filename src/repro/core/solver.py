@@ -1,0 +1,189 @@
+"""Solver facade: one entry point over every PAR algorithm in the library.
+
+:func:`solve` dispatches by name to the paper's algorithm (``"phocus"``),
+its sub-procedures, the optimal-guarantee and exact references, and the
+Section 5.2 baselines.  Whatever algorithm ran, the returned
+:class:`Solution` always reports the *true* contextual objective value of
+the selection, the byte cost, and (optionally) the online-bound performance
+certificate — so experiment code compares apples to apples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core import baselines
+from repro.core.bounds import online_bound
+from repro.core.bruteforce import branch_and_bound
+from repro.core.greedy import CB, UC, lazy_greedy, main_algorithm
+from repro.core.instance import PARInstance
+from repro.core.objective import score
+from repro.core.sviridenko import sviridenko
+from repro.errors import ConfigurationError
+
+__all__ = ["Solution", "solve", "available_algorithms"]
+
+
+@dataclass
+class Solution:
+    """The outcome of a PAR solve.
+
+    Attributes
+    ----------
+    algorithm:
+        Name under which the solver was invoked.
+    selection:
+        Sorted retained photo ids (always a superset of ``S0``).
+    value:
+        True objective ``G(S)`` of the selection.
+    cost:
+        Byte cost ``C(S)``.
+    budget:
+        Budget the solve ran under.
+    elapsed_seconds:
+        Wall-clock solve time.
+    ratio_certificate:
+        ``G(S) / online_bound`` when a certificate was requested — a
+        data-dependent lower bound on the approximation ratio.
+    extras:
+        Algorithm-specific diagnostics (evaluation counts, winning greedy
+        mode, search nodes, ...).
+    """
+
+    algorithm: str
+    selection: List[int]
+    value: float
+    cost: float
+    budget: float
+    elapsed_seconds: float
+    ratio_certificate: Optional[float] = None
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def budget_utilisation(self) -> float:
+        """Fraction of the budget actually spent."""
+        return self.cost / self.budget if self.budget > 0 else 0.0
+
+
+def _run_phocus(instance: PARInstance, rng) -> tuple:
+    run = main_algorithm(instance)
+    return run.selection, {"mode": run.mode, "evaluations": run.evaluations}
+
+
+def _run_lazy_uc(instance: PARInstance, rng) -> tuple:
+    run = lazy_greedy(instance, UC)
+    return run.selection, {"evaluations": run.evaluations}
+
+
+def _run_lazy_cb(instance: PARInstance, rng) -> tuple:
+    run = lazy_greedy(instance, CB)
+    return run.selection, {"evaluations": run.evaluations}
+
+
+def _run_naive_greedy(instance: PARInstance, rng) -> tuple:
+    run = main_algorithm(instance, lazy=False)
+    return run.selection, {"mode": run.mode, "evaluations": run.evaluations}
+
+
+def _run_sviridenko(instance: PARInstance, rng) -> tuple:
+    res = sviridenko(instance)
+    return res.selection, {
+        "evaluations": res.evaluations,
+        "seeds_tried": res.seeds_tried,
+    }
+
+
+def _run_bruteforce(instance: PARInstance, rng) -> tuple:
+    res = branch_and_bound(instance)
+    return res.selection, {"nodes": res.nodes, "exact": True}
+
+
+def _run_rand_a(instance: PARInstance, rng) -> tuple:
+    return baselines.rand_add(instance, rng), {}
+
+
+def _run_rand_d(instance: PARInstance, rng) -> tuple:
+    return baselines.rand_delete(instance, rng), {}
+
+
+def _run_greedy_nr(instance: PARInstance, rng) -> tuple:
+    return baselines.greedy_no_redundancy(instance), {}
+
+
+def _run_greedy_ncs(instance: PARInstance, rng) -> tuple:
+    return baselines.greedy_non_contextual(instance), {}
+
+
+_REGISTRY: Dict[str, Callable] = {
+    "phocus": _run_phocus,
+    "lazy-uc": _run_lazy_uc,
+    "lazy-cb": _run_lazy_cb,
+    "naive-greedy": _run_naive_greedy,
+    "sviridenko": _run_sviridenko,
+    "bruteforce": _run_bruteforce,
+    "rand-a": _run_rand_a,
+    "rand-d": _run_rand_d,
+    "greedy-nr": _run_greedy_nr,
+    "greedy-ncs": _run_greedy_ncs,
+}
+
+
+def available_algorithms() -> List[str]:
+    """Names accepted by :func:`solve`."""
+    return sorted(_REGISTRY)
+
+
+def solve(
+    instance: PARInstance,
+    algorithm: str = "phocus",
+    *,
+    certificate: bool = False,
+    rng: Optional[np.random.Generator] = None,
+) -> Solution:
+    """Solve a PAR instance with the named algorithm.
+
+    Parameters
+    ----------
+    instance:
+        The validated PAR instance (already sparsified if desired — use
+        :func:`repro.sparsify.pipeline.sparsify_instance` beforehand).
+    algorithm:
+        One of :func:`available_algorithms` (default ``"phocus"``,
+        the paper's Algorithm 1).
+    certificate:
+        When true, additionally compute the online-bound approximation-ratio
+        certificate (costs one extra pass of gain evaluations).
+    rng:
+        Randomness source for the randomised baselines.
+    """
+    try:
+        runner = _REGISTRY[algorithm]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; available: {available_algorithms()}"
+        ) from None
+
+    start = time.perf_counter()
+    selection, extras = runner(instance, rng)
+    elapsed = time.perf_counter() - start
+
+    selection = sorted(set(int(p) for p in selection) | instance.retained)
+    value = score(instance, selection)
+    ratio: Optional[float] = None
+    if certificate:
+        bound = online_bound(instance, selection)
+        ratio = 1.0 if bound <= 0 else min(1.0, value / bound)
+    return Solution(
+        algorithm=algorithm,
+        selection=selection,
+        value=value,
+        cost=instance.cost_of(selection),
+        budget=instance.budget,
+        elapsed_seconds=elapsed,
+        ratio_certificate=ratio,
+        extras=extras,
+    )

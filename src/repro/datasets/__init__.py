@@ -1,0 +1,32 @@
+"""Dataset generators for the paper's eight corpora (Table 2)."""
+
+from repro.datasets.base import MB, Dataset
+from repro.datasets.ecommerce import (
+    DOMAINS,
+    DomainSpec,
+    generate_ecommerce_dataset,
+    generate_query_log,
+)
+from repro.datasets.io import load_dataset, save_dataset
+from repro.datasets.personal import EVENT_NAMES, generate_personal_dataset
+from repro.datasets.public import LABEL_VOCABULARY, generate_public_dataset
+from repro.datasets.registry import TABLE2, DatasetConfig, dataset_names, load
+
+__all__ = [
+    "Dataset",
+    "MB",
+    "generate_public_dataset",
+    "LABEL_VOCABULARY",
+    "generate_personal_dataset",
+    "EVENT_NAMES",
+    "generate_ecommerce_dataset",
+    "generate_query_log",
+    "DOMAINS",
+    "DomainSpec",
+    "load",
+    "TABLE2",
+    "DatasetConfig",
+    "dataset_names",
+    "save_dataset",
+    "load_dataset",
+]

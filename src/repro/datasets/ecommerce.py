@@ -1,0 +1,322 @@
+"""E-commerce dataset generator (the paper's EC-* datasets from XYZ).
+
+Section 5.2 describes the private datasets: business analysts extracted
+the top-250 most frequent queries per domain from a quarter's query log;
+the queries' result sets define the pre-defined subsets, query frequency
+gives the subset weight, the search engine's retrieval score gives the
+relevance, and internal ML embeddings give the similarity.
+
+The generator reproduces the whole causal chain:
+
+1. a synthetic product catalogue per domain (category × brand × colour ×
+   modifier titles), each product shooting 1–4 photos that share a
+   product-level embedding cluster;
+2. a Zipf-weighted query log sampled from templates over the catalogue's
+   own vocabulary ("black shirt", "samsung smartphone", "office chair");
+3. the library's own BM25 :class:`repro.search.SearchEngine` retrieves
+   each query's result set — photos of matching products — exactly the
+   input mode 2 pipeline of Section 5.1;
+4. subset weight = query frequency, relevance = BM25 score × photo
+   quality, similarity = contextual embedding similarity.
+
+Legal "approved imagery" contracts (Section 1) are simulated by marking a
+small fraction of brands as contract brands whose best photo per product
+is placed in the retention set ``S0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.instance import Photo, SubsetSpec
+from repro.datasets.base import Dataset
+from repro.errors import ConfigurationError
+from repro.search.engine import SearchEngine
+
+__all__ = ["DOMAINS", "DomainSpec", "generate_ecommerce_dataset", "generate_query_log"]
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """Vocabulary of one e-commerce domain."""
+
+    name: str
+    categories: Tuple[str, ...]
+    brands: Tuple[str, ...]
+    colors: Tuple[str, ...]
+    modifiers: Tuple[str, ...]
+
+
+DOMAINS: Dict[str, DomainSpec] = {
+    "Fashion": DomainSpec(
+        name="Fashion",
+        categories=(
+            "shirt", "dress", "jeans", "jacket", "sneakers", "skirt",
+            "sweater", "coat", "boots", "scarf", "polo shirt", "dress shirt",
+        ),
+        brands=("adidas", "nike", "zara", "levis", "gucci", "uniqlo", "puma"),
+        colors=("black", "white", "red", "blue", "green", "beige"),
+        modifiers=("slim", "casual", "sports", "buttoned", "womens", "mens", "kids"),
+    ),
+    "Electronics": DomainSpec(
+        name="Electronics",
+        categories=(
+            "smartphone", "laptop", "headphones", "tablet", "camera",
+            "monitor", "keyboard", "smartwatch", "speaker", "router",
+        ),
+        brands=("samsung", "apple", "sony", "lenovo", "dell", "bose", "asus"),
+        colors=("black", "silver", "white", "gold", "gray"),
+        modifiers=("pro", "wireless", "gaming", "compact", "ultra", "budget"),
+    ),
+    "Home & Garden": DomainSpec(
+        name="Home & Garden",
+        categories=(
+            "office chair", "sofa", "dining table", "lamp", "bookshelf",
+            "rug", "curtains", "planter", "grill", "mattress",
+        ),
+        brands=("ikea", "wayfair", "ashley", "herman miller", "weber", "keter"),
+        colors=("white", "oak", "walnut", "gray", "black", "green"),
+        modifiers=("modern", "outdoor", "folding", "ergonomic", "vintage", "large"),
+    ),
+}
+
+
+@dataclass
+class _Product:
+    product_id: int
+    title: str
+    brand: str
+    category: str
+    color: str
+    modifier: str
+    photo_ids: List[int]
+
+
+def generate_query_log(
+    domain: DomainSpec,
+    n_queries: int,
+    n_events: int,
+    rng: np.random.Generator,
+) -> List[Tuple[str, int]]:
+    """A Zipf-frequency query log: distinct queries with event counts.
+
+    Query strings follow the shapes real logs show: bare category
+    ("shirt"), attribute + category ("black shirt"), brand + category
+    ("adidas sneakers"), and attribute + brand + category.  Frequencies
+    follow a Zipf law over the distinct queries (rank 1 is the head query).
+    """
+    patterns = []
+    seen = set()
+    attempts = 0
+    while len(patterns) < n_queries and attempts < n_queries * 50:
+        attempts += 1
+        shape = rng.random()
+        category = str(rng.choice(domain.categories))
+        if shape < 0.25:
+            query = category
+        elif shape < 0.55:
+            query = f"{rng.choice(domain.colors)} {category}"
+        elif shape < 0.8:
+            query = f"{rng.choice(domain.brands)} {category}"
+        else:
+            query = f"{rng.choice(domain.colors)} {rng.choice(domain.brands)} {category}"
+        if query not in seen:
+            seen.add(query)
+            patterns.append(query)
+    if len(patterns) < n_queries:
+        raise ConfigurationError(
+            f"domain {domain.name!r} vocabulary too small for {n_queries} distinct queries"
+        )
+    ranks = np.arange(1, len(patterns) + 1, dtype=np.float64)
+    probs = ranks**-1.05
+    probs /= probs.sum()
+    counts = rng.multinomial(n_events, probs)
+    log = [(q, int(c)) for q, c in zip(patterns, counts) if c > 0]
+    log.sort(key=lambda qc: -qc[1])
+    return log
+
+
+def generate_ecommerce_dataset(
+    domain_name: str,
+    n_products: int,
+    n_queries: int = 250,
+    *,
+    name: Optional[str] = None,
+    seed: int = 0,
+    photos_per_product: Tuple[int, int] = (1, 4),
+    embedding_dim: int = 64,
+    results_per_query: int = 80,
+    query_log_events: int = 200_000,
+    contract_brand_fraction: float = 0.15,
+    cluster_tightness: float = 0.18,
+) -> Dataset:
+    """Generate an EC-style dataset for one domain.
+
+    Parameters mirror Section 5.2: ``n_queries`` pre-defined subsets from
+    the top-``n_queries`` most frequent log queries; photo counts follow
+    from ``n_products`` × shots per product.  ``results_per_query`` caps
+    each retrieved result set (landing pages show a bounded product list).
+    """
+    if domain_name not in DOMAINS:
+        raise ConfigurationError(
+            f"unknown domain {domain_name!r}; choose from {sorted(DOMAINS)}"
+        )
+    domain = DOMAINS[domain_name]
+    rng = np.random.default_rng(seed)
+    name = name or f"EC-{domain_name.replace(' & ', '')}"
+
+    # --- catalogue -------------------------------------------------------
+    products: List[_Product] = []
+    photo_texts: List[str] = []
+    photo_product: List[int] = []
+    for pid in range(n_products):
+        brand = str(rng.choice(domain.brands))
+        category = str(rng.choice(domain.categories))
+        color = str(rng.choice(domain.colors))
+        modifier = str(rng.choice(domain.modifiers))
+        title = f"{brand} {color} {modifier} {category}"
+        n_shots = int(rng.integers(photos_per_product[0], photos_per_product[1] + 1))
+        ids = []
+        for _ in range(n_shots):
+            ids.append(len(photo_texts))
+            photo_texts.append(title)
+            photo_product.append(pid)
+        products.append(_Product(pid, title, brand, category, color, modifier, ids))
+    n_photos = len(photo_texts)
+
+    # --- embeddings: attribute-block structure ----------------------------
+    # The embedding space is partitioned into blocks, one per product
+    # attribute (category, brand, colour, modifier) plus a product-
+    # idiosyncratic block.  Photos of products sharing an attribute agree
+    # on that block.  This is what makes the *contextual* similarity of
+    # Section 5.1 meaningfully different from a single global similarity:
+    # within a "black shirt" landing page the colour and category blocks
+    # are constant (uninformative) and the brand/modifier/product blocks
+    # discriminate, whereas the global cosine averages all blocks — the
+    # exact failure mode of the Greedy-NCS baseline.
+    block = max(4, embedding_dim // 5)
+    dims = {
+        "category": slice(0, block),
+        "brand": slice(block, 2 * block),
+        "color": slice(2 * block, 3 * block),
+        "modifier": slice(3 * block, 4 * block),
+        "product": slice(4 * block, embedding_dim),
+    }
+
+    def _attribute_vectors(values):
+        return {v: rng.standard_normal(block) for v in values}
+
+    cat_vec = _attribute_vectors(domain.categories)
+    brand_vec = _attribute_vectors(domain.brands)
+    color_vec = _attribute_vectors(domain.colors)
+    modifier_vec = _attribute_vectors(domain.modifiers)
+    product_block = embedding_dim - 4 * block
+    embeddings = np.zeros((n_photos, embedding_dim))
+    for product in products:
+        base = np.zeros(embedding_dim)
+        base[dims["category"]] = cat_vec[product.category]
+        base[dims["brand"]] = brand_vec[product.brand]
+        base[dims["color"]] = color_vec[product.color]
+        base[dims["modifier"]] = modifier_vec[product.modifier]
+        base[dims["product"]] = rng.standard_normal(product_block)
+        for photo_id in product.photo_ids:
+            vec = base + rng.normal(0.0, cluster_tightness, size=embedding_dim)
+            embeddings[photo_id] = vec / np.linalg.norm(vec)
+
+    qualities = np.clip(rng.beta(5, 2, size=n_photos), 0.05, 1.0)
+    # Product shots: tighter size spread than personal photos (~0.3-1.5 MB).
+    costs = rng.lognormal(mean=np.log(6.0e5), sigma=0.4, size=n_photos)
+
+    photos = [
+        Photo(
+            photo_id=p,
+            cost=float(costs[p]),
+            label=photo_texts[p],
+            metadata={
+                "product_id": photo_product[p],
+                "brand": products[photo_product[p]].brand,
+                "category": products[photo_product[p]].category,
+                "quality": float(qualities[p]),
+                "domain": domain.name,
+            },
+        )
+        for p in range(n_photos)
+    ]
+
+    # --- search-engine-derived subsets -----------------------------------
+    engine = SearchEngine()
+    for p in range(n_photos):
+        engine.add_photo(p, photo_texts[p])
+
+    log = generate_query_log(domain, max(n_queries * 2, n_queries + 20), query_log_events, rng)
+    total_events = sum(c for _, c in log)
+
+    specs: List[SubsetSpec] = []
+    kept_queries: List[Tuple[str, int]] = []
+    for query, count in log:
+        if len(specs) >= n_queries:
+            break
+        result = engine.subset_for_query(query, top_k=results_per_query)
+        if len(result.photo_ids) < 2:
+            continue
+        relevance = [
+            score * (0.5 + 0.5 * qualities[p])
+            for p, score in zip(result.photo_ids, result.relevance)
+        ]
+        specs.append(
+            SubsetSpec(
+                subset_id=query,
+                weight=count / total_events,
+                members=result.photo_ids,
+                relevance=relevance,
+            )
+        )
+        kept_queries.append((query, count))
+
+    if not specs:
+        raise ConfigurationError(
+            "query log produced no non-trivial subsets; increase n_products"
+        )
+
+    # --- contract (legal) retention --------------------------------------
+    contract_brands = set(
+        str(b)
+        for b in rng.choice(
+            domain.brands,
+            size=max(1, int(round(contract_brand_fraction * len(domain.brands)))),
+            replace=False,
+        )
+    )
+    candidates: List[int] = []
+    for product in products:
+        if product.brand in contract_brands:
+            # The contract pins the best shot of a contracted product.
+            best = max(product.photo_ids, key=lambda p: qualities[p])
+            candidates.append(best)
+    # Contracts cover flagship products only — cap S0 at ~2% of the photos
+    # so even small experiment budgets stay feasible.
+    cap = max(1, n_photos // 50)
+    if len(candidates) > cap:
+        picked = rng.choice(len(candidates), size=cap, replace=False)
+        retained = [candidates[i] for i in picked]
+    else:
+        retained = candidates
+
+    return Dataset(
+        name=name,
+        photos=photos,
+        specs=specs,
+        embeddings=embeddings,
+        retained=sorted(retained),
+        source="ecommerce",
+        extras={
+            "domain": domain.name,
+            "n_products": n_products,
+            "query_log": kept_queries,
+            "contract_brands": sorted(contract_brands),
+            "seed": seed,
+        },
+    )

@@ -1,0 +1,113 @@
+"""Dataset (de)serialisation.
+
+Datasets persist as a single JSON document: photos (cost, label,
+metadata), subset specs (members, raw relevance, weight), embeddings, the
+retention set and generator extras.  Contextual similarities are *not*
+stored — they are derived from the embeddings on :meth:`Dataset.instance`,
+which keeps files compact and guarantees a round-tripped dataset produces
+bit-identical instances.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.instance import Photo, SubsetSpec
+from repro.datasets.base import Dataset
+from repro.errors import ValidationError
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: Dataset, path: Union[str, Path]) -> None:
+    """Write a dataset to a JSON file (creates parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "format_version": _FORMAT_VERSION,
+        "name": dataset.name,
+        "source": dataset.source,
+        "retained": [int(p) for p in dataset.retained],
+        "extras": _jsonable(dataset.extras),
+        "photos": [
+            {
+                "photo_id": p.photo_id,
+                "cost": p.cost,
+                "label": p.label,
+                "metadata": _jsonable(dict(p.metadata)),
+            }
+            for p in dataset.photos
+        ],
+        "specs": [
+            {
+                "subset_id": s.subset_id,
+                "weight": float(s.weight),
+                "members": [int(m) for m in s.members],
+                "relevance": [float(r) for r in s.relevance],
+            }
+            for s in dataset.specs
+        ],
+        "embeddings": np.asarray(dataset.embeddings).tolist(),
+    }
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(doc, handle)
+
+
+def load_dataset(path: Union[str, Path]) -> Dataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    version = doc.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported dataset format version {version!r} in {path}"
+        )
+    photos = [
+        Photo(
+            photo_id=int(p["photo_id"]),
+            cost=float(p["cost"]),
+            label=p.get("label", ""),
+            metadata=p.get("metadata", {}),
+        )
+        for p in doc["photos"]
+    ]
+    specs = [
+        SubsetSpec(
+            subset_id=s["subset_id"],
+            weight=float(s["weight"]),
+            members=s["members"],
+            relevance=s["relevance"],
+        )
+        for s in doc["specs"]
+    ]
+    return Dataset(
+        name=doc["name"],
+        photos=photos,
+        specs=specs,
+        embeddings=np.asarray(doc["embeddings"], dtype=np.float64),
+        retained=[int(p) for p in doc.get("retained", [])],
+        source=doc.get("source", "public"),
+        extras=doc.get("extras", {}),
+    )
+
+
+def _jsonable(value):
+    """Best-effort conversion of numpy scalars/arrays inside metadata."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value

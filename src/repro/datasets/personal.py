@@ -1,0 +1,210 @@
+"""Personal photo-collection generator (the paper's smartphone scenario).
+
+Section 1's second motivating instance: "the need to delete photos
+locally on your smartphone to meet some storage budget, relying on cloud
+storage for your full set of photos.  You may have explicitly organized
+subsets of the photos in albums, or implicitly organized them by ...
+date, location and facial recognition.  You may require that some of your
+photos remain in local storage."
+
+This generator runs the full image substrate — every photo is *rendered*
+(synthetic scene), embedded, quality-scored, priced by the file-size
+model, and stamped with coherent event EXIF.  Subsets come from the
+organisation signals the paper lists:
+
+* one album per shooting event (the explicit organisation);
+* day buckets from EXIF timestamps (automatic date tagging);
+* coarse place buckets from EXIF GPS (automatic location tagging);
+* a "favourites" album of the highest-quality recent shots.
+
+Policy pins: document photos (passport-style) are flagged ``must_keep``.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta, timezone
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.instance import Photo, SubsetSpec
+from repro.datasets.base import Dataset
+from repro.errors import ConfigurationError
+from repro.images.embedder import PhotoEmbedder
+from repro.images.exif import geo_bucket, synthesize_event_exif, time_bucket
+from repro.images.filesize import file_size_bytes
+from repro.images.quality import quality_score
+from repro.images.synthetic import random_prototype, render_photo
+
+__all__ = ["generate_personal_dataset", "EVENT_NAMES"]
+
+EVENT_NAMES = (
+    "paris-trip", "beach-weekend", "birthday-party", "hiking-day",
+    "city-walk", "family-dinner", "concert-night", "museum-visit",
+    "road-trip", "picnic",
+)
+
+
+def generate_personal_dataset(
+    n_events: int = 6,
+    photos_per_event: Tuple[int, int] = (6, 14),
+    *,
+    name: str = "Personal",
+    seed: int = 0,
+    n_documents: int = 2,
+    embedding_dim: int = 48,
+    image_size: int = 24,
+    favourites_size: int = 8,
+    blur_fraction: float = 0.2,
+) -> Dataset:
+    """Generate a rendered personal photo collection.
+
+    Parameters
+    ----------
+    n_events:
+        Number of shooting events (trips, parties, ...).
+    photos_per_event:
+        Inclusive range of shots per event.
+    n_documents:
+        Passport-style must-keep photos (flagged ``must_keep`` and placed
+        in the retention set).
+    favourites_size:
+        Size of the quality-ranked "favourites" album.
+    """
+    if n_events < 1:
+        raise ConfigurationError("need at least one event")
+    rng = np.random.default_rng(seed)
+    embedder = PhotoEmbedder(out_dim=embedding_dim, seed=seed + 1)
+
+    photos: List[Photo] = []
+    embeddings: List[np.ndarray] = []
+    event_members: List[List[int]] = []
+    event_names: List[str] = []
+
+    base_time = datetime(2023, 1, 15, tzinfo=timezone.utc)
+    for ei in range(n_events):
+        event_name = EVENT_NAMES[ei % len(EVENT_NAMES)]
+        if ei >= len(EVENT_NAMES):
+            event_name = f"{event_name}-{ei // len(EVENT_NAMES) + 1}"
+        prototype = random_prototype(event_name, rng)
+        n_shots = int(rng.integers(photos_per_event[0], photos_per_event[1] + 1))
+        exif = synthesize_event_exif(
+            n_shots, rng,
+            base_time=base_time + timedelta(days=int(rng.integers(0, 300))),
+            spread_km=1.5,
+        )
+        members = []
+        for record in exif:
+            blur = rng.random() < blur_fraction
+            image = render_photo(
+                prototype, rng, height=image_size, width=image_size, blur=blur
+            )
+            photo_id = len(photos)
+            photos.append(
+                Photo(
+                    photo_id=photo_id,
+                    cost=file_size_bytes(image),
+                    label=f"{event_name}-{photo_id}.jpg",
+                    metadata={
+                        "labels": [event_name],
+                        "exif": record.as_dict(),
+                        "exif_day": time_bucket(record),
+                        "exif_place": geo_bucket(record),
+                        "quality": quality_score(image),
+                        "event": ei,
+                    },
+                )
+            )
+            embeddings.append(embedder.embed(image))
+            members.append(photo_id)
+        event_members.append(members)
+        event_names.append(event_name)
+
+    retained: List[int] = []
+    for di in range(n_documents):
+        prototype = random_prototype(f"document-{di}", rng)
+        image = render_photo(prototype, rng, height=image_size, width=image_size)
+        photo_id = len(photos)
+        photos.append(
+            Photo(
+                photo_id=photo_id,
+                cost=file_size_bytes(image),
+                label=f"document-{di}.jpg",
+                metadata={
+                    "labels": ["documents"],
+                    "must_keep": True,
+                    "quality": quality_score(image),
+                },
+            )
+        )
+        embeddings.append(embedder.embed(image))
+        retained.append(photo_id)
+
+    # --- subsets ---------------------------------------------------------
+    specs: List[SubsetSpec] = []
+    for ei, members in enumerate(event_members):
+        qualities = [photos[p].metadata["quality"] for p in members]
+        specs.append(
+            SubsetSpec(
+                subset_id=f"album:{event_names[ei]}",
+                weight=1.0 + 0.2 * len(members),
+                members=members,
+                relevance=[0.2 + q for q in qualities],
+            )
+        )
+    # Automatic date and place tags (only multi-photo buckets are useful).
+    for key, prefix in (("exif_day", "day:"), ("exif_place", "place:")):
+        buckets = {}
+        for photo in photos:
+            value = photo.metadata.get(key)
+            if value:
+                buckets.setdefault(value, []).append(photo.photo_id)
+        for value, members in sorted(buckets.items()):
+            if len(members) >= 2:
+                specs.append(
+                    SubsetSpec(
+                        subset_id=f"{prefix}{value}",
+                        weight=0.5,
+                        members=members,
+                        relevance=[1.0] * len(members),
+                    )
+                )
+    # Favourites: the best recent shots across the collection.
+    ranked = sorted(
+        (p for p in photos if not p.metadata.get("must_keep")),
+        key=lambda p: -p.metadata["quality"],
+    )
+    favourites = [p.photo_id for p in ranked[:favourites_size]]
+    if favourites:
+        specs.append(
+            SubsetSpec(
+                subset_id="album:favourites",
+                weight=3.0,
+                members=favourites,
+                relevance=[photos[p].metadata["quality"] for p in favourites],
+            )
+        )
+    # Documents album (the pinned photos still contribute coverage value).
+    if retained:
+        specs.append(
+            SubsetSpec(
+                subset_id="album:documents",
+                weight=2.0,
+                members=list(retained),
+                relevance=[1.0] * len(retained),
+            )
+        )
+
+    return Dataset(
+        name=name,
+        photos=photos,
+        specs=specs,
+        embeddings=np.asarray(embeddings),
+        retained=retained,
+        source="personal",
+        extras={
+            "n_events": n_events,
+            "events": event_names,
+            "seed": seed,
+        },
+    )

@@ -1,0 +1,220 @@
+"""Open-Images-style public dataset generator (the paper's P-* datasets).
+
+Section 5.2 builds the public datasets from the Open Images corpus [28]:
+photos carry labels with confidence levels; each label defines a
+pre-defined subset; label confidence becomes the relevance score; the
+label's frequency in the full corpus becomes the subset weight; and
+similarities come from ResNet-50 embeddings.
+
+Our generator reproduces that structure synthetically:
+
+1. a label vocabulary with Zipf-distributed popularity (Open Images has
+   >6000 labels with a heavy-tailed frequency profile);
+2. concept clusters — groups of near-duplicate photos sharing a prototype
+   scene and one-to-three labels drawn by popularity;
+3. per-photo label confidences (high for the cluster's labels, mild noise)
+   that double as relevance;
+4. photo embeddings either rendered through the full image pipeline
+   (:mod:`repro.images`) or sampled directly around a cluster direction on
+   the unit sphere (``image_mode="gaussian"`` — the fast path for large
+   benches; both modes yield the same cluster geometry).
+
+Every photo also gets a byte cost from the file-size model (render mode)
+or a lognormal matching real JPEG size spreads (gaussian mode).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.instance import Photo, SubsetSpec
+from repro.datasets.base import Dataset
+from repro.errors import ConfigurationError
+from repro.images.embedder import PhotoEmbedder
+from repro.images.filesize import file_size_bytes
+from repro.images.quality import quality_score
+from repro.images.synthetic import random_prototype, render_photo
+
+__all__ = ["generate_public_dataset", "LABEL_VOCABULARY"]
+
+# A compact Open-Images-flavoured vocabulary; the generator cycles with
+# numeric suffixes when more labels are requested than base names exist.
+LABEL_VOCABULARY = (
+    "bicycle cat dog person tree car building flower bird food bridge "
+    "mountain beach boat horse guitar chair table laptop phone book bottle "
+    "cup shoe hat clock lamp couch bed plant train airplane bus truck "
+    "motorcycle umbrella backpack handbag suitcase skateboard surfboard "
+    "ball kite glove helmet scarf watch ring camera television keyboard"
+).split()
+
+
+def _label_names(n_labels: int) -> List[str]:
+    names = []
+    for i in range(n_labels):
+        base = LABEL_VOCABULARY[i % len(LABEL_VOCABULARY)]
+        suffix = i // len(LABEL_VOCABULARY)
+        names.append(base if suffix == 0 else f"{base}-{suffix}")
+    return names
+
+
+def _zipf_weights(n: int, exponent: float, rng: np.random.Generator) -> np.ndarray:
+    """Zipf popularity profile over ``n`` items, shuffled so label index
+    does not encode popularity."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    rng.shuffle(weights)
+    return weights / weights.sum()
+
+
+def generate_public_dataset(
+    n_photos: int,
+    n_subsets: int,
+    *,
+    name: str = "P",
+    seed: int = 0,
+    cluster_size: Tuple[int, int] = (3, 9),
+    labels_per_cluster: Tuple[int, int] = (1, 3),
+    zipf_exponent: float = 1.1,
+    image_mode: str = "gaussian",
+    embedding_dim: int = 64,
+    image_size: int = 32,
+    cluster_tightness: float = 0.25,
+    retained_fraction: float = 0.0,
+) -> Dataset:
+    """Generate a P-style dataset with the paper's structure.
+
+    Parameters
+    ----------
+    n_photos, n_subsets:
+        Target photo and label (= subset) counts.  Table 2's pairs are
+        pre-registered in :mod:`repro.datasets.registry`.
+    image_mode:
+        ``"render"`` — run the full synthetic-image pipeline (scenes →
+        features → embedder → quality/file size); ``"gaussian"`` — sample
+        embeddings directly around cluster directions (fast path; costs
+        drawn lognormal).  Both produce the same downstream geometry.
+    cluster_tightness:
+        Standard deviation of within-cluster embedding noise (gaussian
+        mode); smaller means more redundant near-duplicates.
+    retained_fraction:
+        Fraction of photos marked as must-keep (``S0``), sampled uniformly.
+    """
+    if n_photos < 2 or n_subsets < 1:
+        raise ConfigurationError("need at least 2 photos and 1 subset")
+    if image_mode not in ("render", "gaussian"):
+        raise ConfigurationError(f"unknown image_mode {image_mode!r}")
+    rng = np.random.default_rng(seed)
+
+    labels = _label_names(n_subsets)
+    label_popularity = _zipf_weights(n_subsets, zipf_exponent, rng)
+
+    # --- carve photos into concept clusters -----------------------------
+    cluster_of: List[int] = []
+    cluster_id = 0
+    while len(cluster_of) < n_photos:
+        size = int(rng.integers(cluster_size[0], cluster_size[1] + 1))
+        size = min(size, n_photos - len(cluster_of))
+        cluster_of.extend([cluster_id] * size)
+        cluster_id += 1
+    n_clusters = cluster_id
+
+    # --- assign labels to clusters (popular labels get more clusters) ---
+    cluster_labels: List[List[int]] = []
+    for c in range(n_clusters):
+        k = int(rng.integers(labels_per_cluster[0], labels_per_cluster[1] + 1))
+        k = min(k, n_subsets)
+        chosen = rng.choice(n_subsets, size=k, replace=False, p=label_popularity)
+        cluster_labels.append(sorted(int(l) for l in chosen))
+    # Guarantee every label owns at least one cluster so all subsets exist.
+    used = set(l for ls in cluster_labels for l in ls)
+    missing = [l for l in range(n_subsets) if l not in used]
+    for i, l in enumerate(missing):
+        cluster_labels[i % n_clusters].append(l)
+
+    # --- photos: embeddings, costs, quality ------------------------------
+    embeddings = np.zeros((n_photos, embedding_dim))
+    costs = np.zeros(n_photos)
+    qualities = np.zeros(n_photos)
+
+    if image_mode == "render":
+        embedder = PhotoEmbedder(out_dim=embedding_dim, seed=seed + 1)
+        prototypes = [random_prototype(f"cluster-{c}", rng) for c in range(n_clusters)]
+        for p in range(n_photos):
+            blur = rng.random() < 0.15
+            image = render_photo(
+                prototypes[cluster_of[p]], rng, height=image_size, width=image_size, blur=blur
+            )
+            embeddings[p] = embedder.embed(image)
+            costs[p] = file_size_bytes(image)
+            qualities[p] = quality_score(image)
+    else:
+        centers = rng.standard_normal((n_clusters, embedding_dim))
+        centers /= np.linalg.norm(centers, axis=1, keepdims=True)
+        for p in range(n_photos):
+            vec = centers[cluster_of[p]] + rng.normal(
+                0.0, cluster_tightness, size=embedding_dim
+            )
+            embeddings[p] = vec / np.linalg.norm(vec)
+        # Lognormal around ~1 MB, matching Figure 1's 0.7-2.1 Mb spread.
+        costs = rng.lognormal(mean=np.log(1.0e6), sigma=0.45, size=n_photos)
+        qualities = np.clip(rng.beta(5, 2, size=n_photos), 0.05, 1.0)
+
+    photos = [
+        Photo(
+            photo_id=p,
+            cost=float(costs[p]),
+            label=f"{name.lower()}-photo-{p}",
+            metadata={
+                "cluster": cluster_of[p],
+                "quality": float(qualities[p]),
+                "labels": [labels[l] for l in cluster_labels[cluster_of[p]]],
+            },
+        )
+        for p in range(n_photos)
+    ]
+
+    # --- subsets: label membership with confidence-based relevance ------
+    members_per_label: Dict[int, List[int]] = {l: [] for l in range(n_subsets)}
+    confidence_per_label: Dict[int, List[float]] = {l: [] for l in range(n_subsets)}
+    for p in range(n_photos):
+        for l in cluster_labels[cluster_of[p]]:
+            # Label confidence: detector-style score modulated by quality.
+            conf = float(np.clip(rng.uniform(0.55, 1.0) * (0.5 + 0.5 * qualities[p]), 0.05, 1.0))
+            members_per_label[l].append(p)
+            confidence_per_label[l].append(conf)
+
+    specs: List[SubsetSpec] = []
+    for l in range(n_subsets):
+        members = members_per_label[l]
+        if not members:
+            continue
+        specs.append(
+            SubsetSpec(
+                subset_id=labels[l],
+                weight=float(label_popularity[l] * n_subsets),
+                members=members,
+                relevance=confidence_per_label[l],
+            )
+        )
+
+    retained: List[int] = []
+    if retained_fraction > 0:
+        k = int(round(retained_fraction * n_photos))
+        retained = sorted(int(p) for p in rng.choice(n_photos, size=k, replace=False))
+
+    return Dataset(
+        name=name,
+        photos=photos,
+        specs=specs,
+        embeddings=embeddings,
+        retained=retained,
+        source="public",
+        extras={
+            "n_clusters": n_clusters,
+            "labels": labels,
+            "image_mode": image_mode,
+            "seed": seed,
+        },
+    )

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the PHOcus reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  The concrete
+subclasses distinguish the three failure domains a caller may want to
+handle differently: malformed problem inputs, infeasible optimisation
+requests, and misconfigured components.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A problem input violates the PAR model contract.
+
+    Raised while building :class:`repro.core.instance.PARInstance` (or any
+    substrate input) when, e.g., relevance scores are negative, a similarity
+    value lies outside ``[0, 1]``, or a subset references an unknown photo.
+    """
+
+
+class InfeasibleError(ReproError):
+    """The optimisation problem admits no feasible solution.
+
+    The canonical case is a retention set ``S0`` whose total cost already
+    exceeds the storage budget ``B``.
+    """
+
+
+class ConfigurationError(ReproError):
+    """A component was configured inconsistently.
+
+    For example requesting an unknown solver name, or asking the SimHash
+    sparsifier for more bands than signature bits.
+    """

@@ -1,0 +1,40 @@
+"""Extensions beyond the paper's evaluated system.
+
+Currently: compression-aware archiving, the Section 6 future-work item
+("which photos to compress rather than to remove"), realised as a pure
+instance transformation over the unmodified PAR solvers.
+"""
+
+from repro.extensions.compression import (
+    CompressionLevel,
+    VariantMap,
+    deduplicate_variants,
+    expand_with_compression,
+    selection_summary,
+)
+from repro.extensions.incremental import (
+    MaintenanceResult,
+    extend_selection,
+    maintain,
+    removal_loss,
+    shrink_to_budget,
+)
+from repro.extensions.local_search import LocalSearchResult, swap_local_search
+from repro.extensions.streaming import StreamingArchiver, stream_solve
+
+__all__ = [
+    "CompressionLevel",
+    "VariantMap",
+    "expand_with_compression",
+    "deduplicate_variants",
+    "selection_summary",
+    "removal_loss",
+    "shrink_to_budget",
+    "extend_selection",
+    "maintain",
+    "MaintenanceResult",
+    "StreamingArchiver",
+    "stream_solve",
+    "swap_local_search",
+    "LocalSearchResult",
+]

@@ -1,0 +1,183 @@
+"""Incremental archive maintenance: keep a solution fresh as things change.
+
+A deployed PHOcus (the paper's quarterly-query-log workflow, Section 5.2)
+faces three recurring events between full re-optimisations:
+
+* **new photos arrive** (products are onboarded, trips are shot);
+* **the budget shrinks** (cache capacity is re-partitioned);
+* **the budget grows** (hardware upgrade).
+
+Solving from scratch each time is wasteful: the existing selection is
+already near-greedy.  This module provides warm-started maintenance
+primitives built on the same :class:`~repro.core.objective.CoverageState`
+machinery:
+
+* :func:`extend_selection` — CELF pass seeded with the current selection
+  (handles budget growth and newly arrived photos in one shot);
+* :func:`shrink_to_budget` — reverse greedy: repeatedly evict the kept
+  photo whose removal loses the least objective per byte freed (never
+  evicting ``S0``);
+* :func:`maintain` — the combined policy: shrink if over budget, then
+  extend into any remaining headroom.
+
+Reverse greedy is the natural dual of the forward pass and is the
+standard fast heuristic for monotone submodular *down-sizing*; tests
+compare it against from-scratch solves and the benches measure the
+speed/quality trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.greedy import CB, lazy_greedy
+from repro.core.instance import PARInstance
+from repro.core.objective import CoverageState, score
+from repro.errors import ValidationError
+
+__all__ = [
+    "removal_loss",
+    "shrink_to_budget",
+    "extend_selection",
+    "MaintenanceResult",
+    "maintain",
+]
+
+
+def removal_loss(
+    instance: PARInstance, selection: Iterable[int], photo_id: int
+) -> float:
+    """Objective lost by evicting one photo from a selection.
+
+    Exact recomputation restricted to the subsets containing the photo
+    (removal only affects coverage there), so the cost is proportional to
+    the photo's membership neighbourhood, not the whole instance.
+    """
+    sel = set(int(p) for p in selection)
+    p = int(photo_id)
+    if p not in sel:
+        return 0.0
+    loss = 0.0
+    for qi, _ in instance.membership[p]:
+        subset = instance.subsets[qi]
+        members = subset.members
+        selected_locals = [
+            j for j, photo in enumerate(members) if int(photo) in sel
+        ]
+        without_locals = [
+            j for j in selected_locals if int(members[j]) != p
+        ]
+        loss += _subset_value(subset, selected_locals) - _subset_value(
+            subset, without_locals
+        )
+    return loss
+
+
+def _subset_value(subset, selected_locals: List[int]) -> float:
+    if not selected_locals:
+        return 0.0
+    best = np.zeros(len(subset))
+    for j in selected_locals:
+        idx, sims = subset.similarity.neighbors(j)
+        np.maximum.at(best, idx, sims)
+    return float(subset.weight * (subset.relevance @ best))
+
+
+def shrink_to_budget(
+    instance: PARInstance,
+    selection: Iterable[int],
+    budget: Optional[float] = None,
+) -> List[int]:
+    """Reverse greedy eviction until the selection fits the budget.
+
+    Evicts, at each step, the non-retained photo minimising
+    ``removal_loss / cost`` (cheapest objective per byte freed).  Uses
+    lazy re-evaluation, the mirror image of CELF: by submodularity a
+    photo's removal loss only *grows* as the selection shrinks, so a
+    cached loss is a valid lower bound and a refreshed entry that stays
+    at the top of the min-heap can be evicted without refreshing the
+    rest.  Raises :class:`ValidationError` when even ``S0`` alone exceeds
+    the budget.
+    """
+    import heapq
+    import itertools
+
+    budget = instance.budget if budget is None else float(budget)
+    sel = set(int(p) for p in selection) | set(instance.retained)
+    spent = instance.cost_of(sel)
+    if instance.cost_of(instance.retained) > budget * (1 + 1e-12):
+        raise ValidationError("retention set alone exceeds the target budget")
+    if spent <= budget * (1 + 1e-12):
+        return sorted(sel)
+
+    counter = itertools.count()
+    evictions = 0
+    heap: List[Tuple[float, int, int, int]] = []
+    for p in sel:
+        if p in instance.retained:
+            continue
+        key = removal_loss(instance, sel, p) / instance.costs[p]
+        heapq.heappush(heap, (key, next(counter), p, evictions))
+
+    while spent > budget * (1 + 1e-12) and heap:
+        key, _, p, stamp = heapq.heappop(heap)
+        if p not in sel:
+            continue
+        if stamp == evictions:
+            sel.discard(p)
+            spent -= float(instance.costs[p])
+            evictions += 1
+        else:
+            key = removal_loss(instance, sel, p) / instance.costs[p]
+            heapq.heappush(heap, (key, next(counter), p, evictions))
+    return sorted(sel)
+
+
+def extend_selection(
+    instance: PARInstance,
+    selection: Iterable[int],
+) -> List[int]:
+    """Warm-started CELF pass: grow a feasible selection into headroom."""
+    sel = set(int(p) for p in selection) | set(instance.retained)
+    if instance.cost_of(sel) > instance.budget * (1 + 1e-12):
+        raise ValidationError("selection exceeds the budget; shrink first")
+    state = CoverageState(instance, sel)
+    run = lazy_greedy(instance, CB, state=state)
+    return sorted(run.selection)
+
+
+@dataclass
+class MaintenanceResult:
+    """Outcome of one maintenance step."""
+
+    selection: List[int]
+    value: float
+    cost: float
+    evicted: List[int]
+    added: List[int]
+
+
+def maintain(
+    instance: PARInstance,
+    previous_selection: Iterable[int],
+) -> MaintenanceResult:
+    """Adapt a previous selection to the (possibly changed) instance.
+
+    The instance may have a different budget and/or more photos than the
+    one ``previous_selection`` was computed for; ids of surviving photos
+    must be unchanged (append-only arrival, the realistic deployment
+    model).  Stale ids (photos that left the archive) are dropped.
+    """
+    previous = {int(p) for p in previous_selection if 0 <= int(p) < instance.n}
+    shrunk = set(shrink_to_budget(instance, previous))
+    final = set(extend_selection(instance, shrunk))
+    return MaintenanceResult(
+        selection=sorted(final),
+        value=score(instance, final),
+        cost=instance.cost_of(final),
+        evicted=sorted(previous - final),
+        added=sorted(final - previous),
+    )

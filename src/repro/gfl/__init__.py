@@ -1,0 +1,17 @@
+"""Generalised Facility Location formulation of PAR (Section 4.3)."""
+
+from repro.gfl.facility import (
+    FacilityLocationProblem,
+    facility_to_par,
+    greedy_facility_location,
+)
+from repro.gfl.graph import GFLProblem, from_par, to_networkx
+
+__all__ = [
+    "GFLProblem",
+    "from_par",
+    "to_networkx",
+    "FacilityLocationProblem",
+    "greedy_facility_location",
+    "facility_to_par",
+]

@@ -1,0 +1,61 @@
+"""Synthetic photo substrate: scenes, features, embeddings, EXIF, quality.
+
+This package replaces the paper's proprietary photo inputs (Open Images +
+ResNet-50, XYZ product shots + internal ML embeddings) with a fully
+synthetic but structurally faithful pipeline — see DESIGN.md §4 for the
+substitution rationale.
+"""
+
+from repro.images.embedder import PhotoEmbedder
+from repro.images.exif import (
+    EventProfile,
+    ExifRecord,
+    geo_bucket,
+    synthesize_event_exif,
+    time_bucket,
+)
+from repro.images.features import (
+    color_histogram,
+    feature_dim,
+    feature_vector,
+    gradient_orientation_histogram,
+    to_grayscale,
+)
+from repro.images.filesize import detail_level, file_size_bytes
+from repro.images.ppm import contact_sheet, read_ppm, write_ppm
+from repro.images.quality import contrast, exposure, quality_score, sharpness
+from repro.images.synthetic import (
+    ConceptPrototype,
+    Shape,
+    random_prototype,
+    render_cluster,
+    render_photo,
+)
+
+__all__ = [
+    "ConceptPrototype",
+    "Shape",
+    "random_prototype",
+    "render_photo",
+    "render_cluster",
+    "to_grayscale",
+    "color_histogram",
+    "gradient_orientation_histogram",
+    "feature_vector",
+    "feature_dim",
+    "PhotoEmbedder",
+    "ExifRecord",
+    "EventProfile",
+    "synthesize_event_exif",
+    "time_bucket",
+    "geo_bucket",
+    "sharpness",
+    "exposure",
+    "contrast",
+    "quality_score",
+    "detail_level",
+    "file_size_bytes",
+    "write_ppm",
+    "read_ppm",
+    "contact_sheet",
+]

@@ -1,0 +1,82 @@
+"""Photo embedder: the library's stand-in for ResNet-50 (Section 5.1).
+
+The paper embeds photos with "a commonly used pretrained ResNet-50
+network" and computes cosine similarity between the embeddings.  Offline
+we replace the network with a *fixed random-projection embedder* over the
+classic features of :mod:`repro.images.features`:
+
+1. extract the colour-histogram + HOG descriptor;
+2. project it through a frozen Gaussian matrix (a Johnson–Lindenstrauss
+   projection, seeded once per embedder — the analogue of frozen network
+   weights);
+3. L2-normalise.
+
+This keeps the single property every downstream component needs: photos
+rendered from the same concept prototype embed close together (high
+cosine), unrelated concepts embed far apart — the same geometry a trained
+CNN produces over product photos, without a network or training data.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.images.features import feature_dim, feature_vector
+
+__all__ = ["PhotoEmbedder"]
+
+
+class PhotoEmbedder:
+    """Frozen random-projection embedder over classic image features.
+
+    Parameters
+    ----------
+    out_dim:
+        Embedding dimensionality (the paper's ResNet features are 2048-d;
+        64 is plenty for the synthetic substrate and much faster).
+    bins, cells, orientations:
+        Feature-extraction parameters (see :mod:`repro.images.features`).
+    seed:
+        Seed of the frozen projection — two embedders with the same seed
+        and parameters are functionally identical, like two copies of the
+        same pretrained checkpoint.
+    """
+
+    def __init__(
+        self,
+        out_dim: int = 64,
+        *,
+        bins: int = 8,
+        cells: Tuple[int, int] = (4, 4),
+        orientations: int = 8,
+        seed: int = 7,
+    ) -> None:
+        if out_dim < 2:
+            raise ConfigurationError("out_dim must be at least 2")
+        self.out_dim = out_dim
+        self.bins = bins
+        self.cells = cells
+        self.orientations = orientations
+        self.seed = seed
+        in_dim = feature_dim(bins, cells, orientations)
+        rng = np.random.default_rng(seed)
+        # JL-style projection; rows scaled so projected norms stay O(1).
+        self._projection = rng.standard_normal((out_dim, in_dim)) / np.sqrt(out_dim)
+
+    def embed(self, image: np.ndarray) -> np.ndarray:
+        """Embed one image into a unit vector of length ``out_dim``."""
+        features = feature_vector(
+            image, bins=self.bins, cells=self.cells, orientations=self.orientations
+        )
+        vec = self._projection @ features
+        norm = np.linalg.norm(vec)
+        return vec / norm if norm > 0 else vec
+
+    def embed_batch(self, images: Sequence[np.ndarray]) -> np.ndarray:
+        """Embed a sequence of images into an ``(n, out_dim)`` array."""
+        if not images:
+            return np.zeros((0, self.out_dim))
+        return np.stack([self.embed(img) for img in images])

@@ -1,0 +1,94 @@
+"""PPM/PGM image export — look at the synthetic photos.
+
+The synthetic substrate renders photos as float arrays; this module
+writes them as binary PPM (colour) / PGM (grayscale) files — the simplest
+image formats that every viewer and converter understands — with zero
+dependencies.  :func:`contact_sheet` tiles a batch into one overview
+image, the quickest way to eyeball a generated cluster's redundancy
+structure.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["write_ppm", "read_ppm", "contact_sheet"]
+
+
+def _to_bytes(image: np.ndarray) -> np.ndarray:
+    return (np.clip(image, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+
+
+def write_ppm(image: np.ndarray, path: Union[str, Path]) -> Path:
+    """Write an ``(H, W, 3)`` colour image as binary PPM (P6), or an
+    ``(H, W)`` grayscale image as binary PGM (P5)."""
+    image = np.asarray(image, dtype=np.float64)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if image.ndim == 3 and image.shape[2] == 3:
+        magic, payload = b"P6", _to_bytes(image)
+        h, w = image.shape[:2]
+    elif image.ndim == 2:
+        magic, payload = b"P5", _to_bytes(image)
+        h, w = image.shape
+    else:
+        raise ValidationError("expected an (H, W, 3) or (H, W) image")
+    with path.open("wb") as handle:
+        handle.write(magic + b"\n%d %d\n255\n" % (w, h))
+        handle.write(payload.tobytes())
+    return path
+
+
+def read_ppm(path: Union[str, Path]) -> np.ndarray:
+    """Read a binary PPM/PGM written by :func:`write_ppm` back to floats."""
+    data = Path(path).read_bytes()
+    parts = data.split(b"\n", 3)
+    if len(parts) < 4 or parts[0] not in (b"P5", b"P6"):
+        raise ValidationError(f"{path} is not a binary PPM/PGM file")
+    magic, dims, maxval, payload = parts
+    w, h = (int(x) for x in dims.split())
+    if maxval.strip() != b"255":
+        raise ValidationError("only 8-bit PPM/PGM supported")
+    flat = np.frombuffer(payload, dtype=np.uint8)
+    if magic == b"P6":
+        image = flat[: h * w * 3].reshape(h, w, 3)
+    else:
+        image = flat[: h * w].reshape(h, w)
+    return image.astype(np.float64) / 255.0
+
+
+def contact_sheet(
+    images: Sequence[np.ndarray],
+    *,
+    columns: int = 8,
+    padding: int = 2,
+    background: float = 1.0,
+) -> np.ndarray:
+    """Tile equally-sized colour images into one overview image."""
+    if not images:
+        raise ValidationError("contact_sheet needs at least one image")
+    first = np.asarray(images[0])
+    if first.ndim != 3 or first.shape[2] != 3:
+        raise ValidationError("contact_sheet expects (H, W, 3) images")
+    h, w = first.shape[:2]
+    for img in images:
+        if np.asarray(img).shape != first.shape:
+            raise ValidationError("all images must share one shape")
+    columns = min(columns, len(images))
+    rows = (len(images) + columns - 1) // columns
+    sheet = np.full(
+        (rows * (h + padding) + padding, columns * (w + padding) + padding, 3),
+        background,
+        dtype=np.float64,
+    )
+    for i, img in enumerate(images):
+        r, c = divmod(i, columns)
+        y = padding + r * (h + padding)
+        x = padding + c * (w + padding)
+        sheet[y : y + h, x : x + w] = np.asarray(img)
+    return sheet

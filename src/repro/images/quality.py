@@ -1,0 +1,79 @@
+"""Image quality scoring (the "quality of a photo" model input).
+
+Section 5.1: relevance "is computed based both on the quality of the image
+(using ML model for image embedding, e.g., [8]) and the relevance score of
+the product".  We implement the classical no-reference quality signals:
+
+* **sharpness** — variance of the Laplacian (blurry shots score low);
+* **exposure** — penalises very dark or blown-out frames;
+* **contrast** — luminance standard deviation.
+
+:func:`quality_score` combines them into ``[0, 1]``; the dataset
+generators multiply it into the relevance scores so that within a concept
+cluster the crisp shot beats its blurry near-duplicates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.images.features import to_grayscale
+
+__all__ = ["sharpness", "exposure", "contrast", "quality_score"]
+
+
+def _laplacian(gray: np.ndarray) -> np.ndarray:
+    padded = np.pad(gray, 1, mode="edge")
+    return (
+        padded[:-2, 1:-1]
+        + padded[2:, 1:-1]
+        + padded[1:-1, :-2]
+        + padded[1:-1, 2:]
+        - 4.0 * gray
+    )
+
+
+def sharpness(image: np.ndarray) -> float:
+    """Laplacian-variance sharpness, squashed into [0, 1].
+
+    The raw variance depends on resolution and content scale; the squash
+    ``v / (v + k)`` maps "blurry" (tiny variance) near 0 and "crisp" well
+    above 0.5 without needing calibration data.
+    """
+    gray = to_grayscale(image)
+    variance = float(_laplacian(gray).var())
+    k = 1e-3
+    return variance / (variance + k)
+
+
+def exposure(image: np.ndarray) -> float:
+    """Closeness of mean luminance to mid-gray: 1 at 0.5, 0 at pure black/white."""
+    gray = to_grayscale(image)
+    return float(1.0 - 2.0 * abs(gray.mean() - 0.5))
+
+
+def contrast(image: np.ndarray) -> float:
+    """Luminance spread, squashed into [0, 1] (flat frames score ~0)."""
+    gray = to_grayscale(image)
+    spread = float(gray.std())
+    k = 0.05
+    return spread / (spread + k)
+
+
+def quality_score(
+    image: np.ndarray,
+    *,
+    w_sharpness: float = 0.5,
+    w_exposure: float = 0.25,
+    w_contrast: float = 0.25,
+) -> float:
+    """Weighted no-reference quality in [0, 1]."""
+    total = w_sharpness + w_exposure + w_contrast
+    if total <= 0:
+        raise ValueError("quality weights must not all be zero")
+    value = (
+        w_sharpness * sharpness(image)
+        + w_exposure * exposure(image)
+        + w_contrast * contrast(image)
+    ) / total
+    return float(np.clip(value, 0.0, 1.0))

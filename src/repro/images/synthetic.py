@@ -1,0 +1,168 @@
+"""Synthetic photo substrate: numpy-rendered scenes with planted clusters.
+
+The paper's pipelines consume real photos (Open Images, XYZ product shots)
+through ResNet-50 embeddings.  Offline we substitute a generative photo
+model that preserves exactly what the algorithms depend on: *photos that
+form visual clusters*, so that intra-cluster similarity is high,
+inter-cluster similarity is low, and near-duplicate shots exist for the
+solvers to deduplicate.
+
+A :class:`ConceptPrototype` describes a visual concept ("red bike on grass",
+"black shirt on white") as a background gradient plus a few parametrised
+shapes.  :func:`render_photo` draws a jittered variant of a prototype —
+shapes shift, hues drift, sensor noise and optional blur are applied — so
+photos of one concept look alike but not identical.  All randomness flows
+through explicit generators, making datasets bit-reproducible.
+
+Images are float arrays in ``[0, 1]`` of shape ``(H, W, 3)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "Shape",
+    "ConceptPrototype",
+    "random_prototype",
+    "render_photo",
+    "render_cluster",
+]
+
+Color = Tuple[float, float, float]
+
+
+@dataclass
+class Shape:
+    """A single drawable element of a scene.
+
+    ``kind`` is ``"rect"`` or ``"disc"``; positions and sizes are in
+    relative image coordinates (fractions of height/width).
+    """
+
+    kind: str
+    cx: float
+    cy: float
+    size: float
+    color: Color
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("rect", "disc"):
+            raise ValidationError(f"unknown shape kind {self.kind!r}")
+
+
+@dataclass
+class ConceptPrototype:
+    """The visual prototype all photos of one concept are jittered from."""
+
+    concept_id: str
+    background_top: Color
+    background_bottom: Color
+    shapes: List[Shape] = field(default_factory=list)
+
+
+def random_prototype(
+    concept_id: str,
+    rng: np.random.Generator,
+    *,
+    n_shapes: Tuple[int, int] = (2, 4),
+) -> ConceptPrototype:
+    """Sample a fresh concept prototype (background + shapes)."""
+    bg_top = tuple(rng.uniform(0.1, 0.9, size=3))
+    bg_bottom = tuple(np.clip(np.asarray(bg_top) + rng.uniform(-0.3, 0.3, size=3), 0, 1))
+    shapes = []
+    for _ in range(int(rng.integers(n_shapes[0], n_shapes[1] + 1))):
+        shapes.append(
+            Shape(
+                kind="disc" if rng.random() < 0.5 else "rect",
+                cx=float(rng.uniform(0.2, 0.8)),
+                cy=float(rng.uniform(0.2, 0.8)),
+                size=float(rng.uniform(0.1, 0.3)),
+                color=tuple(rng.uniform(0.0, 1.0, size=3)),
+            )
+        )
+    return ConceptPrototype(concept_id, bg_top, bg_bottom, shapes)
+
+
+def _draw_background(height: int, width: int, proto: ConceptPrototype) -> np.ndarray:
+    top = np.asarray(proto.background_top, dtype=np.float64)
+    bottom = np.asarray(proto.background_bottom, dtype=np.float64)
+    t = np.linspace(0.0, 1.0, height)[:, None, None]
+    return (1 - t) * top[None, None, :] + t * bottom[None, None, :] * np.ones((1, width, 1))
+
+
+def _draw_shape(image: np.ndarray, shape: Shape, jitter: np.ndarray) -> None:
+    height, width, _ = image.shape
+    cx = np.clip(shape.cx + jitter[0], 0.05, 0.95)
+    cy = np.clip(shape.cy + jitter[1], 0.05, 0.95)
+    size = np.clip(shape.size * (1.0 + jitter[2]), 0.03, 0.45)
+    color = np.clip(np.asarray(shape.color) + jitter[3:6], 0.0, 1.0)
+    ys = np.arange(height)[:, None] / height
+    xs = np.arange(width)[None, :] / width
+    if shape.kind == "disc":
+        mask = (ys - cy) ** 2 + (xs - cx) ** 2 <= size**2
+    else:
+        mask = (np.abs(ys - cy) <= size) & (np.abs(xs - cx) <= size)
+    image[mask] = color
+
+
+def render_photo(
+    proto: ConceptPrototype,
+    rng: np.random.Generator,
+    *,
+    height: int = 32,
+    width: int = 32,
+    jitter_scale: float = 0.08,
+    noise_scale: float = 0.02,
+    blur: bool = False,
+) -> np.ndarray:
+    """Render one jittered photo of a concept.
+
+    ``jitter_scale`` controls how far shot-to-shot variants drift from the
+    prototype (position/size/colour); ``noise_scale`` adds per-pixel sensor
+    noise; ``blur`` applies a cheap box blur simulating a soft-focus shot
+    (used by the quality model as the low-quality condition).
+    """
+    if height < 4 or width < 4:
+        raise ValidationError("images must be at least 4x4 pixels")
+    image = _draw_background(height, width, proto).copy()
+    for shape in proto.shapes:
+        jitter = rng.normal(0.0, jitter_scale, size=6)
+        _draw_shape(image, shape, jitter)
+    image += rng.normal(0.0, noise_scale, size=image.shape)
+    if blur:
+        # 3x3 box blur via summed shifts — a deliberately soft shot.
+        padded = np.pad(image, ((1, 1), (1, 1), (0, 0)), mode="edge")
+        acc = np.zeros_like(image)
+        for dy in range(3):
+            for dx in range(3):
+                acc += padded[dy : dy + height, dx : dx + width]
+        image = acc / 9.0
+    return np.clip(image, 0.0, 1.0)
+
+
+def render_cluster(
+    proto: ConceptPrototype,
+    n_photos: int,
+    rng: np.random.Generator,
+    *,
+    height: int = 32,
+    width: int = 32,
+    blur_fraction: float = 0.15,
+) -> List[np.ndarray]:
+    """Render a cluster of near-duplicate photos of one concept.
+
+    A ``blur_fraction`` of the shots is rendered soft-focus so every
+    cluster contains both keepers and low-quality redundant shots — the
+    structure PAR exploits.
+    """
+    photos = []
+    for _ in range(n_photos):
+        blur = rng.random() < blur_fraction
+        photos.append(render_photo(proto, rng, height=height, width=width, blur=blur))
+    return photos

@@ -1,0 +1,14 @@
+"""Internal search engine: queries → subsets + relevance (Section 5.1)."""
+
+from repro.search.engine import QuerySubsetResult, SearchEngine
+from repro.search.index import InvertedIndex, SearchHit
+from repro.search.tokenizer import STOP_WORDS, tokenize
+
+__all__ = [
+    "SearchEngine",
+    "QuerySubsetResult",
+    "InvertedIndex",
+    "SearchHit",
+    "tokenize",
+    "STOP_WORDS",
+]

@@ -1,0 +1,107 @@
+"""The PHOcus search engine: queries → pre-defined subsets + relevance.
+
+This is input mode 2 of Section 5.1: "users provide queries such as
+('Paris vacation'), and the subsets are computed via the PHOcus search
+engine.  The confidence scores of the engine are then converted into the
+relevance scores."  The engine wraps the BM25 index with photo-corpus
+bookkeeping and emits :class:`repro.core.instance.SubsetSpec` objects the
+instance builder consumes directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.instance import SubsetSpec
+from repro.errors import ValidationError
+from repro.search.index import InvertedIndex, SearchHit
+
+__all__ = ["QuerySubsetResult", "SearchEngine"]
+
+
+@dataclass
+class QuerySubsetResult:
+    """A query together with the subset and scores it induced."""
+
+    query: str
+    photo_ids: List[int]
+    relevance: List[float]
+
+    def to_spec(self, weight: float) -> SubsetSpec:
+        """Render as a SubsetSpec (relevance normalised at build time)."""
+        return SubsetSpec(
+            subset_id=self.query,
+            weight=weight,
+            members=list(self.photo_ids),
+            relevance=list(self.relevance),
+        )
+
+
+class SearchEngine:
+    """Photo search engine over textual photo descriptions.
+
+    Photos are registered with their descriptive text (product title,
+    caption, label names).  :meth:`subset_for_query` retrieves the photos
+    matching a query and converts BM25 scores into raw relevance; the
+    caller normalises them through the instance builder.
+    """
+
+    def __init__(self, k1: float = 1.2, b: float = 0.75) -> None:
+        self._index = InvertedIndex(k1=k1, b=b)
+        self._texts: Dict[int, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._texts)
+
+    def add_photo(self, photo_id: int, text: str) -> None:
+        """Register (or re-register) a photo's descriptive text."""
+        if not text or not text.strip():
+            raise ValidationError(f"photo {photo_id}: empty descriptive text")
+        self._texts[int(photo_id)] = text
+        self._index.add(int(photo_id), text)
+
+    def text_of(self, photo_id: int) -> str:
+        """The registered description of a photo."""
+        try:
+            return self._texts[int(photo_id)]
+        except KeyError:
+            raise ValidationError(f"photo {photo_id} was never registered") from None
+
+    def search(self, query: str, top_k: Optional[int] = None) -> List[SearchHit]:
+        """Raw BM25 hits for a query."""
+        return self._index.search(query, top_k=top_k)
+
+    def subset_for_query(
+        self,
+        query: str,
+        *,
+        top_k: Optional[int] = None,
+        min_score: float = 0.0,
+    ) -> QuerySubsetResult:
+        """The pre-defined subset a query induces, with raw relevance.
+
+        Returns an empty result when nothing matches; callers typically
+        skip such queries (a landing page with no matching photos is not
+        generated).
+        """
+        hits = [h for h in self.search(query, top_k=top_k) if h.score > min_score]
+        return QuerySubsetResult(
+            query=query,
+            photo_ids=[h.doc_id for h in hits],
+            relevance=[h.score for h in hits],
+        )
+
+    def subsets_for_queries(
+        self,
+        weighted_queries: Sequence[Tuple[str, float]],
+        *,
+        top_k: Optional[int] = None,
+    ) -> List[SubsetSpec]:
+        """SubsetSpecs for a weighted query log (empty results dropped)."""
+        specs: List[SubsetSpec] = []
+        for query, weight in weighted_queries:
+            result = self.subset_for_query(query, top_k=top_k)
+            if result.photo_ids:
+                specs.append(result.to_spec(weight))
+        return specs

@@ -1,0 +1,112 @@
+"""Inverted index with BM25 ranking.
+
+The lexical core of the PHOcus search engine: documents (product titles,
+photo captions) are posted into an inverted index, and queries are ranked
+with Okapi BM25 — the standard probabilistic retrieval function.  The
+returned scores become PAR relevance scores after per-subset normalisation
+(Section 5.1: "The confidence scores of the engine are then converted into
+the relevance scores").
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ValidationError
+from repro.search.tokenizer import tokenize
+
+__all__ = ["SearchHit", "InvertedIndex"]
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One ranked retrieval result."""
+
+    doc_id: int
+    score: float
+
+
+class InvertedIndex:
+    """A BM25-scored inverted index over integer-keyed documents.
+
+    Parameters
+    ----------
+    k1, b:
+        Okapi BM25 parameters — term-frequency saturation and length
+        normalisation; the defaults are the standard (1.2, 0.75).
+    """
+
+    def __init__(self, k1: float = 1.2, b: float = 0.75) -> None:
+        if k1 < 0 or not (0.0 <= b <= 1.0):
+            raise ValidationError("require k1 >= 0 and 0 <= b <= 1")
+        self.k1 = k1
+        self.b = b
+        self._postings: Dict[str, Dict[int, int]] = defaultdict(dict)
+        self._doc_len: Dict[int, int] = {}
+        self._total_len = 0
+
+    def __len__(self) -> int:
+        return len(self._doc_len)
+
+    def add(self, doc_id: int, text: str) -> None:
+        """Index a document; re-adding an id replaces its old content."""
+        doc_id = int(doc_id)
+        if doc_id in self._doc_len:
+            self.remove(doc_id)
+        tokens = tokenize(text)
+        counts = Counter(tokens)
+        for term, tf in counts.items():
+            self._postings[term][doc_id] = tf
+        self._doc_len[doc_id] = len(tokens)
+        self._total_len += len(tokens)
+
+    def remove(self, doc_id: int) -> None:
+        """Drop a document from the index (no-op if absent)."""
+        doc_id = int(doc_id)
+        if doc_id not in self._doc_len:
+            return
+        empty_terms = []
+        for term, plist in self._postings.items():
+            plist.pop(doc_id, None)
+            if not plist:
+                empty_terms.append(term)
+        for term in empty_terms:
+            del self._postings[term]
+        self._total_len -= self._doc_len.pop(doc_id)
+
+    def _idf(self, term: str) -> float:
+        n = len(self._doc_len)
+        df = len(self._postings.get(term, ()))
+        if df == 0:
+            return 0.0
+        # BM25+ style floor keeps very common terms from going negative.
+        return max(0.0, math.log((n - df + 0.5) / (df + 0.5) + 1.0))
+
+    def search(self, query: str, top_k: Optional[int] = None) -> List[SearchHit]:
+        """BM25-ranked documents matching a query (highest score first).
+
+        Ties are broken by ascending document id so results are fully
+        deterministic.
+        """
+        if not self._doc_len:
+            return []
+        terms = tokenize(query)
+        if not terms:
+            return []
+        avg_len = self._total_len / len(self._doc_len)
+        scores: Dict[int, float] = defaultdict(float)
+        for term in terms:
+            idf = self._idf(term)
+            if idf == 0.0:
+                continue
+            for doc_id, tf in self._postings.get(term, {}).items():
+                dl = self._doc_len[doc_id]
+                denom = tf + self.k1 * (1.0 - self.b + self.b * dl / avg_len)
+                scores[doc_id] += idf * tf * (self.k1 + 1.0) / denom
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        if top_k is not None:
+            ranked = ranked[:top_k]
+        return [SearchHit(doc_id=d, score=s) for d, s in ranked if s > 0.0]

@@ -1,0 +1,44 @@
+"""Tokenisation for the internal search engine.
+
+PHOcus derives pre-defined subsets from natural-language queries through a
+search engine (input mode 2 of Section 5.1).  The engine needs nothing
+fancier than classic lexical retrieval, so the tokenizer is deliberately
+simple and deterministic: lower-casing, alphanumeric word extraction, a
+small stop list, and a light plural-stripping stemmer so "shirts" matches
+"shirt".
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+__all__ = ["tokenize", "STOP_WORDS"]
+
+STOP_WORDS = frozenset(
+    """a an and are as at be by for from has in is it its of on or that the to
+    was were will with""".split()
+)
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+
+
+def _stem(token: str) -> str:
+    """Strip simple plural/verbal suffixes (shirts→shirt, running→run)."""
+    if len(token) > 4 and token.endswith("ies"):
+        return token[:-3] + "y"
+    if len(token) > 4 and token.endswith("ing") and token[-4] == token[-5]:
+        return token[:-4]  # running -> run
+    if len(token) > 4 and token.endswith("ing"):
+        return token[:-3]
+    if len(token) > 3 and token.endswith("es") and token[-3] in "sxz":
+        return token[:-2]
+    if len(token) > 2 and token.endswith("s") and not token.endswith("ss"):
+        return token[:-1]
+    return token
+
+
+def tokenize(text: str) -> List[str]:
+    """Lower-cased, stop-word-filtered, lightly stemmed tokens of a text."""
+    tokens = _WORD_RE.findall(text.lower())
+    return [_stem(t) for t in tokens if t not in STOP_WORDS]

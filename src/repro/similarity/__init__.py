@@ -1,0 +1,35 @@
+"""Similarity derivation: cosine metrics and contextual SIM (Section 5.1)."""
+
+from repro.similarity.contextual import (
+    ContextualSimilarity,
+    context_reweighted_embeddings,
+    contextual_similarity_matrix,
+)
+from repro.similarity.multimodal import (
+    MultimodalSimilarity,
+    camera_affinity,
+    place_affinity,
+    time_affinity,
+)
+from repro.similarity.metrics import (
+    cosine_similarity,
+    cosine_similarity_matrix,
+    distances_to_similarities,
+    euclidean_distance_matrix,
+    unit_normalize,
+)
+
+__all__ = [
+    "cosine_similarity",
+    "cosine_similarity_matrix",
+    "euclidean_distance_matrix",
+    "distances_to_similarities",
+    "unit_normalize",
+    "ContextualSimilarity",
+    "contextual_similarity_matrix",
+    "context_reweighted_embeddings",
+    "MultimodalSimilarity",
+    "time_affinity",
+    "place_affinity",
+    "camera_affinity",
+]

@@ -1,0 +1,168 @@
+"""Multimodal photo similarity: visual content + EXIF context ([44]).
+
+Section 5.1 derives SIM "using the approach in [44], which computes the
+distance between two photos based on both quantitative and categorical
+attributes that are derived via standard methods, including, e.g.,
+reading the EXIF metadata and generating visual words via the SIFT
+algorithm".  The visual half of that recipe lives in
+:mod:`repro.images.features`; this module adds the metadata half and the
+combination:
+
+* **time affinity** — exponential decay in the capture-time gap (shots
+  minutes apart are near-duplicates; days apart are different moments);
+* **place affinity** — exponential decay in the GPS distance;
+* **camera affinity** — categorical match of the camera body (a weak but
+  real signal that two frames belong to the same shoot);
+* **visual similarity** — cosine of the photo embeddings.
+
+:class:`MultimodalSimilarity` blends the channels into a single ``[0, 1]``
+matrix and plugs into :meth:`PARInstance.build` as a ``similarity_fn``,
+reading each member's EXIF block from the photo metadata the personal
+dataset generator writes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.similarity.metrics import cosine_similarity_matrix
+
+__all__ = [
+    "time_affinity",
+    "place_affinity",
+    "camera_affinity",
+    "MultimodalSimilarity",
+]
+
+_EARTH_KM_PER_DEG = 111.0
+
+
+def _parse_time(value) -> Optional[datetime]:
+    if isinstance(value, datetime):
+        return value
+    if isinstance(value, str) and value:
+        try:
+            return datetime.fromisoformat(value)
+        except ValueError:
+            return None
+    return None
+
+
+def time_affinity(
+    exif_a: Mapping, exif_b: Mapping, *, half_life_hours: float = 6.0
+) -> float:
+    """Exponential-decay closeness of two capture times (1 = same moment).
+
+    Returns 0 when either timestamp is missing or unparseable.
+    """
+    ta = _parse_time(exif_a.get("timestamp"))
+    tb = _parse_time(exif_b.get("timestamp"))
+    if ta is None or tb is None:
+        return 0.0
+    gap_hours = abs((ta - tb).total_seconds()) / 3600.0
+    return float(0.5 ** (gap_hours / half_life_hours))
+
+
+def place_affinity(
+    exif_a: Mapping, exif_b: Mapping, *, half_life_km: float = 5.0
+) -> float:
+    """Exponential-decay closeness of two capture locations.
+
+    Uses the equirectangular approximation — ample for intra-event
+    distances.  Returns 0 when coordinates are missing.
+    """
+    try:
+        lat_a, lon_a = float(exif_a["latitude"]), float(exif_a["longitude"])
+        lat_b, lon_b = float(exif_b["latitude"]), float(exif_b["longitude"])
+    except (KeyError, TypeError, ValueError):
+        return 0.0
+    mean_lat = math.radians((lat_a + lat_b) / 2.0)
+    dx = (lon_a - lon_b) * math.cos(mean_lat)
+    dy = lat_a - lat_b
+    km = math.hypot(dx, dy) * _EARTH_KM_PER_DEG
+    return float(0.5 ** (km / half_life_km))
+
+
+def camera_affinity(exif_a: Mapping, exif_b: Mapping) -> float:
+    """1.0 for the same camera body, 0.0 otherwise (or when unknown)."""
+    ca, cb = exif_a.get("camera"), exif_b.get("camera")
+    if not ca or not cb:
+        return 0.0
+    return 1.0 if str(ca) == str(cb) else 0.0
+
+
+@dataclass
+class MultimodalSimilarity:
+    """Blend of visual and EXIF similarity channels.
+
+    Weights need not sum to 1; they are normalised internally.  Channels
+    whose data is missing for a pair contribute 0 for that pair (the
+    remaining channels are *not* re-normalised, so metadata-poor photos
+    are simply "less similar" — the conservative choice for archiving).
+
+    Instances are callables with the ``(spec, member_embeddings)``
+    signature of :meth:`PARInstance.build`'s ``similarity_fn``; the photo
+    EXIF blocks must be supplied via ``exif_of`` (photo id → mapping),
+    typically built from photo metadata.
+    """
+
+    exif_of: Mapping[int, Mapping]
+    w_visual: float = 0.6
+    w_time: float = 0.2
+    w_place: float = 0.1
+    w_camera: float = 0.1
+    half_life_hours: float = 6.0
+    half_life_km: float = 5.0
+
+    def __post_init__(self) -> None:
+        total = self.w_visual + self.w_time + self.w_place + self.w_camera
+        if total <= 0:
+            raise ConfigurationError("at least one channel weight must be positive")
+        if min(self.w_visual, self.w_time, self.w_place, self.w_camera) < 0:
+            raise ConfigurationError("channel weights must be nonnegative")
+        self._norm = total
+
+    def matrix(
+        self, member_ids: Sequence[int], member_embeddings: np.ndarray
+    ) -> np.ndarray:
+        """The blended similarity matrix for an ordered member list."""
+        m = len(member_ids)
+        visual = cosine_similarity_matrix(member_embeddings)
+        blended = np.zeros((m, m))
+        exifs = [dict(self.exif_of.get(int(p), {})) for p in member_ids]
+        for i in range(m):
+            for j in range(i, m):
+                if i == j:
+                    blended[i, j] = 1.0
+                    continue
+                value = self.w_visual * visual[i, j]
+                value += self.w_time * time_affinity(
+                    exifs[i], exifs[j], half_life_hours=self.half_life_hours
+                )
+                value += self.w_place * place_affinity(
+                    exifs[i], exifs[j], half_life_km=self.half_life_km
+                )
+                value += self.w_camera * camera_affinity(exifs[i], exifs[j])
+                blended[i, j] = blended[j, i] = value / self._norm
+        return np.clip(blended, 0.0, 1.0)
+
+    def __call__(self, spec, member_embeddings: np.ndarray) -> np.ndarray:
+        return self.matrix(list(spec.members), member_embeddings)
+
+    @classmethod
+    def from_photos(cls, photos, **kwargs) -> "MultimodalSimilarity":
+        """Build from Photo records carrying ``metadata['exif']`` blocks."""
+        exif_of: Dict[int, Mapping] = {}
+        for photo in photos:
+            exif = photo.metadata.get("exif")
+            if isinstance(exif, Mapping):
+                exif_of[photo.photo_id] = exif
+            elif exif is not None and hasattr(exif, "as_dict"):
+                exif_of[photo.photo_id] = exif.as_dict()
+        return cls(exif_of=exif_of, **kwargs)

@@ -1,0 +1,209 @@
+"""SimHash locality-sensitive hashing for cosine similarity (Charikar [6]).
+
+The paper sparsifies large instances without computing all pairwise
+similarities: each embedding is hashed a constant number of times with
+random-hyperplane signatures, and only pairs colliding in some band are
+considered similar-pair candidates.  With properly tuned parameters this
+finds, with probability arbitrarily close to 1, (almost) all pairs of
+cosine similarity at least τ in roughly linear time.
+
+Maths used for tuning:
+
+* a single random hyperplane separates two vectors at angle θ with
+  probability ``θ / π``, so one signature *bit* agrees with probability
+  ``p(s) = 1 − arccos(s) / π`` for cosine similarity ``s``;
+* with ``b`` bands of ``r`` rows each, a pair becomes a candidate with
+  probability ``1 − (1 − p^r)^b`` — the classic LSH S-curve.
+
+:func:`tune_bands` inverts the S-curve to pick ``(b, r)`` achieving a
+target recall at τ while keeping ``r`` as large as possible (fewer spurious
+candidates).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "bit_agreement_probability",
+    "candidate_probability",
+    "tune_bands",
+    "SimHasher",
+    "candidate_pairs",
+    "lsh_similar_pairs",
+]
+
+
+def bit_agreement_probability(cosine_sim: float) -> float:
+    """Probability one random-hyperplane bit agrees for a pair at ``s``.
+
+    ``p(s) = 1 − arccos(s) / π``; clipped to the valid cosine range.
+    """
+    s = min(1.0, max(-1.0, float(cosine_sim)))
+    return 1.0 - np.arccos(s) / np.pi
+
+
+def candidate_probability(cosine_sim: float, bands: int, rows: int) -> float:
+    """Probability a pair at similarity ``s`` collides in at least one band."""
+    p = bit_agreement_probability(cosine_sim)
+    return 1.0 - (1.0 - p**rows) ** bands
+
+
+def tune_bands(
+    tau: float,
+    n_bits: int,
+    target_recall: float = 0.95,
+) -> Tuple[int, int]:
+    """Choose ``(bands, rows)`` with ``bands · rows ≤ n_bits``.
+
+    Picks the largest ``rows`` (sharpest S-curve, fewest false candidates)
+    whose full-width banding still reaches ``target_recall`` at similarity
+    ``τ``.  Falls back to ``rows = 1`` when even that cannot reach the
+    target with the given number of bits.
+    """
+    if not (0.0 < tau <= 1.0):
+        raise ConfigurationError(f"tau must lie in (0, 1], got {tau}")
+    if not (0.0 < target_recall < 1.0):
+        raise ConfigurationError("target_recall must lie in (0, 1)")
+    if n_bits < 1:
+        raise ConfigurationError("n_bits must be at least 1")
+    for rows in range(n_bits, 0, -1):
+        bands = n_bits // rows
+        if candidate_probability(tau, bands, rows) >= target_recall:
+            return bands, rows
+    return n_bits, 1
+
+
+class SimHasher:
+    """Random-hyperplane signature generator.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality.
+    n_bits:
+        Signature length (``bands · rows`` bits are used by banding).
+    rng:
+        Randomness source; pass a seeded generator for reproducibility.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        n_bits: int = 64,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if dim < 1 or n_bits < 1:
+            raise ConfigurationError("dim and n_bits must be positive")
+        rng = rng or np.random.default_rng()
+        self.dim = dim
+        self.n_bits = n_bits
+        # Hyperplane normals; rows are independent standard Gaussians, which
+        # makes the sign pattern uniform over directions.
+        self.planes = rng.standard_normal((n_bits, dim))
+
+    def signatures(self, vectors: np.ndarray) -> np.ndarray:
+        """Boolean signature matrix of shape ``(n_vectors, n_bits)``."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ConfigurationError(
+                f"expected vectors of shape (n, {self.dim}), got {vectors.shape}"
+            )
+        return (vectors @ self.planes.T) >= 0.0
+
+
+def candidate_pairs(
+    signatures: np.ndarray,
+    bands: int,
+    rows: int,
+) -> Set[Tuple[int, int]]:
+    """Banded LSH candidate pairs from boolean signatures.
+
+    Vectors whose signature agrees on every bit of at least one band are
+    returned as candidate pairs ``(i, j)`` with ``i < j``.
+    """
+    n, n_bits = signatures.shape
+    if bands * rows > n_bits:
+        raise ConfigurationError(
+            f"bands*rows = {bands * rows} exceeds signature width {n_bits}"
+        )
+    pairs: Set[Tuple[int, int]] = set()
+    for b in range(bands):
+        band = signatures[:, b * rows : (b + 1) * rows]
+        buckets: Dict[bytes, List[int]] = defaultdict(list)
+        packed = np.packbits(band, axis=1)
+        for i in range(n):
+            buckets[packed[i].tobytes()].append(i)
+        for members in buckets.values():
+            if len(members) < 2:
+                continue
+            for a in range(len(members)):
+                for c in range(a + 1, len(members)):
+                    pairs.add((members[a], members[c]))
+    return pairs
+
+
+def lsh_similar_pairs(
+    vectors: np.ndarray,
+    tau: float,
+    *,
+    n_bits: int = 64,
+    target_recall: float = 0.95,
+    rng: Optional[np.random.Generator] = None,
+) -> "LshResult":
+    """Find (almost) all pairs of cosine similarity ≥ τ via SimHash.
+
+    Candidates from banded signatures are verified with the exact cosine
+    similarity, so the output has perfect precision; recall is governed by
+    the LSH S-curve at the tuned ``(bands, rows)``.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    n = vectors.shape[0]
+    bands, rows = tune_bands(tau, n_bits, target_recall)
+    hasher = SimHasher(vectors.shape[1], n_bits, rng)
+    sigs = hasher.signatures(vectors)
+    candidates = candidate_pairs(sigs, bands, rows)
+
+    norms = np.linalg.norm(vectors, axis=1)
+    norms[norms == 0] = 1.0
+    unit = vectors / norms[:, None]
+
+    pairs: List[Tuple[int, int]] = []
+    sims: List[float] = []
+    for i, j in candidates:
+        s = float(unit[i] @ unit[j])
+        if s >= tau:
+            pairs.append((i, j))
+            sims.append(min(1.0, s))
+    return LshResult(
+        pairs=pairs,
+        similarities=np.asarray(sims, dtype=np.float64),
+        candidates_checked=len(candidates),
+        bands=bands,
+        rows=rows,
+        n_vectors=n,
+    )
+
+
+@dataclass
+class LshResult:
+    """Verified similar pairs plus LSH diagnostics."""
+
+    pairs: List[Tuple[int, int]]
+    similarities: np.ndarray
+    candidates_checked: int
+    bands: int
+    rows: int
+    n_vectors: int
+
+    @property
+    def candidate_fraction(self) -> float:
+        """Candidates checked over all possible pairs (the LSH saving)."""
+        total = self.n_vectors * (self.n_vectors - 1) // 2
+        return self.candidates_checked / total if total else 0.0

@@ -1,0 +1,84 @@
+"""τ-sparsification of contextual similarities (Section 4.3).
+
+Sparsification rounds every similarity strictly below a threshold ``τ``
+down to zero, shrinking the neighbour lists the nearest-neighbour
+evaluations traverse.  The self-similarity of 1 is always kept, so a
+selected photo continues to cover itself perfectly.
+
+The error this incurs is controlled by Theorem 4.8 (see
+:func:`repro.core.bounds.sparsification_bound`), and the paper's
+experiments (Figures 5e/5f) show the practical loss is ≤ 5% while runtime
+drops from hours to tens of minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.instance import (
+    DenseSimilarity,
+    PARInstance,
+    PredefinedSubset,
+    SparseSimilarity,
+)
+
+__all__ = ["SparsifyStats", "sparsify_subset", "threshold_sparsify"]
+
+
+@dataclass
+class SparsifyStats:
+    """Before/after accounting of a sparsification pass."""
+
+    tau: float
+    nnz_before: int
+    nnz_after: int
+    method: str = "exact-threshold"
+
+    @property
+    def kept_fraction(self) -> float:
+        """Fraction of stored similarity entries that survived."""
+        if self.nnz_before == 0:
+            return 1.0
+        return self.nnz_after / self.nnz_before
+
+
+def sparsify_subset(subset: PredefinedSubset, tau: float) -> PredefinedSubset:
+    """Return a copy of a subset whose SIM is τ-thresholded and sparse."""
+    if not (0.0 <= tau <= 1.0):
+        raise ValueError(f"tau must lie in [0, 1], got {tau}")
+    sim = subset.similarity
+    if isinstance(sim, DenseSimilarity):
+        return subset.with_similarity(sim.sparsified(tau))
+    # Already sparse: re-threshold the stored entries.
+    m = len(sim)
+    indices: List[np.ndarray] = []
+    values: List[np.ndarray] = []
+    for i in range(m):
+        idx, val = sim.neighbors(i)
+        keep = val >= tau
+        keep |= idx == i  # never drop the self entry
+        indices.append(idx[keep])
+        values.append(val[keep])
+    return subset.with_similarity(SparseSimilarity(m, indices, values, validate=False))
+
+
+def threshold_sparsify(instance: PARInstance, tau: float) -> "tuple[PARInstance, SparsifyStats]":
+    """τ-sparsify every subset of an instance via exact thresholding.
+
+    Returns the sparsified instance plus entry-count statistics.  This is
+    the "compute all pairwise similarities, then round down" variant; for
+    large subsets prefer the LSH pipeline in
+    :mod:`repro.sparsify.pipeline`, which avoids materialising all pairs.
+    """
+    nnz_before = instance.similarity_nnz()
+    new_subsets = [sparsify_subset(q, tau) for q in instance.subsets]
+    sparse_instance = instance.with_subsets(new_subsets)
+    stats = SparsifyStats(
+        tau=tau,
+        nnz_before=nnz_before,
+        nnz_after=sparse_instance.similarity_nnz(),
+    )
+    return sparse_instance, stats

@@ -1,0 +1,42 @@
+"""Tiered storage simulator, retention policies, and page workloads."""
+
+from repro.storage.archive import (
+    COLD_DEFAULT,
+    HOT_DEFAULT,
+    AccessStats,
+    PageLoadModel,
+    TieredStore,
+    TierSpec,
+)
+from repro.storage.policy import (
+    RetentionPolicy,
+    brand_contract_policy,
+    derive_retained,
+    metadata_flag_policy,
+    recent_photos_policy,
+)
+from repro.storage.caching import (
+    ByteCapacityCache,
+    CacheReplayResult,
+    replay_accesses,
+)
+from repro.storage.workload import WorkloadResult, replay_page_workload
+
+__all__ = [
+    "TierSpec",
+    "TieredStore",
+    "PageLoadModel",
+    "AccessStats",
+    "HOT_DEFAULT",
+    "COLD_DEFAULT",
+    "RetentionPolicy",
+    "brand_contract_policy",
+    "metadata_flag_policy",
+    "recent_photos_policy",
+    "derive_retained",
+    "WorkloadResult",
+    "replay_page_workload",
+    "ByteCapacityCache",
+    "CacheReplayResult",
+    "replay_accesses",
+]

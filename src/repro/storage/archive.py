@@ -1,0 +1,178 @@
+"""Tiered photo storage simulator (the system PAR's output feeds).
+
+The paper's motivating deployment keeps selected photos "in a fast-access
+cache, which is much smaller than the size of the archive" with a hard
+page-load limit (100 ms for 2 MB of media in the Electronics scenario of
+Section 5.3).  This module simulates that downstream system so examples
+and benches can measure what a selection actually buys:
+
+* :class:`TieredStore` — a hot tier (the cache PAR fills) over a cold
+  archive; reads are served from the hot tier when possible and fall back
+  to the cold tier otherwise, with per-tier latency and bandwidth models;
+* :class:`PageLoadModel` — translates a landing page's photo reads into a
+  page-load time, the operational metric behind the paper's budget.
+
+The simulator is deterministic given its parameters — no randomness, so
+measured hit-rates and latencies are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+from repro.errors import InfeasibleError, ValidationError
+
+__all__ = ["TierSpec", "AccessStats", "TieredStore", "PageLoadModel"]
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """Latency/bandwidth profile of one storage tier.
+
+    Defaults model an in-memory CDN cache vs. object cold storage.
+    """
+
+    name: str
+    latency_ms: float
+    bandwidth_mb_per_s: float
+
+    def read_time_ms(self, size_bytes: float) -> float:
+        """Time to read one object of the given size from this tier."""
+        transfer_ms = size_bytes / (self.bandwidth_mb_per_s * 1e6) * 1e3
+        return self.latency_ms + transfer_ms
+
+
+HOT_DEFAULT = TierSpec(name="hot-cache", latency_ms=1.0, bandwidth_mb_per_s=2000.0)
+COLD_DEFAULT = TierSpec(name="cold-archive", latency_ms=45.0, bandwidth_mb_per_s=120.0)
+
+
+@dataclass
+class AccessStats:
+    """Running counters of a store's read traffic."""
+
+    reads: int = 0
+    hot_hits: int = 0
+    bytes_read: float = 0.0
+    bytes_from_hot: float = 0.0
+    total_time_ms: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hot_hits / self.reads if self.reads else 0.0
+
+    @property
+    def byte_hit_rate(self) -> float:
+        return self.bytes_from_hot / self.bytes_read if self.bytes_read else 0.0
+
+    @property
+    def mean_read_ms(self) -> float:
+        return self.total_time_ms / self.reads if self.reads else 0.0
+
+
+class TieredStore:
+    """A hot cache over a cold archive, keyed by photo id.
+
+    All photos live in the cold archive; :meth:`promote` pins a selection
+    (a PAR solution) into the hot tier, respecting its capacity.
+    """
+
+    def __init__(
+        self,
+        photo_costs: Dict[int, float],
+        hot_capacity_bytes: float,
+        *,
+        hot: TierSpec = HOT_DEFAULT,
+        cold: TierSpec = COLD_DEFAULT,
+    ) -> None:
+        if hot_capacity_bytes <= 0:
+            raise ValidationError("hot capacity must be positive")
+        for photo_id, cost in photo_costs.items():
+            if cost <= 0:
+                raise ValidationError(f"photo {photo_id}: nonpositive size")
+        self._costs = dict(photo_costs)
+        self.hot_capacity = float(hot_capacity_bytes)
+        self.hot_tier = hot
+        self.cold_tier = cold
+        self._hot: set = set()
+        self._hot_bytes = 0.0
+        self.stats = AccessStats()
+
+    @property
+    def hot_set(self) -> frozenset:
+        return frozenset(self._hot)
+
+    @property
+    def hot_bytes(self) -> float:
+        return self._hot_bytes
+
+    def promote(self, selection: Iterable[int]) -> None:
+        """Pin a photo selection into the hot tier (replaces the old pin).
+
+        Raises :class:`InfeasibleError` if the selection exceeds capacity —
+        a PAR solution for budget ≤ capacity always fits.
+        """
+        selection = [int(p) for p in selection]
+        unknown = [p for p in selection if p not in self._costs]
+        if unknown:
+            raise ValidationError(f"unknown photo ids in promotion: {unknown[:5]}")
+        total = sum(self._costs[p] for p in selection)
+        if total > self.hot_capacity * (1 + 1e-12):
+            raise InfeasibleError(
+                f"selection of {total:.0f} bytes exceeds hot capacity "
+                f"{self.hot_capacity:.0f}"
+            )
+        self._hot = set(selection)
+        self._hot_bytes = total
+
+    def read(self, photo_id: int) -> float:
+        """Serve one read; returns the simulated time in milliseconds."""
+        photo_id = int(photo_id)
+        try:
+            size = self._costs[photo_id]
+        except KeyError:
+            raise ValidationError(f"unknown photo id {photo_id}") from None
+        hot = photo_id in self._hot
+        tier = self.hot_tier if hot else self.cold_tier
+        elapsed = tier.read_time_ms(size)
+        self.stats.reads += 1
+        self.stats.bytes_read += size
+        self.stats.total_time_ms += elapsed
+        if hot:
+            self.stats.hot_hits += 1
+            self.stats.bytes_from_hot += size
+        return elapsed
+
+    def reset_stats(self) -> None:
+        self.stats = AccessStats()
+
+
+@dataclass
+class PageLoadModel:
+    """Page-load time of a landing page given a store.
+
+    A page loads its photos concurrently up to ``parallelism`` streams;
+    load time is the max over batches — the metric behind the paper's
+    "hard limit of 100ms for loading all media on the web-page".
+    """
+
+    store: TieredStore
+    parallelism: int = 6
+
+    def load_page(self, photo_ids: Sequence[int]) -> float:
+        """Simulated page-load time in milliseconds."""
+        if self.parallelism < 1:
+            raise ValidationError("parallelism must be at least 1")
+        times = [self.store.read(p) for p in photo_ids]
+        if not times:
+            return 0.0
+        # Greedy assignment of reads to streams (longest first).
+        streams = [0.0] * min(self.parallelism, len(times))
+        for t in sorted(times, reverse=True):
+            idx = streams.index(min(streams))
+            streams[idx] += t
+        return max(streams)
+
+    def meets_deadline(self, photo_ids: Sequence[int], deadline_ms: float) -> bool:
+        """Whether the page loads within the deadline."""
+        return self.load_page(photo_ids) <= deadline_ms

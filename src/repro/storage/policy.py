@@ -1,0 +1,136 @@
+"""Retention policies: deriving the mandatory set ``S0``.
+
+The PAR model takes "the set of photos that must be retained due to policy
+requirements" as input.  Where do those come from?  The paper names legal
+contracts ("a company may require only approved images to be used on pages
+that are specific to their products"), regulation (GDPR-style retention),
+and personal must-keeps (passport, vaccination record, recent favourites).
+
+This module gives those sources a uniform rule engine: a
+:class:`RetentionPolicy` is a named predicate over :class:`Photo` records;
+:func:`derive_retained` evaluates a policy stack against an archive and
+returns the union ``S0``, flagging conflicts (a photo both pinned and
+disposed) the way a compliance reviewer would expect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Set
+
+from repro.core.instance import Photo
+from repro.errors import ValidationError
+
+__all__ = [
+    "RetentionPolicy",
+    "brand_contract_policy",
+    "metadata_flag_policy",
+    "recent_photos_policy",
+    "derive_retained",
+]
+
+Predicate = Callable[[Photo], bool]
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """A named retention rule.
+
+    ``action`` is ``"retain"`` (add to S0) or ``"dispose"`` (veto: the
+    photo must NOT be retained by S0 — e.g. GDPR erasure).  Dispose rules
+    do not remove photos from the archive; they only forbid *pinning*, and
+    :func:`derive_retained` raises when a photo is simultaneously pinned
+    and vetoed.
+    """
+
+    name: str
+    predicate: Predicate
+    action: str = "retain"
+
+    def __post_init__(self) -> None:
+        if self.action not in ("retain", "dispose"):
+            raise ValidationError(f"policy {self.name!r}: unknown action {self.action!r}")
+
+    def matches(self, photo: Photo) -> bool:
+        return bool(self.predicate(photo))
+
+
+def brand_contract_policy(brands: Iterable[str], name: str = "brand-contract") -> RetentionPolicy:
+    """Pin photos whose ``metadata['brand']`` is under an imagery contract."""
+    brand_set = {b.lower() for b in brands}
+    return RetentionPolicy(
+        name=name,
+        predicate=lambda p: str(p.metadata.get("brand", "")).lower() in brand_set,
+    )
+
+
+def metadata_flag_policy(
+    flag: str,
+    name: Optional[str] = None,
+    *,
+    action: str = "retain",
+) -> RetentionPolicy:
+    """Pin (or veto) photos whose metadata carries a truthy flag.
+
+    Covers the personal use cases: ``metadata_flag_policy("passport")``,
+    ``metadata_flag_policy("gdpr_erasure", action="dispose")`` ...
+    """
+    return RetentionPolicy(
+        name=name or f"flag:{flag}",
+        predicate=lambda p: bool(p.metadata.get(flag)),
+        action=action,
+    )
+
+
+def recent_photos_policy(
+    cutoff_iso: str,
+    name: str = "recent-favourites",
+) -> RetentionPolicy:
+    """Pin photos whose EXIF timestamp is at or after an ISO cutoff.
+
+    Expects ``metadata['exif']['timestamp']`` as an ISO-8601 string (the
+    format :meth:`repro.images.exif.ExifRecord.as_dict` writes).  ISO
+    strings compare chronologically, so plain string comparison suffices.
+    """
+    return RetentionPolicy(
+        name=name,
+        predicate=lambda p: str(
+            (p.metadata.get("exif") or {}).get("timestamp", "")
+        )
+        >= cutoff_iso,
+    )
+
+
+def derive_retained(
+    photos: Sequence[Photo],
+    policies: Sequence[RetentionPolicy],
+) -> List[int]:
+    """Evaluate a policy stack; return the sorted retention set ``S0``.
+
+    Raises :class:`ValidationError` when a photo is both pinned by a
+    retain rule and vetoed by a dispose rule — contradictory compliance
+    requirements must be resolved by a human, not silently.
+    """
+    pinned: Set[int] = set()
+    vetoed: Set[int] = set()
+    pin_reason = {}
+    veto_reason = {}
+    for policy in policies:
+        for photo in photos:
+            if not policy.matches(photo):
+                continue
+            if policy.action == "retain":
+                pinned.add(photo.photo_id)
+                pin_reason.setdefault(photo.photo_id, policy.name)
+            else:
+                vetoed.add(photo.photo_id)
+                veto_reason.setdefault(photo.photo_id, policy.name)
+    conflicts = pinned & vetoed
+    if conflicts:
+        sample = sorted(conflicts)[:5]
+        detail = ", ".join(
+            f"photo {p} (retain: {pin_reason[p]}, dispose: {veto_reason[p]})"
+            for p in sample
+        )
+        raise ValidationError(f"conflicting retention policies: {detail}")
+    return sorted(pinned)

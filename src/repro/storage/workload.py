@@ -1,0 +1,101 @@
+"""Page-request workload generator for the storage simulator.
+
+Landing pages are visited with the same popularity profile that defines
+the PAR subset weights (Section 5.1 derives ``W`` from "the number of
+visits in the last 90 days").  This generator closes the loop: it samples
+page visits proportional to subset weights and replays each page's
+displayed photos against a :class:`repro.storage.archive.TieredStore`, so
+experiments can report the *operational* value of a selection (byte hit
+rate, mean page-load time) next to the model objective ``G``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.instance import PARInstance
+from repro.errors import ValidationError
+from repro.storage.archive import PageLoadModel, TieredStore
+
+__all__ = ["WorkloadResult", "replay_page_workload"]
+
+
+@dataclass
+class WorkloadResult:
+    """Operational metrics of replaying a page workload over a store."""
+
+    visits: int
+    hit_rate: float
+    byte_hit_rate: float
+    mean_page_load_ms: float
+    p95_page_load_ms: float
+    deadline_ms: float
+    deadline_met_fraction: float
+
+
+def replay_page_workload(
+    instance: PARInstance,
+    selection: Sequence[int],
+    *,
+    n_visits: int = 1000,
+    photos_per_page: int = 8,
+    deadline_ms: float = 100.0,
+    rng: Optional[np.random.Generator] = None,
+    parallelism: int = 6,
+) -> WorkloadResult:
+    """Replay weighted page visits against a store pinned with a selection.
+
+    Each visit samples a pre-defined subset proportional to its weight and
+    loads the page's top photos *from the retained selection* (a page can
+    only display photos that were kept — the displaced ones fall back to
+    the cold tier only when the page has too few retained photos and must
+    pull archive content).
+    """
+    if n_visits < 1:
+        raise ValidationError("n_visits must be positive")
+    rng = rng or np.random.default_rng()
+    selection_set = set(int(p) for p in selection)
+
+    store = TieredStore(
+        {p.photo_id: p.cost for p in instance.photos},
+        hot_capacity_bytes=max(instance.budget, instance.cost_of(selection_set) or 1.0),
+    )
+    store.promote(selection_set)
+    pager = PageLoadModel(store, parallelism=parallelism)
+
+    weights = np.array([q.weight for q in instance.subsets], dtype=np.float64)
+    weights = weights / weights.sum()
+
+    # Per subset: photos shown = most relevant retained photos first,
+    # padded with the most relevant archived photos when the page would
+    # otherwise be empty.
+    page_photos: List[List[int]] = []
+    for q in instance.subsets:
+        order = np.argsort(-q.relevance, kind="stable")
+        retained = [int(q.members[i]) for i in order if int(q.members[i]) in selection_set]
+        archived = [int(q.members[i]) for i in order if int(q.members[i]) not in selection_set]
+        shown = (retained + archived)[:photos_per_page]
+        page_photos.append(shown)
+
+    load_times = []
+    met = 0
+    choices = rng.choice(len(instance.subsets), size=n_visits, p=weights)
+    for qi in choices:
+        elapsed = pager.load_page(page_photos[int(qi)])
+        load_times.append(elapsed)
+        if elapsed <= deadline_ms:
+            met += 1
+
+    times = np.asarray(load_times)
+    return WorkloadResult(
+        visits=n_visits,
+        hit_rate=store.stats.hit_rate,
+        byte_hit_rate=store.stats.byte_hit_rate,
+        mean_page_load_ms=float(times.mean()),
+        p95_page_load_ms=float(np.percentile(times, 95)),
+        deadline_ms=deadline_ms,
+        deadline_met_fraction=met / n_visits,
+    )

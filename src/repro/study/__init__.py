@@ -1,0 +1,31 @@
+"""Simulated user study: analyst model, gold standards, preference judging."""
+
+from repro.study.gold import (
+    ExpertJudge,
+    PreferenceCounts,
+    gold_standard,
+    run_preference_study,
+)
+from repro.study.manual import AnalystProfile, ManualOutcome, simulated_analyst
+from repro.study.metrics import (
+    agreement_report,
+    byte_weighted_overlap,
+    jaccard,
+    precision_recall,
+    quality_ratio,
+)
+
+__all__ = [
+    "AnalystProfile",
+    "ManualOutcome",
+    "simulated_analyst",
+    "gold_standard",
+    "ExpertJudge",
+    "PreferenceCounts",
+    "run_preference_study",
+    "jaccard",
+    "precision_recall",
+    "byte_weighted_overlap",
+    "quality_ratio",
+    "agreement_report",
+]

@@ -1,0 +1,102 @@
+"""Selection-agreement metrics for gold-standard validation.
+
+The second part of the user study (Section 5.4) validates the quality
+function against expert judgement.  Beyond the preference protocol, the
+natural quantitative companions are agreement metrics between a method's
+selection and a gold-standard selection — this module provides the
+standard ones, photo-count based and byte-weighted:
+
+* :func:`jaccard` — set overlap of the selections;
+* :func:`precision_recall` — of the method's kept photos, how many the
+  gold standard also keeps (precision), and how much of the gold standard
+  the method recovers (recall);
+* :func:`byte_weighted_overlap` — the same recall weighted by photo cost,
+  since archiving one 5 MB hero image is not one-fifth as important as
+  five thumbnails;
+* :func:`quality_ratio` — achieved objective over the gold standard's.
+
+All metrics tolerate the common real-world wrinkle that two selections of
+equal quality may share few photos (near-duplicates substitute freely) —
+which is exactly why the paper validates with *preference* judgements and
+why :func:`quality_ratio` is the primary signal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.core.instance import PARInstance
+from repro.core.objective import score
+
+__all__ = [
+    "jaccard",
+    "precision_recall",
+    "byte_weighted_overlap",
+    "quality_ratio",
+    "agreement_report",
+]
+
+
+def jaccard(selection: Iterable[int], gold: Iterable[int]) -> float:
+    """|A ∩ B| / |A ∪ B| (1.0 when both are empty)."""
+    a, b = set(selection), set(gold)
+    union = a | b
+    if not union:
+        return 1.0
+    return len(a & b) / len(union)
+
+
+def precision_recall(
+    selection: Iterable[int], gold: Iterable[int]
+) -> Tuple[float, float]:
+    """(precision, recall) of a selection against the gold standard.
+
+    Empty operands follow the usual conventions: precision of an empty
+    selection is 1.0 (nothing wrongly kept); recall of an empty gold
+    standard is 1.0 (nothing to recover).
+    """
+    a, b = set(selection), set(gold)
+    precision = len(a & b) / len(a) if a else 1.0
+    recall = len(a & b) / len(b) if b else 1.0
+    return precision, recall
+
+
+def byte_weighted_overlap(
+    instance: PARInstance, selection: Iterable[int], gold: Iterable[int]
+) -> float:
+    """Bytes of the gold standard the selection also keeps, as a fraction."""
+    a, b = set(selection), set(gold)
+    gold_bytes = instance.cost_of(b)
+    if gold_bytes <= 0:
+        return 1.0
+    return instance.cost_of(a & b) / gold_bytes
+
+
+def quality_ratio(
+    instance: PARInstance, selection: Iterable[int], gold: Iterable[int]
+) -> float:
+    """``G(selection) / G(gold)`` — the primary agreement signal.
+
+    May exceed 1.0 when the "gold" standard is itself approximate.
+    Returns 1.0 when the gold standard scores zero.
+    """
+    gold_value = score(instance, gold)
+    if gold_value <= 0:
+        return 1.0
+    return score(instance, selection) / gold_value
+
+
+def agreement_report(
+    instance: PARInstance,
+    selection: Sequence[int],
+    gold: Sequence[int],
+) -> Dict[str, float]:
+    """All agreement metrics in one dict (for study tables)."""
+    precision, recall = precision_recall(selection, gold)
+    return {
+        "jaccard": jaccard(selection, gold),
+        "precision": precision,
+        "recall": recall,
+        "byte_weighted_overlap": byte_weighted_overlap(instance, selection, gold),
+        "quality_ratio": quality_ratio(instance, selection, gold),
+    }

@@ -1,0 +1,23 @@
+"""The end-to-end PHOcus system (Figure 4) and its CLI."""
+
+from repro.system.phocus import (
+    ArchiveReport,
+    DataRepresentationModule,
+    PHOcus,
+    PhocusConfig,
+)
+from repro.system.analysis import InstanceDiagnostics, analyze_instance
+from repro.system.report_html import render_report_html, write_report_html
+from repro.system.service import PhocusService
+
+__all__ = [
+    "PHOcus",
+    "PhocusConfig",
+    "ArchiveReport",
+    "DataRepresentationModule",
+    "PhocusService",
+    "analyze_instance",
+    "InstanceDiagnostics",
+    "render_report_html",
+    "write_report_html",
+]

@@ -1,0 +1,130 @@
+"""Instance diagnostics — the "Analysis" box of the Figure 4 architecture.
+
+Before an analyst trusts an archival run, they want to know whether the
+*inputs* are healthy: are there photos no pre-defined subset cares about
+(dead weight that will always be archived)?  Subsets so small or so
+redundant that their scores are trivially saturated?  A weight
+distribution so skewed that one landing page dominates every decision?
+
+:func:`analyze_instance` computes those signals; the CLI's ``inspect``
+command renders them.  The diagnostics are read-only — they never change
+solver behaviour — but several tests use them to sanity-check generated
+datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.core.instance import PARInstance
+from repro.datasets.base import MB
+
+__all__ = ["InstanceDiagnostics", "analyze_instance"]
+
+
+@dataclass
+class InstanceDiagnostics:
+    """Structural health report of a PAR instance."""
+
+    n_photos: int
+    n_subsets: int
+    total_cost: float
+    budget: float
+    budget_fraction: float
+    orphan_photos: List[int]
+    singleton_subsets: List[str]
+    weight_concentration: float
+    mean_subset_size: float
+    max_subset_size: int
+    mean_overlap_degree: float
+    similarity_density: float
+    retained_cost_fraction: float
+    warnings: List[str] = field(default_factory=list)
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable rendering for the CLI."""
+        lines = [
+            f"photos               : {self.n_photos} "
+            f"({self.total_cost / MB:.1f} MB total)",
+            f"pre-defined subsets  : {self.n_subsets} "
+            f"(mean size {self.mean_subset_size:.1f}, max {self.max_subset_size})",
+            f"budget               : {self.budget / MB:.1f} MB "
+            f"({self.budget_fraction:.1%} of corpus)",
+            f"photo reuse          : a photo appears in "
+            f"{self.mean_overlap_degree:.2f} subsets on average",
+            f"similarity density   : {self.similarity_density:.1%} of stored "
+            f"pairs are nonzero",
+            f"weight concentration : top-10% subsets hold "
+            f"{self.weight_concentration:.1%} of total weight",
+            f"retention set        : {self.retained_cost_fraction:.1%} of the budget",
+        ]
+        if self.orphan_photos:
+            lines.append(
+                f"orphan photos        : {len(self.orphan_photos)} photos belong "
+                f"to no subset (always archived)"
+            )
+        if self.singleton_subsets:
+            lines.append(
+                f"singleton subsets    : {len(self.singleton_subsets)} subsets "
+                f"have one member (keep-or-lose decisions)"
+            )
+        for warning in self.warnings:
+            lines.append(f"warning              : {warning}")
+        return lines
+
+
+def analyze_instance(instance: PARInstance) -> InstanceDiagnostics:
+    """Compute the structural diagnostics of an instance."""
+    membership_degree = np.array(
+        [len(instance.membership[p]) for p in range(instance.n)]
+    )
+    orphans = [int(p) for p in np.nonzero(membership_degree == 0)[0]]
+    singletons = [q.subset_id for q in instance.subsets if len(q) == 1]
+
+    weights = np.array([q.weight for q in instance.subsets], dtype=np.float64)
+    order = np.sort(weights)[::-1]
+    top_k = max(1, int(np.ceil(len(order) * 0.1)))
+    concentration = float(order[:top_k].sum() / order.sum()) if order.sum() > 0 else 0.0
+
+    sizes = [len(q) for q in instance.subsets]
+    possible_pairs = sum(m * m for m in sizes)
+    density = (
+        instance.similarity_nnz() / possible_pairs if possible_pairs else 0.0
+    )
+
+    total_cost = instance.total_cost()
+    retained_cost = instance.cost_of(instance.retained)
+    budget_fraction = instance.budget / total_cost if total_cost > 0 else 0.0
+
+    warnings: List[str] = []
+    if budget_fraction >= 1.0:
+        warnings.append("budget covers the whole corpus — nothing needs archiving")
+    if retained_cost > instance.budget * 0.5:
+        warnings.append("retention set consumes over half the budget")
+    if orphans and len(orphans) > instance.n * 0.2:
+        warnings.append("over 20% of photos are in no subset; consider re-tagging")
+    min_cost = float(instance.costs.min())
+    if min_cost > instance.budget:
+        warnings.append("no single photo fits the budget — the solution is S0 only")
+
+    return InstanceDiagnostics(
+        n_photos=instance.n,
+        n_subsets=len(instance.subsets),
+        total_cost=total_cost,
+        budget=instance.budget,
+        budget_fraction=budget_fraction,
+        orphan_photos=orphans,
+        singleton_subsets=singletons,
+        weight_concentration=concentration,
+        mean_subset_size=float(np.mean(sizes)) if sizes else 0.0,
+        max_subset_size=int(np.max(sizes)) if sizes else 0,
+        mean_overlap_degree=float(membership_degree.mean()),
+        similarity_density=float(density),
+        retained_cost_fraction=(
+            retained_cost / instance.budget if instance.budget > 0 else 0.0
+        ),
+        warnings=warnings,
+    )

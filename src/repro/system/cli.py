@@ -1,0 +1,271 @@
+"""Command-line front end for PHOcus.
+
+Usage examples::
+
+    phocus datasets
+    phocus solve --dataset P-1K --scale 0.2 --budget-mb 25 --tau 0.5
+    phocus solve --dataset EC-Fashion --scale 0.05 --budget-fraction 0.1 \
+        --algorithm greedy-ncs
+    phocus demo
+
+``solve`` generates (or loads) a dataset, runs the configured pipeline
+and prints the analyst report; ``demo`` replays the paper's Figure 1
+example with the Figure 3 trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+from repro.core.greedy import UC, lazy_greedy
+from repro.core.paper_example import MB, figure1_instance
+from repro.core.solver import available_algorithms
+from repro.datasets.io import load_dataset
+from repro.datasets.registry import dataset_names
+from repro.datasets.registry import load as load_named
+from repro.system.phocus import ArchiveReport, PHOcus, PhocusConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="phocus",
+        description="PHOcus: archive photos under a storage budget (EDBT 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the registered Table 2 datasets")
+
+    solve_p = sub.add_parser("solve", help="run the PHOcus pipeline on a dataset")
+    solve_p.add_argument("--dataset", help="registered dataset name (see 'datasets')")
+    solve_p.add_argument("--dataset-file", help="path of a saved dataset JSON")
+    solve_p.add_argument("--scale", type=float, default=0.1, help="dataset scale factor")
+    solve_p.add_argument("--seed", type=int, default=0)
+    solve_p.add_argument("--budget-mb", type=float, help="budget in megabytes")
+    solve_p.add_argument(
+        "--budget-fraction", type=float, help="budget as a fraction of the corpus size"
+    )
+    solve_p.add_argument(
+        "--algorithm", default="phocus", choices=available_algorithms()
+    )
+    solve_p.add_argument("--tau", type=float, default=0.0, help="sparsification threshold")
+    solve_p.add_argument(
+        "--sparsify-method", default="exact", choices=["exact", "lsh"]
+    )
+    solve_p.add_argument("--no-certificate", action="store_true")
+    solve_p.add_argument(
+        "--compress",
+        action="store_true",
+        help="allow compressed photo renditions (Section 6 extension)",
+    )
+    solve_p.add_argument(
+        "--html-report",
+        metavar="PATH",
+        help="additionally write a static HTML archive report",
+    )
+
+    compare_p = sub.add_parser(
+        "compare", help="run several algorithms over a budget sweep"
+    )
+    compare_p.add_argument("--dataset", required=True, help="registered dataset name")
+    compare_p.add_argument("--scale", type=float, default=0.1)
+    compare_p.add_argument("--seed", type=int, default=0)
+    compare_p.add_argument(
+        "--budget-fractions",
+        default="0.05,0.1,0.2,0.5",
+        help="comma-separated corpus-cost fractions",
+    )
+    compare_p.add_argument(
+        "--algorithms",
+        default="rand-a,greedy-nr,greedy-ncs,phocus",
+        help="comma-separated algorithm names",
+    )
+
+    sub.add_parser("demo", help="replay the paper's Figure 1 / Figure 3 example")
+
+    inspect_p = sub.add_parser(
+        "inspect", help="structural diagnostics of a dataset instance"
+    )
+    inspect_p.add_argument("--dataset", required=True)
+    inspect_p.add_argument("--scale", type=float, default=0.1)
+    inspect_p.add_argument("--seed", type=int, default=0)
+    inspect_p.add_argument("--budget-fraction", type=float, default=0.1)
+
+    serve_p = sub.add_parser("serve", help="run the HTTP solver service")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8471)
+    return parser
+
+
+def _print_report(report: ArchiveReport) -> None:
+    sol = report.solution
+    print(f"algorithm            : {sol.algorithm}")
+    print(f"objective value G(S) : {sol.value:.4f}")
+    print(f"retained / archived  : {report.retained_count} / {report.archived_count}")
+    print(
+        f"cost                 : {sol.cost / MB:.2f} MB of {sol.budget / MB:.2f} MB "
+        f"({report.budget_utilisation:.1%} used)"
+    )
+    print(f"solve time           : {sol.elapsed_seconds:.2f}s (+{report.prep_seconds:.2f}s prep)")
+    if sol.ratio_certificate is not None:
+        print(f"approx. certificate  : >= {sol.ratio_certificate:.3f} of optimal")
+    if report.sparsify is not None:
+        rep = report.sparsify
+        print(
+            f"sparsification       : tau={rep.tau} ({rep.method}), kept "
+            f"{rep.kept_fraction:.1%} of entries, checked {rep.checked_fraction:.1%} of pairs"
+        )
+    if report.sparsification_guarantee is not None:
+        print(f"tau-guarantee        : >= {report.sparsification_guarantee:.3f} (Theorem 4.8)")
+    print("least-covered subsets:")
+    for subset_id, value in report.worst_covered_subsets:
+        print(f"  {subset_id:<40s} {value:.4f}")
+
+
+def _cmd_datasets() -> int:
+    print(f"{'name':<18} {'photos':>8} {'subsets':>8}  source")
+    from repro.datasets.registry import TABLE2
+
+    for name in dataset_names():
+        cfg = TABLE2[name]
+        print(f"{name:<18} {cfg.n_photos:>8} {cfg.n_subsets:>8}  {cfg.source}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    if bool(args.dataset) == bool(args.dataset_file):
+        print("error: provide exactly one of --dataset / --dataset-file", file=sys.stderr)
+        return 2
+    if args.dataset:
+        dataset = load_named(args.dataset, scale=args.scale, seed=args.seed)
+    else:
+        dataset = load_dataset(args.dataset_file)
+
+    if args.budget_mb is not None:
+        budget = args.budget_mb * MB
+    elif args.budget_fraction is not None:
+        budget = dataset.total_cost() * args.budget_fraction
+    else:
+        budget = dataset.total_cost() * 0.1
+        print("note: no budget given; defaulting to 10% of the corpus size")
+
+    print(
+        f"dataset {dataset.name}: {dataset.n_photos} photos, "
+        f"{dataset.n_subsets} subsets, {dataset.total_cost_mb():.1f} MB total"
+    )
+    instance = dataset.instance(budget)
+    if args.compress:
+        from repro.extensions.compression import (
+            expand_with_compression,
+            selection_summary,
+        )
+
+        instance, variants = expand_with_compression(instance)
+    config = PhocusConfig(
+        algorithm=args.algorithm,
+        tau=args.tau,
+        sparsify_method=args.sparsify_method,
+        certificate=not args.no_certificate,
+        seed=args.seed,
+    )
+    report = PHOcus(config).run(instance)
+    _print_report(report)
+    if args.html_report:
+        from repro.system.report_html import write_report_html
+
+        written = write_report_html(report, args.html_report, instance)
+        print(f"HTML report written to {written}")
+    if args.compress:
+        summary = selection_summary(report.solution.selection, variants)
+        print(
+            f"compression          : kept {summary['kept_original']} originals + "
+            f"{summary['kept_compressed']} compressed renditions "
+            f"({summary['distinct_photos']} distinct photos)"
+        )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.bench.harness import format_grid, run_quality_grid
+
+    dataset = load_named(args.dataset, scale=args.scale, seed=args.seed)
+    fractions = [float(f) for f in args.budget_fractions.split(",") if f]
+    algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+    unknown = set(algorithms) - set(available_algorithms())
+    if unknown:
+        print(f"error: unknown algorithms {sorted(unknown)}", file=sys.stderr)
+        return 2
+    total_mb = dataset.total_cost_mb()
+    grid = run_quality_grid(
+        dataset, [total_mb * f for f in fractions], algorithms, seed=args.seed
+    )
+    print(format_grid(grid))
+    print(f"(maximum attainable score: {grid.max_value:.2f})")
+    return 0
+
+
+def _cmd_demo() -> int:
+    instance = figure1_instance(budget_mb=4.0)
+    print("Figure 1 instance: 7 photos, 4 subsets (Bikes/Cats/Bookshelf/Books), 4 Mb budget")
+    run = lazy_greedy(instance, UC, trace=True)
+    print("Algorithm 2 (UC) trace:")
+    for photo_id, gain in run.picks:
+        print(f"  pick p{photo_id + 1}  (marginal gain {gain:.3f})")
+    print("\nFigure 3 step-by-step (lazy refreshes and selections):")
+    current_step = 0
+    for event in run.trace:
+        if event.step != current_step:
+            current_step = event.step
+            print(f"  Step {current_step}:")
+        verb = {"refresh": "recalculate", "select": "SELECT", "drop": "drop"}[event.kind]
+        print(f"    {verb} p{event.photo_id + 1}  (δ = {event.gain:.2f})")
+    print(f"final value {run.value:.3f}, cost {run.cost / MB:.1f} Mb")
+    report = PHOcus(PhocusConfig(certificate=True)).run(instance)
+    print()
+    _print_report(report)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "inspect":
+        from repro.system.analysis import analyze_instance
+
+        dataset = load_named(args.dataset, scale=args.scale, seed=args.seed)
+        instance = dataset.instance(dataset.total_cost() * args.budget_fraction)
+        print(f"[{dataset.name}] instance diagnostics")
+        for line in analyze_instance(instance).summary_lines():
+            print(line)
+        return 0
+    if args.command == "serve":
+        from repro.system.service import PhocusService
+
+        service = PhocusService(host=args.host, port=args.port).start()
+        print(f"PHOcus solver service listening on http://{service.address}")
+        print("endpoints: GET /health, GET /algorithms, POST /solve, POST /score")
+        try:
+            import signal
+
+            signal.pause()
+        except (KeyboardInterrupt, AttributeError):  # AttributeError: Windows
+            pass
+        finally:
+            service.stop()
+        return 0
+    if args.command == "demo":
+        return _cmd_demo()
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

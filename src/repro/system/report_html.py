@@ -1,0 +1,157 @@
+"""Static HTML rendering of an archive report (the PHOcus UI surface).
+
+The PHOcus prototype demonstrated in the companion demo paper [11] gives
+analysts a visual report of an archival run.  This module renders an
+:class:`~repro.system.phocus.ArchiveReport` to a dependency-free, static
+HTML page: the headline numbers, per-subset coverage bars, the retained
+versus archived split, and the certificates — everything an analyst
+reviews before approving the run (the "final touches and approval" step
+of the user study).
+
+No templating engine is used; the page is assembled from escaped strings
+so the module stays importable anywhere the library runs.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.instance import PARInstance
+from repro.datasets.base import MB
+from repro.system.phocus import ArchiveReport
+
+__all__ = ["render_report_html", "write_report_html"]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 60rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: 0.3rem 0.6rem;
+         border-bottom: 1px solid #e0e0ea; font-size: 0.9rem; }
+.bar { background: #dfe7f5; height: 0.8rem; border-radius: 2px; }
+.bar > div { background: #3b6fd4; height: 100%; border-radius: 2px; }
+.kpi { display: inline-block; margin-right: 2rem; }
+.kpi .v { font-size: 1.3rem; font-weight: 600; }
+.kpi .k { font-size: 0.8rem; color: #666; }
+.muted { color: #888; font-size: 0.85rem; }
+"""
+
+
+def _kpi(value: str, label: str) -> str:
+    return (
+        f'<span class="kpi"><span class="v">{html.escape(value)}</span><br>'
+        f'<span class="k">{html.escape(label)}</span></span>'
+    )
+
+
+def _bar(fraction: float) -> str:
+    pct = max(0.0, min(1.0, fraction)) * 100.0
+    return f'<div class="bar"><div style="width:{pct:.1f}%"></div></div>'
+
+
+def render_report_html(
+    report: ArchiveReport,
+    instance: Optional[PARInstance] = None,
+    *,
+    title: str = "PHOcus archive report",
+) -> str:
+    """Render a report (optionally with its instance for subset detail)."""
+    sol = report.solution
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title><style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        "<p>",
+        _kpi(f"{sol.value:.3f}", "objective G(S)"),
+        _kpi(f"{report.retained_count}", "photos retained"),
+        _kpi(f"{report.archived_count}", "photos archived"),
+        _kpi(
+            f"{sol.cost / MB:.1f} / {sol.budget / MB:.1f} MB",
+            f"budget used ({report.budget_utilisation:.0%})",
+        ),
+        "</p>",
+    ]
+    if sol.ratio_certificate is not None:
+        parts.append(
+            f"<p class='muted'>certified ≥ {sol.ratio_certificate:.1%} of the "
+            f"optimal achievable score (online bound "
+            f"{report.optimum_upper_bound:.3f})</p>"
+        )
+    if report.sparsify is not None:
+        rep = report.sparsify
+        parts.append(
+            f"<p class='muted'>τ-sparsification ({rep.method}, τ={rep.tau}): kept "
+            f"{rep.kept_fraction:.1%} of similarity entries, compared "
+            f"{rep.checked_fraction:.1%} of pairs"
+            + (
+                f"; Theorem 4.8 guarantee ≥ {report.sparsification_guarantee:.3f}"
+                if report.sparsification_guarantee is not None
+                else ""
+            )
+            + "</p>"
+        )
+
+    parts.append("<h2>Coverage by pre-defined subset</h2>")
+    parts.append(
+        "<table><tr><th>subset</th><th>achieved</th><th>of weight</th>"
+        "<th style='width:40%'>coverage</th></tr>"
+    )
+    weights = {}
+    if instance is not None:
+        weights = {q.subset_id: q.weight for q in instance.subsets}
+    for subset_id, value in sorted(
+        report.subset_scores.items(), key=lambda kv: kv[1]
+    ):
+        weight = weights.get(subset_id)
+        weight_cell = f"{weight:.4f}" if weight is not None else "—"
+        coverage_cell = _bar(value / weight) if weight else "—"
+        parts.append(
+            "<tr>"
+            f"<td>{html.escape(str(subset_id))}</td>"
+            f"<td>{value:.4f}</td>"
+            f"<td>{weight_cell}</td>"
+            f"<td>{coverage_cell}</td>"
+            "</tr>"
+        )
+    parts.append("</table>")
+
+    if instance is not None:
+        kept = set(sol.selection)
+        parts.append("<h2>Retained photos</h2><table>")
+        parts.append("<tr><th>id</th><th>label</th><th>size (MB)</th></tr>")
+        for p in sol.selection:
+            photo = instance.photos[p]
+            parts.append(
+                f"<tr><td>{photo.photo_id}</td>"
+                f"<td>{html.escape(photo.label or '')}</td>"
+                f"<td>{photo.cost / MB:.2f}</td></tr>"
+            )
+        parts.append("</table>")
+        parts.append(
+            f"<p class='muted'>{instance.n - len(kept)} photos move to cold "
+            f"storage; the retention set S0 ({len(instance.retained)} photos) "
+            f"is pinned.</p>"
+        )
+
+    parts.append(
+        f"<p class='muted'>algorithm {html.escape(sol.algorithm)} · solve "
+        f"{sol.elapsed_seconds:.2f}s · preprocessing {report.prep_seconds:.2f}s</p>"
+    )
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def write_report_html(
+    report: ArchiveReport,
+    path: Union[str, Path],
+    instance: Optional[PARInstance] = None,
+    **kwargs,
+) -> Path:
+    """Render and write the report; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_report_html(report, instance, **kwargs), encoding="utf-8")
+    return path

@@ -1,0 +1,208 @@
+"""HTTP solver service — the paper's "Python and Flask" Solver deployment.
+
+Section 5.1: "Solver is implemented using Python and Flask."  Flask is a
+third-party dependency this offline reproduction avoids, so the service
+is built on the standard library's threading HTTP server with the same
+tiny JSON API a Flask app would expose:
+
+===========  =======  ====================================================
+endpoint     method   behaviour
+===========  =======  ====================================================
+``/health``  GET      liveness + library version
+``/algorithms``  GET  the registered solver names
+``/solve``   POST     body ``{"instance": …, "algorithm"?, "tau"?,
+                      "sparsify_method"?, "certificate"?}`` →
+                      the solution plus sparsification diagnostics
+``/score``   POST     body ``{"instance": …, "selection": [...]}`` →
+                      objective value and per-subset breakdown
+===========  =======  ====================================================
+
+Instances travel in the :mod:`repro.core.serialize` wire format.  Errors
+return ``4xx`` with ``{"error": message}``; unexpected failures ``500``.
+
+Use :class:`PhocusService` as a context manager for an ephemeral server::
+
+    with PhocusService() as service:
+        requests.post(f"http://{service.address}/solve", json=payload)
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.objective import score, score_breakdown
+from repro.core.serialize import (
+    instance_from_dict,
+    solution_to_dict,
+)
+from repro.core.solver import available_algorithms, solve
+from repro.errors import ReproError, ValidationError
+from repro.sparsify.pipeline import sparsify_instance
+
+__all__ = ["PhocusService", "handle_request"]
+
+_MAX_BODY = 64 * 1024 * 1024  # 64 MiB — generous for serialised instances
+
+
+def _solve_endpoint(payload: Dict[str, Any]) -> Dict[str, Any]:
+    instance = instance_from_dict(_require(payload, "instance", dict))
+    algorithm = payload.get("algorithm", "phocus")
+    tau = float(payload.get("tau", 0.0))
+    method = payload.get("sparsify_method", "exact")
+    certificate = bool(payload.get("certificate", False))
+    seed = payload.get("seed")
+    rng = np.random.default_rng(seed)
+
+    solver_instance = instance
+    sparsify_doc: Optional[Dict[str, Any]] = None
+    if tau > 0.0:
+        solver_instance, report = sparsify_instance(
+            instance, tau, method=method, rng=rng
+        )
+        sparsify_doc = {
+            "tau": report.tau,
+            "method": report.method,
+            "kept_fraction": report.kept_fraction,
+            "checked_fraction": report.checked_fraction,
+        }
+    solution = solve(solver_instance, algorithm, rng=rng)
+    true_value = (
+        solution.value
+        if solver_instance is instance
+        else score(instance, solution.selection)
+    )
+    solution.value = true_value
+    if certificate:
+        from repro.core.bounds import online_bound
+
+        bound = online_bound(instance, solution.selection)
+        solution.ratio_certificate = (
+            1.0 if bound <= 0 else min(1.0, true_value / bound)
+        )
+    doc = solution_to_dict(solution)
+    doc["sparsify"] = sparsify_doc
+    return doc
+
+
+def _score_endpoint(payload: Dict[str, Any]) -> Dict[str, Any]:
+    instance = instance_from_dict(_require(payload, "instance", dict))
+    selection = _require(payload, "selection", list)
+    return {
+        "value": score(instance, selection),
+        "cost": instance.cost_of(selection),
+        "feasible": instance.feasible(selection),
+        "breakdown": score_breakdown(instance, selection),
+    }
+
+
+def _require(payload: Dict[str, Any], key: str, kind) -> Any:
+    value = payload.get(key)
+    if not isinstance(value, kind):
+        raise ValidationError(f"request body needs {key!r} of type {kind.__name__}")
+    return value
+
+
+def handle_request(
+    method: str, path: str, body: Optional[bytes]
+) -> Tuple[int, Dict[str, Any]]:
+    """Pure request dispatcher (transport-independent, directly testable).
+
+    Returns ``(http_status, json_payload)``.
+    """
+    try:
+        if method == "GET" and path == "/health":
+            from repro import __version__
+
+            return 200, {"status": "ok", "version": __version__}
+        if method == "GET" and path == "/algorithms":
+            return 200, {"algorithms": available_algorithms()}
+        if method == "POST" and path in ("/solve", "/score"):
+            if not body:
+                return 400, {"error": "empty request body"}
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                return 400, {"error": f"invalid JSON: {exc}"}
+            if not isinstance(payload, dict):
+                return 400, {"error": "request body must be a JSON object"}
+            endpoint = _solve_endpoint if path == "/solve" else _score_endpoint
+            return 200, endpoint(payload)
+        return 404, {"error": f"no route for {method} {path}"}
+    except ReproError as exc:
+        return 422, {"error": str(exc)}
+    except Exception as exc:  # noqa: BLE001 - service boundary
+        return 500, {"error": f"internal error: {exc}"}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "PHOcus/1.0"
+
+    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        status, payload = handle_request("GET", self.path, None)
+        self._reply(status, payload)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY:
+            self._reply(413, {"error": "request body too large"})
+            return
+        body = self.rfile.read(length) if length else b""
+        status, payload = handle_request("POST", self.path, body)
+        self._reply(status, payload)
+
+    def log_message(self, *args) -> None:  # silence per-request stderr noise
+        return
+
+
+class PhocusService:
+    """An embeddable PHOcus solver server.
+
+    ``port=0`` (default) binds an ephemeral port; read the bound address
+    from :attr:`address`.  Use as a context manager or call
+    :meth:`start` / :meth:`stop` explicitly.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"{host}:{port}"
+
+    def start(self) -> "PhocusService":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="phocus-service", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._thread.join(timeout=5)
+        self._server.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "PhocusService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,88 @@
+"""Shared fixtures and instance factories for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Deterministic property tests: same examples every run, so suite results
+# are reproducible and CI-stable.
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+from repro.core.instance import (
+    DenseSimilarity,
+    PARInstance,
+    Photo,
+    PredefinedSubset,
+)
+from repro.core.paper_example import figure1_instance
+
+
+def random_instance(
+    seed: int = 0,
+    *,
+    n_photos: int = 12,
+    n_subsets: int = 4,
+    budget_fraction: float = 0.4,
+    retained: int = 0,
+    embedding_dim: int = 8,
+) -> PARInstance:
+    """A small random-but-valid PAR instance (shared test workhorse).
+
+    Similarities come from random unit embeddings so they are symmetric,
+    in [0, 1], and contextually sliced per subset; costs are uniform in
+    [0.5, 2.0]; weights and raw relevance are positive random values.
+    """
+    rng = np.random.default_rng(seed)
+    costs = rng.uniform(0.5, 2.0, size=n_photos)
+    photos = [Photo(photo_id=i, cost=float(costs[i])) for i in range(n_photos)]
+    emb = rng.standard_normal((n_photos, embedding_dim))
+    emb /= np.linalg.norm(emb, axis=1, keepdims=True)
+
+    subsets = []
+    for qi in range(n_subsets):
+        size = int(rng.integers(2, max(3, n_photos // 2) + 1))
+        members = sorted(int(p) for p in rng.choice(n_photos, size=size, replace=False))
+        sub_emb = emb[members]
+        sim = np.clip(sub_emb @ sub_emb.T, 0.0, 1.0)
+        sim = (sim + sim.T) / 2.0
+        np.fill_diagonal(sim, 1.0)
+        subsets.append(
+            PredefinedSubset(
+                subset_id=f"q{qi}",
+                weight=float(rng.uniform(0.5, 5.0)),
+                members=members,
+                relevance=rng.uniform(0.1, 1.0, size=size),
+                similarity=DenseSimilarity(sim),
+            )
+        )
+    retained_ids = sorted(int(p) for p in rng.choice(n_photos, size=retained, replace=False)) if retained else []
+    budget = float(costs.sum() * budget_fraction)
+    if retained_ids:
+        budget = max(budget, float(costs[retained_ids].sum()) * 1.05)
+    return PARInstance(photos, subsets, budget, retained_ids, embeddings=emb)
+
+
+@pytest.fixture
+def figure1():
+    """The paper's Figure 1 example with the default 4 Mb budget."""
+    return figure1_instance(4.0)
+
+
+@pytest.fixture
+def small_instance():
+    """Deterministic small random instance."""
+    return random_instance(seed=42)
+
+
+@pytest.fixture
+def retained_instance():
+    """Instance with a non-empty retention set S0."""
+    return random_instance(seed=7, retained=2)

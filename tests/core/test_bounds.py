@@ -1,0 +1,120 @@
+"""Tests for the online bound and the Theorem 4.8 sparsification bound."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    online_bound,
+    performance_certificate,
+    sparsification_bound,
+)
+from repro.core.bruteforce import branch_and_bound
+from repro.core.greedy import main_algorithm
+from repro.core.objective import score
+from repro.sparsify.threshold import threshold_sparsify
+
+from tests.conftest import random_instance
+
+
+class TestOnlineBound:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_upper_bounds_optimum(self, seed):
+        """The Leskovec online bound must dominate the true optimum for any
+        evaluated solution — the property everything else rests on."""
+        inst = random_instance(seed=seed, n_photos=11, n_subsets=4)
+        opt = branch_and_bound(inst).value
+        for sel in ([], main_algorithm(inst).selection, list(range(3))):
+            assert online_bound(inst, sel) >= opt - 1e-9
+
+    def test_tight_when_solution_is_optimal_and_saturated(self, figure1):
+        opt = branch_and_bound(figure1)
+        bound = online_bound(figure1, opt.selection)
+        assert bound >= opt.value
+
+    def test_bound_of_full_selection_is_value(self, figure1):
+        full = list(range(7))
+        assert online_bound(figure1, full) == pytest.approx(score(figure1, full))
+
+    def test_certificate_returns_ratio_at_most_one(self, small_instance):
+        run = main_algorithm(small_instance)
+        value, ratio = performance_certificate(small_instance, run.selection)
+        assert value == pytest.approx(run.value)
+        assert 0.0 < ratio <= 1.0
+
+    def test_certificate_exceeds_worst_case_in_practice(self):
+        """Section 4.2's empirical point: the data-dependent ratio far
+        exceeds the a-priori (1 - 1/e)/2 ≈ 0.316."""
+        ratios = []
+        for seed in range(5):
+            inst = random_instance(seed=seed, n_photos=14, n_subsets=5)
+            run = main_algorithm(inst)
+            _, ratio = performance_certificate(inst, run.selection)
+            ratios.append(ratio)
+        assert min(ratios) > (1 - 1 / np.e) / 2
+
+    def test_certificate_is_valid_lower_bound_on_true_ratio(self):
+        for seed in range(6):
+            inst = random_instance(seed=seed, n_photos=11, n_subsets=4)
+            run = main_algorithm(inst)
+            opt = branch_and_bound(inst).value
+            _, ratio = performance_certificate(inst, run.selection)
+            true_ratio = run.value / opt if opt > 0 else 1.0
+            assert ratio <= true_ratio + 1e-9
+
+
+class TestSparsificationBound:
+    def test_alpha_and_factor_relationship(self, small_instance):
+        bound = sparsification_bound(small_instance, 0.5)
+        if bound.alpha > 0:
+            assert bound.factor == pytest.approx(bound.alpha / (1 + bound.alpha))
+        assert 0.0 <= bound.factor < 1.0
+
+    def test_tau_zero_has_full_alpha_potential(self, small_instance):
+        """At τ=0 every neighbour survives; with a reasonable budget the
+        witness should cover a large weight fraction."""
+        bound = sparsification_bound(small_instance, 0.0)
+        assert bound.alpha > 0.3
+
+    @pytest.mark.parametrize("tau", [0.3, 0.5, 0.8])
+    def test_theorem_holds_empirically(self, tau):
+        """F(O_τ) >= factor · OPT on exactly solvable instances."""
+        for seed in range(4):
+            inst = random_instance(seed=seed, n_photos=10, n_subsets=4)
+            bound = sparsification_bound(inst, tau)
+            opt_true = branch_and_bound(inst).value
+            sparse, _ = threshold_sparsify(inst, tau)
+            opt_sparse_sel = branch_and_bound(sparse).selection
+            # Score the sparsified optimum ON THE SPARSIFIED objective (the
+            # theorem's F(O_tau)); it must respect the bound factor.
+            sparse_value = score(sparse, opt_sparse_sel)
+            assert sparse_value >= bound.factor * opt_true - 1e-9
+
+    def test_witness_is_affordable(self, small_instance):
+        bound = sparsification_bound(small_instance, 0.5)
+        assert small_instance.cost_of(bound.witness) <= small_instance.budget + 1e-9
+
+    def test_rejects_bad_tau(self, small_instance):
+        with pytest.raises(ValueError):
+            sparsification_bound(small_instance, 1.5)
+
+    def test_total_weight_matches_model(self, figure1):
+        bound = sparsification_bound(figure1, 0.5)
+        expected = sum(
+            q.weight * float(q.relevance.sum()) for q in figure1.subsets
+        )
+        assert bound.total_weight == pytest.approx(expected)
+
+    def test_alpha_nonincreasing_in_tau(self, small_instance):
+        alphas = [
+            sparsification_bound(small_instance, tau).alpha
+            for tau in (0.0, 0.4, 0.8, 0.99)
+        ]
+        for earlier, later in zip(alphas, alphas[1:]):
+            assert later <= earlier + 1e-9
+
+    def test_custom_budget(self, small_instance):
+        tight = sparsification_bound(small_instance, 0.5, budget=0.1)
+        default = sparsification_bound(small_instance, 0.5)
+        assert tight.alpha <= default.alpha + 1e-9

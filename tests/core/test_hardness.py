@@ -1,0 +1,114 @@
+"""Tests for the Theorem 3.4 reduction (Maximum Coverage → PAR)."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.core.bruteforce import branch_and_bound
+from repro.core.greedy import UC, lazy_greedy
+from repro.core.hardness import (
+    MaxCoverageInstance,
+    exact_max_coverage,
+    greedy_max_coverage,
+    mc_to_par,
+    par_selection_to_mc,
+)
+from repro.core.objective import score
+from repro.errors import ValidationError
+
+
+def _mc(seed: int = 0, n_elements: int = 8, n_sets: int = 6, k: int = 3):
+    rng = np.random.default_rng(seed)
+    sets = [
+        frozenset(int(e) for e in rng.choice(n_elements, size=rng.integers(1, 4), replace=False))
+        for _ in range(n_sets)
+    ]
+    return MaxCoverageInstance(n_elements=n_elements, sets=sets, k=k)
+
+
+class TestMaxCoverage:
+    def test_coverage_counts(self):
+        mc = MaxCoverageInstance(4, [frozenset({0, 1}), frozenset({1, 2})], k=2)
+        assert mc.coverage([0]) == 2
+        assert mc.coverage([0, 1]) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            MaxCoverageInstance(0, [], k=1)
+        with pytest.raises(ValidationError):
+            MaxCoverageInstance(2, [frozenset({5})], k=1)
+        with pytest.raises(ValidationError):
+            MaxCoverageInstance(2, [frozenset({0})], k=0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_greedy_guarantee(self, seed):
+        mc = _mc(seed)
+        _, exact_cov = exact_max_coverage(mc)
+        _, greedy_cov = greedy_max_coverage(mc)
+        assert greedy_cov >= (1 - 1 / np.e) * exact_cov - 1e-9
+
+    def test_exact_guard(self):
+        mc = _mc(0, n_sets=6)
+        with pytest.raises(ValueError):
+            exact_max_coverage(mc, max_sets=5)
+
+
+class TestReduction:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_par_score_equals_mc_coverage(self, seed):
+        """The heart of Theorem 3.4: G(S) == |covered elements| for every
+        selection of photos."""
+        mc = _mc(seed)
+        par = mc_to_par(mc)
+        rng = np.random.default_rng(seed)
+        for _ in range(10):
+            size = int(rng.integers(0, len(mc.sets) + 1))
+            sel = sorted(int(s) for s in rng.choice(len(mc.sets), size=size, replace=False))
+            assert score(par, sel) == pytest.approx(mc.coverage(sel))
+
+    def test_budget_equals_k(self):
+        mc = _mc(1, k=3)
+        par = mc_to_par(mc)
+        assert par.budget == 3.0
+        assert all(p.cost == 1.0 for p in par.photos)
+
+    def test_uncoverable_elements_are_dropped(self):
+        mc = MaxCoverageInstance(3, [frozenset({0})], k=1)
+        par = mc_to_par(mc)
+        assert len(par.subsets) == 1  # elements 1, 2 covered by no set
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_optimal_solutions_transfer(self, seed):
+        """An optimal PAR solution of the reduced instance is an optimal MC
+        solution, with equal value."""
+        mc = _mc(seed)
+        par = mc_to_par(mc)
+        par_opt = branch_and_bound(par)
+        _, mc_opt_cov = exact_max_coverage(mc)
+        chosen = par_selection_to_mc(par_opt.selection)
+        assert mc.coverage(chosen) == pytest.approx(par_opt.value)
+        assert par_opt.value == pytest.approx(mc_opt_cov)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_greedy_transfers(self, seed):
+        """PAR's UC greedy on the reduction behaves like MC greedy: same
+        achieved coverage (ties aside, both are the classical greedy)."""
+        mc = _mc(seed)
+        par = mc_to_par(mc)
+        par_run = lazy_greedy(par, UC)
+        _, greedy_cov = greedy_max_coverage(mc)
+        assert par_run.value == pytest.approx(greedy_cov)
+
+    def test_subset_structure(self):
+        mc = MaxCoverageInstance(2, [frozenset({0, 1}), frozenset({1})], k=1)
+        par = mc_to_par(mc)
+        by_id = {q.subset_id: q for q in par.subsets}
+        assert list(by_id["element-0"].members) == [0]
+        assert list(by_id["element-1"].members) == [0, 1]
+        q1 = by_id["element-1"]
+        # Uniform relevance 1/|q|, all-ones similarity.
+        assert q1.relevance == pytest.approx([0.5, 0.5])
+        assert q1.sim(0, 1) == 1.0

@@ -1,0 +1,159 @@
+"""Tests that pin the library to the paper's own worked numbers.
+
+Figure 1 (the input), Figure 2 (its GFL formulation), Figure 3 (the
+Algorithm 2 trace) and Example 5.2's qualitative behaviour are all
+encoded here, making the reproduction's arithmetic auditable against the
+published example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import CB, UC, lazy_greedy
+from repro.core.objective import CoverageState, max_score, score
+from repro.core.paper_example import MB, figure1_instance
+from repro.gfl.graph import from_par
+
+
+class TestFigure1Input:
+    def test_photo_sizes(self, figure1):
+        sizes = [p.cost / MB for p in figure1.photos]
+        assert sizes == pytest.approx([1.2, 0.7, 2.1, 0.9, 0.8, 1.1, 1.3])
+
+    def test_subset_structure(self, figure1):
+        by_id = {q.subset_id: q for q in figure1.subsets}
+        assert list(by_id["Bikes"].members) == [0, 1, 2]
+        assert by_id["Bikes"].weight == 9.0
+        assert by_id["Cats"].weight == 1.0
+        assert by_id["Bookshelf"].weight == 3.0
+        assert by_id["Books"].weight == 1.0
+
+    def test_relevance_values(self, figure1):
+        by_id = {q.subset_id: q for q in figure1.subsets}
+        assert by_id["Bikes"].relevance == pytest.approx([0.5, 0.3, 0.2])
+        assert by_id["Cats"].relevance == pytest.approx([0.3, 0.4, 0.3])
+        assert by_id["Books"].relevance == pytest.approx([0.7, 0.3])
+
+    def test_similarity_values(self, figure1):
+        by_id = {q.subset_id: q for q in figure1.subsets}
+        assert by_id["Bikes"].sim(0, 1) == pytest.approx(0.7)
+        assert by_id["Bikes"].sim(0, 2) == pytest.approx(0.8)
+        assert by_id["Bikes"].sim(1, 2) == pytest.approx(0.5)
+        assert by_id["Cats"].sim(3, 4) == pytest.approx(0.7)
+        assert by_id["Cats"].sim(3, 5) == pytest.approx(0.4)
+        assert by_id["Books"].sim(5, 6) == pytest.approx(0.7)
+        # Cross-subset similarity is 0 by definition.
+        assert by_id["Bikes"].sim(0, 5) == 0.0
+
+    def test_total_weight_is_14(self, figure1):
+        assert max_score(figure1) == pytest.approx(14.0)
+
+    def test_budget_parameterisable(self):
+        assert figure1_instance(2.0).budget == pytest.approx(2.0 * MB)
+
+
+class TestFigure2GFL:
+    """Figure 2 materialises the GFL bipartite graph of the example."""
+
+    def test_left_node_weights_are_sizes(self, figure1):
+        gfl = from_par(figure1)
+        assert gfl.left_weights / MB == pytest.approx([1.2, 0.7, 2.1, 0.9, 0.8, 1.1, 1.3])
+
+    def test_right_node_weights_match_figure(self, figure1):
+        gfl = from_par(figure1)
+        w = {node: weight for node, weight in zip(gfl.right_nodes, gfl.right_weights)}
+        # Figure 2 annotates, e.g., (q1,p1)=9*0.5, (q3,p6)=3*1, (q2,p6)=1*0.3.
+        assert w[("Bikes", 0)] == pytest.approx(4.5)
+        assert w[("Bikes", 1)] == pytest.approx(2.7)
+        assert w[("Bikes", 2)] == pytest.approx(1.8)
+        assert w[("Bookshelf", 5)] == pytest.approx(3.0)
+        assert w[("Cats", 5)] == pytest.approx(0.3)
+        assert w[("Books", 6)] == pytest.approx(0.3)
+
+    def test_edge_weights_match_figure(self, figure1):
+        gfl = from_par(figure1)
+        idx = {node: r for r, node in enumerate(gfl.right_nodes)}
+        edges_q1p2 = dict(gfl.edges[idx[("Bikes", 1)]])
+        assert edges_q1p2[0] == pytest.approx(0.7)   # p1 -> (q1, p2)
+        assert edges_q1p2[2] == pytest.approx(0.5)   # p3 -> (q1, p2)
+        assert edges_q1p2[1] == pytest.approx(1.0)   # the loop edge
+
+
+class TestFigure3Trace:
+    """The full Step 0-3 walk of Section 4.4."""
+
+    def test_step1_initial_gains(self, figure1):
+        state = CoverageState(figure1)
+        expected = {0: 7.83, 1: 6.75, 2: 6.75, 3: 0.70, 4: 0.82, 5: 4.61, 6: 0.79}
+        for p, value in expected.items():
+            assert state.gain(p) == pytest.approx(value, abs=1e-9), f"δ_p{p+1}"
+
+    def test_step2_recalculations(self, figure1):
+        # After selecting p1: Figure 3 recalculates δ_p3 = 0.36, δ_p2 = 0.81,
+        # and p6 keeps its 4.61 and is selected.
+        state = CoverageState(figure1, [0])
+        assert state.gain(2) == pytest.approx(0.36)
+        assert state.gain(1) == pytest.approx(0.81)
+        assert state.gain(5) == pytest.approx(4.61)
+
+    def test_step3_p2_selected(self, figure1):
+        # After p1 and p6, p2's 0.81 is the top refreshed gain.
+        state = CoverageState(figure1, [0, 5])
+        gains = {p: state.gain(p) for p in (1, 2, 3, 4, 6)}
+        assert max(gains, key=gains.get) == 1
+        assert gains[1] == pytest.approx(0.81)
+
+    def test_uc_pick_sequence(self, figure1):
+        run = lazy_greedy(figure1, UC)
+        assert [p for p, _ in run.picks[:3]] == [0, 5, 1]
+
+    def test_lazy_trace_step2_matches_figure3(self, figure1):
+        """Figure 3's Step 2: p3 and p2 are tested but 'neither are
+        selected since they do not have the highest δ after
+        recalculation ... Therefore p6 is selected'."""
+        run = lazy_greedy(figure1, UC, trace=True)
+        step2 = [e for e in run.trace if e.step == 2]
+        refreshed = {e.photo_id: e.gain for e in step2 if e.kind == "refresh"}
+        assert refreshed[1] == pytest.approx(0.81)   # δ_p2 recalculated
+        assert refreshed[2] == pytest.approx(0.36)   # δ_p3 recalculated
+        select = [e for e in step2 if e.kind == "select"]
+        assert len(select) == 1 and select[0].photo_id == 5  # p6 selected
+
+    def test_lazy_trace_step3_matches_figure3(self, figure1):
+        """Figure 3's Step 3: 'p5 is initially selected, but after
+        recalculation it turns out that p2 is again the highest ...
+        Step 3 ends with p2 being selected'."""
+        run = lazy_greedy(figure1, UC, trace=True)
+        step3 = [e for e in run.trace if e.step == 3]
+        refreshed_ids = [e.photo_id for e in step3 if e.kind == "refresh"]
+        assert 4 in refreshed_ids                       # p5 gets re-tested
+        select = [e for e in step3 if e.kind == "select"]
+        assert select[0].photo_id == 1                  # p2 wins the step
+
+    def test_trace_off_by_default(self, figure1):
+        assert lazy_greedy(figure1, UC).trace == []
+
+    def test_final_solution_value(self, figure1):
+        # With the 4 Mb budget the greedy continues past Figure 3's three
+        # steps and adds p5, reaching the instance optimum 13.46.
+        run = lazy_greedy(figure1, UC)
+        assert sorted(run.selection) == [0, 1, 4, 5]
+        assert run.value == pytest.approx(13.46)
+        assert run.cost == pytest.approx(3.8 * MB)
+
+
+class TestExample52Behaviour:
+    """Example 5.2's qualitative claims, transplanted onto Figure 1."""
+
+    def test_most_important_subset_served_first(self, figure1):
+        run = lazy_greedy(figure1, UC)
+        first = run.picks[0][0]
+        bikes = figure1.subsets[0]
+        assert first in bikes  # the weight-9 subset gets its photo first
+
+    def test_shared_photo_covers_multiple_pages(self, figure1):
+        # p6 serves Cats, Bookshelf AND Books at once — the "stored once,
+        # used multiple times" effect the analysts value.
+        assert score(figure1, [5]) == pytest.approx(0.7 + 3.0 + 0.91)

@@ -1,0 +1,83 @@
+"""Tests for the solve() facade and Solution reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.solver import Solution, available_algorithms, solve
+from repro.core.objective import score
+from repro.errors import ConfigurationError
+
+from tests.conftest import random_instance
+
+
+class TestRegistry:
+    def test_expected_algorithms_registered(self):
+        names = available_algorithms()
+        for expected in (
+            "phocus", "lazy-uc", "lazy-cb", "naive-greedy", "sviridenko",
+            "bruteforce", "rand-a", "rand-d", "greedy-nr", "greedy-ncs",
+        ):
+            assert expected in names
+
+    def test_unknown_algorithm_raises(self, figure1):
+        with pytest.raises(ConfigurationError):
+            solve(figure1, "does-not-exist")
+
+
+class TestSolve:
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["phocus", "lazy-uc", "lazy-cb", "naive-greedy", "sviridenko", "bruteforce",
+         "rand-a", "rand-d", "greedy-nr"],
+    )
+    def test_every_algorithm_returns_feasible_solution(self, figure1, algorithm):
+        sol = solve(figure1, algorithm, rng=np.random.default_rng(0))
+        assert figure1.feasible(sol.selection)
+        assert sol.value == pytest.approx(score(figure1, sol.selection))
+        assert sol.cost <= figure1.budget
+        assert sol.algorithm == algorithm
+        assert sol.elapsed_seconds >= 0.0
+
+    def test_greedy_ncs_needs_embeddings(self, small_instance):
+        sol = solve(small_instance, "greedy-ncs")
+        assert small_instance.feasible(sol.selection)
+
+    def test_selection_is_sorted_and_unique(self, figure1):
+        sol = solve(figure1, "phocus")
+        assert sol.selection == sorted(set(sol.selection))
+
+    def test_retained_always_included(self):
+        inst = random_instance(seed=7, retained=2)
+        for algorithm in ("phocus", "rand-a", "greedy-nr"):
+            sol = solve(inst, algorithm, rng=np.random.default_rng(1))
+            assert inst.retained.issubset(set(sol.selection))
+
+    def test_certificate_requested(self, small_instance):
+        sol = solve(small_instance, "phocus", certificate=True)
+        assert sol.ratio_certificate is not None
+        assert 0.0 < sol.ratio_certificate <= 1.0
+
+    def test_certificate_not_computed_by_default(self, small_instance):
+        assert solve(small_instance, "phocus").ratio_certificate is None
+
+    def test_budget_utilisation(self, figure1):
+        sol = solve(figure1, "phocus")
+        assert sol.budget_utilisation == pytest.approx(sol.cost / figure1.budget)
+
+    def test_phocus_dominates_random(self, small_instance):
+        phocus = solve(small_instance, "phocus")
+        rand = solve(small_instance, "rand-a", rng=np.random.default_rng(0))
+        assert phocus.value >= rand.value - 1e-9
+
+    def test_bruteforce_dominates_phocus(self, small_instance):
+        exact = solve(small_instance, "bruteforce")
+        phocus = solve(small_instance, "phocus")
+        assert exact.value >= phocus.value - 1e-9
+
+    def test_extras_populated(self, figure1):
+        sol = solve(figure1, "phocus")
+        assert "mode" in sol.extras and "evaluations" in sol.extras
+        exact = solve(figure1, "bruteforce")
+        assert exact.extras.get("exact") is True

@@ -1,0 +1,59 @@
+"""Tests for the plain-text bar-chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.ascii_chart import grouped_bar_chart, quality_grid_chart
+from repro.bench.harness import run_quality_grid
+from repro.datasets.public import generate_public_dataset
+
+
+class TestGroupedBarChart:
+    def test_basic_render(self):
+        text = grouped_bar_chart(
+            ["small", "large"],
+            {"A": [1.0, 2.0], "B": [0.5, 1.5]},
+            width=10,
+            title="demo",
+        )
+        assert text.startswith("demo")
+        assert "small:" in text and "large:" in text
+        assert text.count("|") == 8  # two bars per group, two delimiters each
+
+    def test_bar_lengths_scale_with_values(self):
+        text = grouped_bar_chart(["g"], {"big": [10.0], "tiny": [1.0]}, width=20)
+        lines = text.splitlines()
+        big_line = next(l for l in lines if "big" in l)
+        tiny_line = next(l for l in lines if "tiny" in l)
+        assert big_line.count("█") > tiny_line.count("█")
+
+    def test_full_scale_bar_fills_width(self):
+        text = grouped_bar_chart(["g"], {"max": [5.0]}, width=12)
+        assert "█" * 12 in text
+
+    def test_zero_values(self):
+        text = grouped_bar_chart(["g"], {"zero": [0.0]}, width=10)
+        assert "█" not in text.splitlines()[-1]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a", "b"], {"s": [1.0]})
+
+    def test_value_format(self):
+        text = grouped_bar_chart(["g"], {"s": [0.123456]}, value_format="{:.4f}")
+        assert "0.1235" in text
+
+
+class TestQualityGridChart:
+    def test_renders_grid(self):
+        dataset = generate_public_dataset(40, 8, seed=2)
+        grid = run_quality_grid(
+            dataset,
+            [dataset.total_cost_mb() * 0.2],
+            ["rand-a", "phocus"],
+        )
+        text = quality_grid_chart(grid)
+        assert "PHOcus" in text
+        assert "RAND" in text
+        assert "MB" in text

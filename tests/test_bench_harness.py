@@ -1,0 +1,87 @@
+"""Tests for the shared experiment harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    format_grid,
+    ordering_violations,
+    run_quality_grid,
+)
+from repro.datasets.public import generate_public_dataset
+from repro.sparsify.pipeline import sparsify_instance
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_public_dataset(80, 12, name="bench-test", seed=0)
+
+
+@pytest.fixture(scope="module")
+def grid(dataset):
+    budgets = [dataset.total_cost_mb() * f for f in (0.1, 0.3)]
+    return run_quality_grid(
+        dataset, budgets, ["rand-a", "greedy-nr", "phocus"], seed=1
+    )
+
+
+class TestRunQualityGrid:
+    def test_all_cells_present(self, grid):
+        assert len(grid.cells) == 2 * 3
+        for budget in grid.budgets:
+            for algorithm in grid.algorithms:
+                assert grid.value(budget, algorithm) >= 0.0
+
+    def test_series(self, grid):
+        series = grid.series("phocus")
+        assert len(series) == 2
+        # Quality grows with budget (monotone objective + more room).
+        assert series[1] >= series[0] - 1e-9
+
+    def test_missing_cell_raises(self, grid):
+        with pytest.raises(KeyError):
+            grid.value(123.0, "phocus")
+
+    def test_max_value_is_weight_sum(self, grid, dataset):
+        inst = dataset.instance(1.0)
+        from repro.core.objective import max_score
+
+        assert grid.max_value == pytest.approx(max_score(inst))
+
+    def test_instance_transform_scored_on_true_objective(self, dataset):
+        budgets = [dataset.total_cost_mb() * 0.2]
+        grid = run_quality_grid(
+            dataset,
+            budgets,
+            ["phocus"],
+            instance_transform=lambda inst: sparsify_instance(inst, 0.4)[0],
+        )
+        cell = grid.cells[0]
+        # True-objective score: must be positive and at most the ceiling.
+        assert 0 < cell.value <= grid.max_value + 1e-9
+
+
+class TestFormatting:
+    def test_format_contains_all_algorithms(self, grid):
+        text = format_grid(grid)
+        assert "PHOcus" in text and "G-NR" in text and "RAND" in text
+        assert "MB" in text
+
+    def test_relative_format_percentages(self, grid):
+        text = format_grid(grid, relative=True)
+        assert "%" in text
+
+
+class TestOrderingViolations:
+    def test_expected_order_holds(self, grid):
+        violations = ordering_violations(grid, ["phocus", "rand-a"])
+        assert violations == []
+
+    def test_detects_violation(self, grid):
+        # Reversed expectation must produce violations at every budget.
+        violations = ordering_violations(grid, ["rand-a", "phocus"])
+        assert len(violations) == len(grid.budgets)
+
+    def test_tolerance_absorbs_near_ties(self, grid):
+        assert ordering_violations(grid, ["phocus", "greedy-nr"], tolerance=10.0) == []

@@ -1,0 +1,119 @@
+"""Tests for the access-driven cache policies (LRU/LFU)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.objective import score
+from repro.core.solver import solve
+from repro.errors import ValidationError
+from repro.storage.caching import ByteCapacityCache, replay_accesses
+
+from tests.conftest import random_instance
+
+
+class TestByteCapacityCache:
+    def _sizes(self):
+        return {0: 1.0, 1: 1.0, 2: 1.0, 3: 2.0}
+
+    def test_miss_then_hit(self):
+        cache = ByteCapacityCache(3.0, self._sizes(), policy="lru")
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+
+    def test_lru_evicts_oldest(self):
+        cache = ByteCapacityCache(2.0, self._sizes(), policy="lru")
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)       # refresh 0 -> 1 is now oldest
+        cache.access(2)       # evicts 1
+        assert set(cache.resident) == {0, 2}
+
+    def test_lfu_evicts_least_frequent(self):
+        cache = ByteCapacityCache(2.0, self._sizes(), policy="lfu")
+        cache.access(0)
+        cache.access(0)
+        cache.access(1)       # freq: 0->2, 1->1
+        cache.access(2)       # evicts 1 (lowest frequency)
+        assert set(cache.resident) == {0, 2}
+
+    def test_oversized_item_never_admitted(self):
+        cache = ByteCapacityCache(1.5, self._sizes(), policy="lru")
+        assert cache.access(3) is False
+        assert cache.resident == []
+
+    def test_pinned_items_resident_and_protected(self):
+        cache = ByteCapacityCache(2.0, self._sizes(), policy="lru", pinned=[0])
+        assert cache.access(0) is True  # pinned = pre-admitted
+        cache.access(1)
+        cache.access(2)  # must evict 1, never 0
+        assert 0 in cache.resident
+
+    def test_pinned_exceeding_capacity(self):
+        with pytest.raises(ValidationError):
+            ByteCapacityCache(1.0, self._sizes(), pinned=[0, 1])
+
+    def test_admission_fails_when_only_pinned_remain(self):
+        cache = ByteCapacityCache(2.0, self._sizes(), policy="lru", pinned=[0, 1])
+        assert cache.access(2) is False
+        assert set(cache.resident) == {0, 1}
+
+    def test_used_bytes_tracks_residents(self):
+        cache = ByteCapacityCache(3.0, self._sizes())
+        cache.access(0)
+        cache.access(3)
+        assert cache.used_bytes == pytest.approx(3.0)
+
+    def test_unknown_photo(self):
+        cache = ByteCapacityCache(2.0, self._sizes())
+        with pytest.raises(ValidationError):
+            cache.access(99)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValidationError):
+            ByteCapacityCache(0.0, self._sizes())
+        with pytest.raises(ValidationError):
+            ByteCapacityCache(2.0, self._sizes(), policy="fifo")
+
+
+class TestReplayAccesses:
+    def test_result_fields(self, small_instance):
+        result = replay_accesses(
+            small_instance, policy="lru", n_visits=100,
+            rng=np.random.default_rng(0),
+        )
+        assert result.accesses > 0
+        assert 0.0 <= result.hit_rate <= 1.0
+        assert result.final_bytes <= small_instance.budget * (1 + 1e-9)
+
+    def test_deterministic_with_seed(self, small_instance):
+        a = replay_accesses(small_instance, n_visits=50, rng=np.random.default_rng(4))
+        b = replay_accesses(small_instance, n_visits=50, rng=np.random.default_rng(4))
+        assert a.hit_rate == b.hit_rate
+        assert a.final_resident == b.final_resident
+
+    def test_lru_and_lfu_both_run(self, small_instance):
+        for policy in ("lru", "lfu"):
+            result = replay_accesses(
+                small_instance, policy=policy, n_visits=60,
+                rng=np.random.default_rng(1),
+            )
+            assert result.policy == policy
+
+    def test_redundancy_blindness_vs_phocus(self):
+        """The Section 2 claim: an access-driven cache ends up holding a
+        photo set whose PAR objective trails the PHOcus selection, because
+        recency/frequency never account for similarity redundancy."""
+        losses = 0
+        for seed in range(5):
+            inst = random_instance(seed=seed, n_photos=24, n_subsets=8,
+                                   budget_fraction=0.3)
+            phocus_value = solve(inst, "phocus").value
+            cache = replay_accesses(
+                inst, policy="lru", n_visits=400, rng=np.random.default_rng(seed)
+            )
+            cache_value = score(inst, cache.final_resident)
+            if cache_value < phocus_value - 1e-9:
+                losses += 1
+        assert losses >= 4

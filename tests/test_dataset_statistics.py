@@ -1,0 +1,89 @@
+"""Statistical-shape tests of the dataset generators.
+
+The paper's inputs have characteristic distributions — Zipf query/label
+popularity, heavy subset-size tails, lognormal photo sizes — and the
+reproduction's claims rest on the generators matching those shapes, not
+just the counts.  These tests fit the distributions and assert the
+parameters land where the generators promise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.ecommerce import DOMAINS, generate_ecommerce_dataset, generate_query_log
+from repro.datasets.public import generate_public_dataset
+
+
+class TestZipfQueryLog:
+    def test_log_log_slope_near_minus_one(self):
+        """The generator draws frequencies from rank^-1.05; the empirical
+        log-log slope of counts vs rank must sit near -1."""
+        rng = np.random.default_rng(0)
+        log = generate_query_log(DOMAINS["Fashion"], 60, 500_000, rng)
+        counts = np.array([c for _, c in log], dtype=np.float64)
+        ranks = np.arange(1, len(counts) + 1, dtype=np.float64)
+        # Fit on the head (the tail is multinomial-noise dominated).
+        head = slice(0, 30)
+        slope, _ = np.polyfit(np.log(ranks[head]), np.log(counts[head]), 1)
+        assert -1.4 < slope < -0.7
+
+    def test_head_heaviness(self):
+        rng = np.random.default_rng(1)
+        log = generate_query_log(DOMAINS["Electronics"], 50, 200_000, rng)
+        counts = np.array([c for _, c in log], dtype=np.float64)
+        top10 = counts[:10].sum() / counts.sum()
+        assert top10 > 0.5  # the head carries most of the traffic
+
+
+class TestPublicLabelPopularity:
+    def test_subset_sizes_heavy_tailed(self):
+        ds = generate_public_dataset(400, 60, seed=2)
+        sizes = np.array(sorted((len(s.members) for s in ds.specs), reverse=True),
+                         dtype=np.float64)
+        # The biggest label subset dwarfs the median one.
+        assert sizes[0] > 3 * np.median(sizes)
+
+    def test_weights_track_membership(self):
+        """Popular labels (heavier weight) own more photos on average."""
+        ds = generate_public_dataset(400, 60, seed=3)
+        weights = np.array([s.weight for s in ds.specs])
+        sizes = np.array([len(s.members) for s in ds.specs], dtype=np.float64)
+        corr = np.corrcoef(weights, sizes)[0, 1]
+        assert corr > 0.5
+
+
+class TestCostDistribution:
+    def test_public_costs_lognormal_scale(self):
+        ds = generate_public_dataset(500, 40, seed=4)
+        costs = np.array([p.cost for p in ds.photos])
+        # Centred near 1 MB with the configured sigma.
+        log_costs = np.log(costs)
+        assert abs(log_costs.mean() - np.log(1.0e6)) < 0.1
+        assert 0.3 < log_costs.std() < 0.6
+
+    def test_ec_costs_smaller_and_tighter(self):
+        ds = generate_ecommerce_dataset("Fashion", 200, n_queries=20, seed=5)
+        costs = np.array([p.cost for p in ds.photos])
+        assert np.median(costs) < 1.0e6  # product shots, not full frames
+        assert costs.min() > 1e4
+
+
+class TestRelevanceConcentration:
+    def test_ec_relevance_follows_retrieval_rank(self):
+        """Within a query subset, raw relevance must decrease (weakly) in
+        retrieval order — BM25 rank is the paper's relevance signal."""
+        ds = generate_ecommerce_dataset("Electronics", 150, n_queries=15, seed=6)
+        # Raw relevance = score * quality-term; correlation with position
+        # should be clearly negative even after the quality modulation.
+        negatives = 0
+        for spec in ds.specs:
+            rel = np.asarray(spec.relevance, dtype=np.float64)
+            if len(rel) < 5:
+                continue
+            positions = np.arange(len(rel))
+            corr = np.corrcoef(positions, rel)[0, 1]
+            if corr < 0:
+                negatives += 1
+        assert negatives >= len([s for s in ds.specs if len(s.members) >= 5]) * 0.7

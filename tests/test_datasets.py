@@ -1,0 +1,277 @@
+"""Tests for the dataset generators, registry, and serialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset
+from repro.datasets.ecommerce import (
+    DOMAINS,
+    generate_ecommerce_dataset,
+    generate_query_log,
+)
+from repro.datasets.io import load_dataset, save_dataset
+from repro.datasets.public import generate_public_dataset
+from repro.datasets.registry import TABLE2, dataset_names, load
+from repro.errors import ConfigurationError, ValidationError
+
+
+class TestPublicGenerator:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_public_dataset(120, 20, name="P-test", seed=1)
+
+    def test_counts(self, dataset):
+        assert dataset.n_photos == 120
+        assert 1 <= dataset.n_subsets <= 20
+        assert dataset.embeddings.shape == (120, 64)
+
+    def test_every_subset_nonempty_with_positive_weight(self, dataset):
+        for spec in dataset.specs:
+            assert len(spec.members) >= 1
+            assert spec.weight > 0
+            assert all(r > 0 for r in spec.relevance)
+
+    def test_members_in_range(self, dataset):
+        for spec in dataset.specs:
+            assert all(0 <= m < dataset.n_photos for m in spec.members)
+
+    def test_embeddings_unit_norm(self, dataset):
+        norms = np.linalg.norm(dataset.embeddings, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-6)
+
+    def test_deterministic_by_seed(self):
+        a = generate_public_dataset(50, 10, seed=7)
+        b = generate_public_dataset(50, 10, seed=7)
+        assert np.allclose(a.embeddings, b.embeddings)
+        assert [p.cost for p in a.photos] == [p.cost for p in b.photos]
+        assert [s.subset_id for s in a.specs] == [s.subset_id for s in b.specs]
+
+    def test_different_seed_differs(self):
+        a = generate_public_dataset(50, 10, seed=1)
+        b = generate_public_dataset(50, 10, seed=2)
+        assert not np.allclose(a.embeddings, b.embeddings)
+
+    def test_cluster_structure_in_embeddings(self, dataset):
+        """Within-cluster cosine similarity must exceed across-cluster."""
+        clusters = {}
+        for photo in dataset.photos:
+            clusters.setdefault(photo.metadata["cluster"], []).append(photo.photo_id)
+        big = [ids for ids in clusters.values() if len(ids) >= 3][:5]
+        emb = dataset.embeddings
+        within, across = [], []
+        for ids in big:
+            block = emb[ids]
+            within.append(float(np.mean(block @ block.T)))
+            other = emb[[i for i in range(dataset.n_photos) if i not in ids][:20]]
+            across.append(float(np.mean(block @ other.T)))
+        assert np.mean(within) > np.mean(across)
+
+    def test_render_mode(self):
+        ds = generate_public_dataset(30, 6, seed=3, image_mode="render")
+        assert ds.n_photos == 30
+        assert all(p.cost > 0 for p in ds.photos)
+        assert all(0 <= p.metadata["quality"] <= 1 for p in ds.photos)
+
+    def test_retained_fraction(self):
+        ds = generate_public_dataset(60, 10, seed=4, retained_fraction=0.1)
+        assert len(ds.retained) == 6
+
+    def test_instance_build(self):
+        ds = generate_public_dataset(60, 10, seed=5)
+        inst = ds.instance(ds.total_cost() * 0.2)
+        assert inst.n == 60
+        assert inst.budget == pytest.approx(ds.total_cost() * 0.2)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            generate_public_dataset(1, 1)
+        with pytest.raises(ConfigurationError):
+            generate_public_dataset(10, 2, image_mode="webcam")
+
+
+class TestQueryLog:
+    def test_zipf_head_dominates(self):
+        rng = np.random.default_rng(0)
+        log = generate_query_log(DOMAINS["Fashion"], 40, 100_000, rng)
+        counts = [c for _, c in log]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[0] > counts[-1]
+
+    def test_distinct_queries(self):
+        rng = np.random.default_rng(1)
+        log = generate_query_log(DOMAINS["Electronics"], 30, 10_000, rng)
+        queries = [q for q, _ in log]
+        assert len(queries) == len(set(queries))
+
+    def test_vocabulary_exhaustion_raises(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ConfigurationError):
+            generate_query_log(DOMAINS["Fashion"], 100_000, 1000, rng)
+
+
+class TestEcommerceGenerator:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_ecommerce_dataset("Fashion", 120, n_queries=25, seed=2)
+
+    def test_counts(self, dataset):
+        # 1-4 photos per product.
+        assert 120 <= dataset.n_photos <= 480
+        assert 1 <= dataset.n_subsets <= 25
+
+    def test_subsets_come_from_query_log(self, dataset):
+        kept = dict(dataset.extras["query_log"])
+        for spec in dataset.specs:
+            assert spec.subset_id in kept
+
+    def test_weights_are_query_frequencies(self, dataset):
+        kept = dict(dataset.extras["query_log"])
+        total = sum(c for _, c in dataset.extras["query_log"])
+        # Weight proportional to frequency among all log events; ordering preserved.
+        weights = [s.weight for s in dataset.specs]
+        counts = [kept[s.subset_id] for s in dataset.specs]
+        order_w = np.argsort(weights)
+        order_c = np.argsort(counts)
+        assert list(order_w) == list(order_c)
+
+    def test_retrieved_photos_match_query_terms(self, dataset):
+        """Every member of a query subset must textually match the query."""
+        from repro.search.tokenizer import tokenize
+
+        spec = dataset.specs[0]
+        q_terms = set(tokenize(spec.subset_id))
+        for member in spec.members[:10]:
+            title_terms = set(tokenize(dataset.photos[member].label))
+            assert q_terms & title_terms
+
+    def test_retention_is_capped_and_contracted(self, dataset):
+        assert len(dataset.retained) <= max(1, dataset.n_photos // 50)
+        contract = set(dataset.extras["contract_brands"])
+        for p in dataset.retained:
+            assert dataset.photos[p].metadata["brand"] in contract
+
+    def test_unknown_domain(self):
+        with pytest.raises(ConfigurationError):
+            generate_ecommerce_dataset("Groceries", 10)
+
+    def test_deterministic_by_seed(self):
+        a = generate_ecommerce_dataset("Electronics", 40, n_queries=10, seed=3)
+        b = generate_ecommerce_dataset("Electronics", 40, n_queries=10, seed=3)
+        assert [p.label for p in a.photos] == [p.label for p in b.photos]
+        assert np.allclose(a.embeddings, b.embeddings)
+
+    def test_instance_solvable(self, dataset):
+        from repro.core.solver import solve
+
+        inst = dataset.instance(dataset.total_cost() * 0.1)
+        sol = solve(inst, "phocus")
+        assert sol.value > 0
+
+
+class TestDatasetContainer:
+    def test_describe(self):
+        ds = generate_public_dataset(40, 8, seed=1)
+        desc = ds.describe()
+        assert desc["photos"] == 40
+        assert desc["source"] == "public"
+        assert desc["total_mb"] > 0
+
+    def test_embedding_count_validated(self):
+        ds = generate_public_dataset(40, 8, seed=1)
+        with pytest.raises(ValidationError):
+            Dataset(
+                name="bad",
+                photos=ds.photos,
+                specs=ds.specs,
+                embeddings=ds.embeddings[:10],
+            )
+
+    def test_instance_for_fraction(self):
+        ds = generate_public_dataset(40, 8, seed=1)
+        inst = ds.instance_for_fraction(0.5)
+        assert inst.budget == pytest.approx(ds.total_cost() * 0.5)
+        with pytest.raises(ValidationError):
+            ds.instance_for_fraction(0.0)
+
+
+class TestRegistry:
+    def test_table2_matches_paper(self):
+        assert TABLE2["P-1K"].n_photos == 1000
+        assert TABLE2["P-1K"].n_subsets == 193
+        assert TABLE2["P-100K"].n_subsets == 33721
+        assert TABLE2["EC-Fashion"].n_photos == 18745
+        assert TABLE2["EC-Electronics"].n_photos == 22783
+        assert TABLE2["EC-Home & Garden"].n_photos == 19235
+        for name in ("EC-Fashion", "EC-Electronics", "EC-Home & Garden"):
+            assert TABLE2[name].n_subsets == 250
+
+    def test_names_in_order(self):
+        assert dataset_names()[0] == "P-1K"
+        assert len(dataset_names()) == 8
+
+    def test_scaled(self):
+        cfg = TABLE2["P-10K"].scaled(0.01)
+        assert cfg.n_photos == 100
+        assert cfg.n_subsets == 40
+        with pytest.raises(ConfigurationError):
+            TABLE2["P-10K"].scaled(0)
+
+    def test_load_public(self):
+        ds = load("P-1K", scale=0.1, seed=0)
+        assert ds.name == "P-1K"
+        assert ds.n_photos == 100
+
+    def test_load_ecommerce(self):
+        ds = load("EC-Fashion", scale=0.02, seed=0)
+        assert ds.source == "ecommerce"
+        assert ds.n_photos > 0
+
+    def test_load_unknown(self):
+        with pytest.raises(ConfigurationError):
+            load("P-2K")
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path):
+        original = generate_public_dataset(30, 6, seed=9)
+        path = tmp_path / "ds.json"
+        save_dataset(original, path)
+        loaded = load_dataset(path)
+        assert loaded.name == original.name
+        assert loaded.n_photos == original.n_photos
+        assert np.allclose(loaded.embeddings, original.embeddings)
+        assert [p.cost for p in loaded.photos] == pytest.approx(
+            [p.cost for p in original.photos]
+        )
+        assert [s.subset_id for s in loaded.specs] == [s.subset_id for s in original.specs]
+        assert loaded.retained == original.retained
+
+    def test_roundtrip_produces_identical_instances(self, tmp_path):
+        from repro.core.objective import score
+        from repro.core.solver import solve
+
+        original = generate_public_dataset(30, 6, seed=9)
+        path = tmp_path / "ds.json"
+        save_dataset(original, path)
+        loaded = load_dataset(path)
+        budget = original.total_cost() * 0.3
+        sol_a = solve(original.instance(budget), "phocus")
+        sol_b = solve(loaded.instance(budget), "phocus")
+        assert sol_a.selection == sol_b.selection
+        assert sol_a.value == pytest.approx(sol_b.value)
+
+    def test_version_check(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99}))
+        with pytest.raises(ValidationError):
+            load_dataset(path)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        ds = generate_public_dataset(20, 4, seed=1)
+        path = tmp_path / "deep" / "nested" / "ds.json"
+        save_dataset(ds, path)
+        assert path.exists()

@@ -1,0 +1,106 @@
+"""Tests for the rendered personal photo-collection generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.solver import solve
+from repro.datasets.personal import generate_personal_dataset
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_personal_dataset(n_events=4, photos_per_event=(4, 7), seed=3)
+
+
+class TestStructure:
+    def test_photo_counts(self, dataset):
+        # 4 events x 4-7 shots + 2 documents.
+        assert 18 <= dataset.n_photos <= 30
+        assert dataset.source == "personal"
+
+    def test_albums_exist(self, dataset):
+        ids = {s.subset_id for s in dataset.specs}
+        assert sum(1 for i in ids if i.startswith("album:")) >= 5
+        assert "album:favourites" in ids
+        assert "album:documents" in ids
+
+    def test_exif_buckets_are_derived(self, dataset):
+        ids = {s.subset_id for s in dataset.specs}
+        assert any(i.startswith("day:") for i in ids)
+        assert any(i.startswith("place:") for i in ids)
+
+    def test_event_album_matches_event_members(self, dataset):
+        event0 = dataset.extras["events"][0]
+        album = next(s for s in dataset.specs if s.subset_id == f"album:{event0}")
+        for member in album.members:
+            assert event0 in dataset.photos[member].metadata["labels"]
+
+    def test_documents_are_pinned(self, dataset):
+        assert len(dataset.retained) == 2
+        for p in dataset.retained:
+            assert dataset.photos[p].metadata["must_keep"]
+
+    def test_every_photo_rendered_with_quality_and_cost(self, dataset):
+        for photo in dataset.photos:
+            assert photo.cost > 0
+            assert 0.0 <= photo.metadata["quality"] <= 1.0
+
+    def test_embeddings_unit_norm(self, dataset):
+        norms = np.linalg.norm(dataset.embeddings, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-6)
+
+    def test_event_clusters_in_embedding_space(self, dataset):
+        emb = dataset.embeddings
+        events = {}
+        for photo in dataset.photos:
+            ei = photo.metadata.get("event")
+            if ei is not None:
+                events.setdefault(ei, []).append(photo.photo_id)
+        within, across = [], []
+        ids0 = events[0]
+        ids1 = events[1]
+        within.append(float(np.mean(emb[ids0] @ emb[ids0].T)))
+        across.append(float(np.mean(emb[ids0] @ emb[ids1].T)))
+        assert np.mean(within) > np.mean(across)
+
+    def test_deterministic_by_seed(self):
+        a = generate_personal_dataset(n_events=2, seed=9)
+        b = generate_personal_dataset(n_events=2, seed=9)
+        assert [p.cost for p in a.photos] == [p.cost for p in b.photos]
+        assert np.allclose(a.embeddings, b.embeddings)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_personal_dataset(n_events=0)
+
+
+class TestSolvability:
+    def test_cleanup_solve(self, dataset):
+        instance = dataset.instance(dataset.total_cost() * 0.4)
+        solution = solve(instance, "phocus")
+        assert set(dataset.retained).issubset(set(solution.selection))
+        assert solution.cost <= instance.budget
+
+    def test_multimodal_similarity_integration(self, dataset):
+        """The personal dataset carries EXIF, so the [44]-style multimodal
+        similarity plugs straight in."""
+        from repro.similarity.multimodal import MultimodalSimilarity
+
+        sim = MultimodalSimilarity.from_photos(dataset.photos)
+        inst = dataset.instance(dataset.total_cost() * 0.4, similarity_fn=sim)
+        sol = solve(inst, "phocus")
+        assert inst.feasible(sol.selection)
+        assert sol.value > 0
+
+    def test_favourites_survive_preferentially(self, dataset):
+        """The weight-3 favourites album should keep most of its photos."""
+        instance = dataset.instance(dataset.total_cost() * 0.4)
+        solution = solve(instance, "phocus")
+        favourites = next(
+            q for q in instance.subsets if q.subset_id == "album:favourites"
+        )
+        kept = sum(1 for p in favourites.members if int(p) in set(solution.selection))
+        assert kept >= len(favourites) * 0.3

@@ -1,0 +1,37 @@
+"""Smoke tests: every shipped example must run cleanly end to end.
+
+Examples are documentation that executes; a broken example is a broken
+promise to the first user.  Each runs in a subprocess (its own
+interpreter, like a user would) with a generous timeout.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_all_examples_are_covered():
+    """This module must not silently miss a newly added example."""
+    assert len(EXAMPLES) >= 7
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs_cleanly(example):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{example} failed:\n--- stdout ---\n{result.stdout[-2000:]}"
+        f"\n--- stderr ---\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{example} produced no output"

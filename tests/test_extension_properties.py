@@ -1,0 +1,97 @@
+"""Property-based tests for the compression and maintenance extensions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objective import max_score, score
+from repro.core.solver import solve
+from repro.extensions.compression import expand_with_compression
+from repro.extensions.incremental import (
+    extend_selection,
+    maintain,
+    removal_loss,
+    shrink_to_budget,
+)
+
+from tests.conftest import random_instance
+
+_INSTANCES = [random_instance(seed=s, n_photos=12, n_subsets=4) for s in range(4)]
+instances = st.sampled_from(_INSTANCES)
+levels = st.tuples(
+    st.floats(0.3, 0.95, allow_nan=False), st.floats(0.1, 0.9, allow_nan=False)
+).filter(lambda fs: fs[1] < fs[0])  # useful levels: cheaper than faithful
+
+
+@settings(max_examples=30, deadline=None)
+@given(inst=instances, level=levels)
+def test_compression_preserves_original_scores(inst, level):
+    """Original-only selections score identically after expansion."""
+    expanded, _ = expand_with_compression(inst, [level])
+    rng = np.random.default_rng(0)
+    sel = sorted(int(p) for p in rng.choice(inst.n, size=inst.n // 2, replace=False))
+    assert score(expanded, sel) == pytest.approx(score(inst, sel))
+
+
+@settings(max_examples=30, deadline=None)
+@given(inst=instances, level=levels)
+def test_compression_rarely_hurts_greedy(inst, level):
+    """The *optimum* of the expanded instance dominates the original's
+    (originals remain available), but greedy is not monotone under
+    ground-set growth — extra variants can divert its path slightly.
+    The property that must hold: no visible regression."""
+    expanded, _ = expand_with_compression(inst, [level])
+    assert solve(expanded, "phocus").value >= 0.95 * solve(inst, "phocus").value
+
+
+@settings(max_examples=30, deadline=None)
+@given(inst=instances, level=levels)
+def test_compression_keeps_ceiling(inst, level):
+    expanded, _ = expand_with_compression(inst, [level])
+    assert max_score(expanded) == pytest.approx(max_score(inst))
+
+
+@settings(max_examples=30, deadline=None)
+@given(inst=instances, frac=st.floats(0.2, 0.9))
+def test_shrink_always_feasible_and_loss_bounded(inst, frac):
+    target = inst.total_cost() * frac
+    if inst.cost_of(inst.retained) > target:
+        return
+    shrunk = shrink_to_budget(inst, list(range(inst.n)), budget=target)
+    assert inst.cost_of(shrunk) <= target * (1 + 1e-9)
+    assert inst.retained.issubset(set(shrunk))
+
+
+@settings(max_examples=30, deadline=None)
+@given(inst=instances)
+def test_removal_loss_is_exact(inst):
+    sel = list(range(0, inst.n, 2))
+    for p in sel[:4]:
+        expected = score(inst, sel) - score(inst, [x for x in sel if x != p])
+        assert removal_loss(inst, sel, p) == pytest.approx(expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(inst=instances)
+def test_maintain_always_feasible_and_at_least_as_good_as_seed(inst):
+    rng = np.random.default_rng(1)
+    seed_sel = sorted(
+        int(p) for p in rng.choice(inst.n, size=inst.n // 3, replace=False)
+    )
+    result = maintain(inst, seed_sel)
+    assert inst.feasible(result.selection)
+    # Maintenance shrinks only when over budget; when under budget the
+    # extension pass can only add value over the (feasible part of) seed.
+    feasible_seed = shrink_to_budget(inst, seed_sel)
+    assert result.value >= score(inst, feasible_seed) - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(inst=instances)
+def test_extend_is_monotone_on_value(inst):
+    base = extend_selection(inst, [])
+    assert score(inst, base) >= 0.0
+    assert inst.feasible(base)

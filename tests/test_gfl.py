@@ -1,0 +1,153 @@
+"""Tests for the Generalised Facility Location formulation (Section 4.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.objective import score
+from repro.gfl.facility import (
+    FacilityLocationProblem,
+    facility_to_par,
+    greedy_facility_location,
+)
+from repro.gfl.graph import from_par, to_networkx
+from repro.sparsify.threshold import threshold_sparsify
+
+from tests.conftest import random_instance
+
+
+class TestFromPar:
+    def test_right_nodes_are_membership_pairs(self, figure1):
+        gfl = from_par(figure1)
+        # Figure 2: 9 membership pairs (3 + 3 + 1 + 2).
+        assert gfl.n_right == 9
+        assert gfl.n_left == 7
+
+    def test_right_weights_match_w_times_r(self, figure1):
+        gfl = from_par(figure1)
+        weights = {node: w for node, w in zip(gfl.right_nodes, gfl.right_weights)}
+        assert weights[("Bikes", 0)] == pytest.approx(9 * 0.5)
+        assert weights[("Bookshelf", 5)] == pytest.approx(3 * 1.0)
+        assert weights[("Books", 6)] == pytest.approx(1 * 0.3)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_value_equals_par_score(self, seed):
+        """The Example 4.7 equivalence: F(S) == G(S) for every selection."""
+        inst = random_instance(seed=seed)
+        gfl = from_par(inst)
+        rng = np.random.default_rng(seed)
+        for _ in range(8):
+            size = int(rng.integers(0, inst.n + 1))
+            sel = sorted(int(p) for p in rng.choice(inst.n, size=size, replace=False))
+            assert gfl.value(sel) == pytest.approx(score(inst, sel))
+
+    def test_value_equivalence_on_sparse_instances(self, small_instance):
+        sparse, _ = threshold_sparsify(small_instance, 0.4)
+        gfl = from_par(sparse)
+        sel = list(range(0, small_instance.n, 3))
+        assert gfl.value(sel) == pytest.approx(score(sparse, sel))
+
+    def test_left_weights_are_costs(self, figure1):
+        gfl = from_par(figure1)
+        assert gfl.left_weights == pytest.approx(figure1.costs)
+        assert gfl.selection_cost([0, 1]) == pytest.approx(1.9e6)
+
+    def test_total_right_weight(self, figure1):
+        gfl = from_par(figure1)
+        assert gfl.total_right_weight == pytest.approx(9 + 1 + 3 + 1)
+
+
+class TestGFLSparsify:
+    def test_sparsified_matches_threshold_sparsify(self, figure1):
+        """Dropping GFL edges below τ must equal τ-sparsifying the PAR
+        instance: same scores everywhere."""
+        tau = 0.75
+        gfl_sparse = from_par(figure1).sparsified(tau)
+        par_sparse, _ = threshold_sparsify(figure1, tau)
+        for sel in ([0], [0, 5], [2, 3], list(range(7))):
+            assert gfl_sparse.value(sel) == pytest.approx(score(par_sparse, sel))
+
+    def test_loop_edges_survive(self, figure1):
+        gfl = from_par(figure1).sparsified(1.0)
+        # Selecting everything still fully covers every pair via loops.
+        assert gfl.value(range(7)) == pytest.approx(gfl.total_right_weight)
+
+    def test_neighbors_tau(self, figure1):
+        gfl = from_par(figure1)
+        # p1 (photo 0) with tau=0.75: covers (Bikes, p1) via loop and
+        # (Bikes, p3) via the 0.8 edge; the 0.7 edge to (Bikes, p2) is below.
+        neighbors = gfl.neighbors_tau([0], 0.75)
+        nodes = {gfl.right_nodes[r] for r in neighbors}
+        assert nodes == {("Bikes", 0), ("Bikes", 2)}
+
+
+class TestToNetworkx:
+    def test_bipartite_structure(self, figure1):
+        graph = to_networkx(from_par(figure1))
+        left = [n for n, d in graph.nodes(data=True) if d.get("bipartite") == 0]
+        right = [n for n, d in graph.nodes(data=True) if d.get("bipartite") == 1]
+        assert len(left) == 7
+        assert len(right) == 9
+        # All edges cross the partition.
+        for u, v in graph.edges():
+            assert {graph.nodes[u]["bipartite"], graph.nodes[v]["bipartite"]} == {0, 1}
+
+    def test_edge_weights_match_sim(self, figure1):
+        graph = to_networkx(from_par(figure1))
+        w = graph.edges[("L", 0), ("R", "Bikes", 2)]["weight"]
+        assert w == pytest.approx(0.8)
+
+
+class TestFacilityLocation:
+    def _problem(self, seed=0, n=10, k=3):
+        rng = np.random.default_rng(seed)
+        emb = rng.standard_normal((n, 6))
+        emb /= np.linalg.norm(emb, axis=1, keepdims=True)
+        sim = np.clip(emb @ emb.T, 0, 1)
+        np.fill_diagonal(sim, 1.0)
+        return FacilityLocationProblem(similarity=(sim + sim.T) / 2, k=k)
+
+    def test_value_of_empty_and_full(self):
+        problem = self._problem()
+        assert problem.value([]) == 0.0
+        assert problem.value(range(problem.n)) == pytest.approx(problem.n)
+
+    def test_greedy_respects_k(self):
+        problem = self._problem(k=3)
+        chosen, value = greedy_facility_location(problem)
+        assert len(chosen) <= 3
+        assert value == pytest.approx(problem.value(chosen))
+
+    def test_greedy_guarantee_against_enumeration(self):
+        from itertools import combinations
+
+        problem = self._problem(seed=1, n=8, k=2)
+        opt = max(
+            problem.value(c) for c in combinations(range(8), 2)
+        )
+        _, value = greedy_facility_location(problem)
+        assert value >= (1 - 1 / np.e) * opt - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            FacilityLocationProblem(similarity=np.ones((2, 3)), k=1)
+        with pytest.raises(Exception):
+            FacilityLocationProblem(similarity=np.eye(2), k=0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_embedding_into_par_preserves_values(self, seed):
+        """facility_to_par: PAR's G equals FL's F for every selection."""
+        problem = self._problem(seed=seed, n=7, k=3)
+        par = facility_to_par(problem)
+        rng = np.random.default_rng(seed)
+        for _ in range(6):
+            size = int(rng.integers(0, 8))
+            sel = sorted(int(p) for p in rng.choice(7, size=size, replace=False))
+            assert score(par, sel) == pytest.approx(problem.value(sel))
+
+    def test_par_budget_is_k(self):
+        problem = self._problem(k=4)
+        par = facility_to_par(problem)
+        assert par.budget == 4.0
+        assert all(p.cost == 1.0 for p in par.photos)

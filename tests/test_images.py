@@ -1,0 +1,231 @@
+"""Tests for the synthetic photo substrate (scenes, features, embeddings,
+EXIF, quality, file sizes)."""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ValidationError
+from repro.images.embedder import PhotoEmbedder
+from repro.images.exif import (
+    ExifRecord,
+    geo_bucket,
+    synthesize_event_exif,
+    time_bucket,
+)
+from repro.images.features import (
+    color_histogram,
+    feature_dim,
+    feature_vector,
+    gradient_orientation_histogram,
+    to_grayscale,
+)
+from repro.images.filesize import detail_level, file_size_bytes
+from repro.images.quality import contrast, exposure, quality_score, sharpness
+from repro.images.synthetic import (
+    ConceptPrototype,
+    Shape,
+    random_prototype,
+    render_cluster,
+    render_photo,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def proto(rng):
+    return random_prototype("concept", rng)
+
+
+class TestSynthetic:
+    def test_render_shape_and_range(self, proto, rng):
+        image = render_photo(proto, rng, height=24, width=20)
+        assert image.shape == (24, 20, 3)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_render_deterministic_given_rng_state(self, proto):
+        a = render_photo(proto, np.random.default_rng(5))
+        b = render_photo(proto, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_jitter_produces_variants(self, proto):
+        rng = np.random.default_rng(1)
+        a = render_photo(proto, rng)
+        b = render_photo(proto, rng)
+        assert not np.array_equal(a, b)
+
+    def test_blur_smooths(self, proto, rng):
+        crisp = render_photo(proto, np.random.default_rng(2), blur=False, noise_scale=0.0)
+        soft = render_photo(proto, np.random.default_rng(2), blur=True, noise_scale=0.0)
+        gy, gx = np.gradient(to_grayscale(crisp))
+        gy2, gx2 = np.gradient(to_grayscale(soft))
+        assert np.hypot(gx2, gy2).mean() < np.hypot(gx, gy).mean()
+
+    def test_minimum_size_guard(self, proto, rng):
+        with pytest.raises(ValidationError):
+            render_photo(proto, rng, height=2, width=2)
+
+    def test_unknown_shape_kind(self):
+        with pytest.raises(ValidationError):
+            Shape(kind="triangle", cx=0.5, cy=0.5, size=0.1, color=(1, 0, 0))
+
+    def test_render_cluster_count(self, proto, rng):
+        photos = render_cluster(proto, 5, rng)
+        assert len(photos) == 5
+        assert all(p.shape == photos[0].shape for p in photos)
+
+
+class TestFeatures:
+    def test_grayscale_shape(self, proto, rng):
+        image = render_photo(proto, rng)
+        gray = to_grayscale(image)
+        assert gray.shape == image.shape[:2]
+
+    def test_grayscale_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            to_grayscale(np.zeros((4, 4)))
+
+    def test_color_histogram_normalised(self, proto, rng):
+        hist = color_histogram(render_photo(proto, rng), bins=8)
+        assert hist.shape == (24,)
+        assert hist.sum() == pytest.approx(1.0)
+        assert np.all(hist >= 0)
+
+    def test_color_histogram_bins_guard(self, proto, rng):
+        with pytest.raises(ValidationError):
+            color_histogram(render_photo(proto, rng), bins=1)
+
+    def test_hog_unit_norm(self, proto, rng):
+        desc = gradient_orientation_histogram(render_photo(proto, rng))
+        assert desc.shape == (4 * 4 * 8,)
+        assert np.linalg.norm(desc) == pytest.approx(1.0)
+
+    def test_hog_flat_image_is_zero(self):
+        flat = np.full((16, 16, 3), 0.5)
+        desc = gradient_orientation_histogram(flat)
+        assert np.allclose(desc, 0.0)
+
+    def test_hog_cell_guard(self):
+        with pytest.raises(ValidationError):
+            gradient_orientation_histogram(np.zeros((2, 2, 3)), cells=(4, 4))
+
+    def test_feature_vector_dim(self, proto, rng):
+        vec = feature_vector(render_photo(proto, rng))
+        assert vec.shape == (feature_dim(),)
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+
+class TestEmbedder:
+    def test_output_is_unit_vector(self, proto, rng):
+        embedder = PhotoEmbedder(out_dim=32)
+        vec = embedder.embed(render_photo(proto, rng))
+        assert vec.shape == (32,)
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_same_seed_same_embedder(self, proto):
+        image = render_photo(proto, np.random.default_rng(3))
+        a = PhotoEmbedder(out_dim=16, seed=9).embed(image)
+        b = PhotoEmbedder(out_dim=16, seed=9).embed(image)
+        assert np.allclose(a, b)
+
+    def test_cluster_geometry_preserved(self, rng):
+        """Photos of one concept must embed closer than cross-concept."""
+        embedder = PhotoEmbedder(out_dim=32)
+        proto_a = random_prototype("a", np.random.default_rng(10))
+        proto_b = random_prototype("b", np.random.default_rng(20))
+        batch_a = embedder.embed_batch(render_cluster(proto_a, 6, np.random.default_rng(1)))
+        batch_b = embedder.embed_batch(render_cluster(proto_b, 6, np.random.default_rng(2)))
+        within = float(np.mean(batch_a @ batch_a.T))
+        across = float(np.mean(batch_a @ batch_b.T))
+        assert within > across
+
+    def test_embed_batch_empty(self):
+        assert PhotoEmbedder(out_dim=8).embed_batch([]).shape == (0, 8)
+
+    def test_out_dim_guard(self):
+        with pytest.raises(ConfigurationError):
+            PhotoEmbedder(out_dim=1)
+
+
+class TestExif:
+    def test_event_coherence(self, rng):
+        records = synthesize_event_exif(10, rng)
+        assert len(records) == 10
+        days = {time_bucket(r) for r in records}
+        assert len(days) <= 2  # one event, possibly crossing midnight
+        cameras = [r.camera for r in records]
+        # The dominant body appears in most shots.
+        dominant = max(set(cameras), key=cameras.count)
+        assert cameras.count(dominant) >= 5
+
+    def test_geo_bucket_groups_event(self, rng):
+        records = synthesize_event_exif(10, rng, spread_km=0.5)
+        buckets = {geo_bucket(r, cell_degrees=1.0) for r in records}
+        assert len(buckets) <= 2
+
+    def test_as_dict_roundtrip_fields(self, rng):
+        record = synthesize_event_exif(1, rng)[0]
+        doc = record.as_dict()
+        assert set(doc) == {
+            "timestamp", "latitude", "longitude", "camera", "focal_length_mm", "iso"
+        }
+        assert datetime.fromisoformat(doc["timestamp"]).tzinfo is not None
+
+    def test_explicit_base_time(self, rng):
+        base = datetime(2023, 5, 17, 8, 0, tzinfo=timezone.utc)
+        records = synthesize_event_exif(3, rng, base_time=base)
+        assert all(r.timestamp >= base for r in records)
+
+
+class TestQuality:
+    def test_blur_lowers_sharpness(self, proto):
+        crisp = render_photo(proto, np.random.default_rng(4), blur=False, noise_scale=0.0)
+        soft = render_photo(proto, np.random.default_rng(4), blur=True, noise_scale=0.0)
+        assert sharpness(soft) < sharpness(crisp)
+
+    def test_exposure_prefers_midgray(self):
+        assert exposure(np.full((8, 8, 3), 0.5)) == pytest.approx(1.0)
+        assert exposure(np.zeros((8, 8, 3))) == pytest.approx(0.0)
+        assert exposure(np.ones((8, 8, 3))) == pytest.approx(0.0)
+
+    def test_contrast_flat_is_zero(self):
+        assert contrast(np.full((8, 8, 3), 0.3)) == pytest.approx(0.0)
+
+    def test_quality_in_unit_interval(self, proto, rng):
+        q = quality_score(render_photo(proto, rng))
+        assert 0.0 <= q <= 1.0
+
+    def test_quality_weights_guard(self, proto, rng):
+        with pytest.raises(ValueError):
+            quality_score(
+                render_photo(proto, rng),
+                w_sharpness=0, w_exposure=0, w_contrast=0,
+            )
+
+
+class TestFileSize:
+    def test_flat_image_smaller_than_busy(self, rng):
+        flat = np.full((16, 16, 3), 0.5)
+        busy = rng.uniform(0, 1, size=(16, 16, 3))
+        assert file_size_bytes(flat) < file_size_bytes(busy)
+
+    def test_detail_level_range(self, rng):
+        busy = rng.uniform(0, 1, size=(16, 16, 3))
+        assert 0.0 <= detail_level(busy) <= 1.0
+        assert detail_level(np.full((16, 16, 3), 0.2)) == pytest.approx(0.0)
+
+    def test_size_scales_with_pixels(self, proto):
+        small = render_photo(proto, np.random.default_rng(6), height=16, width=16)
+        large = render_photo(proto, np.random.default_rng(6), height=32, width=32)
+        assert file_size_bytes(large) > file_size_bytes(small)
+
+    def test_realistic_magnitude(self, proto, rng):
+        size = file_size_bytes(render_photo(proto, rng))
+        assert 5e4 < size < 8e6  # between 50 KB and 8 MB

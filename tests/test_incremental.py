@@ -1,0 +1,135 @@
+"""Tests for incremental archive maintenance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.objective import score
+from repro.core.solver import solve
+from repro.errors import ValidationError
+from repro.extensions.incremental import (
+    extend_selection,
+    maintain,
+    removal_loss,
+    shrink_to_budget,
+)
+
+from tests.conftest import random_instance
+
+
+class TestRemovalLoss:
+    def test_matches_score_difference(self, figure1):
+        sel = [0, 1, 4, 5]
+        for p in sel:
+            expected = score(figure1, sel) - score(
+                figure1, [x for x in sel if x != p]
+            )
+            assert removal_loss(figure1, sel, p) == pytest.approx(expected), f"p{p+1}"
+
+    def test_absent_photo_loses_nothing(self, figure1):
+        assert removal_loss(figure1, [0, 1], 6) == 0.0
+
+    def test_redundant_photo_cheap_to_remove(self, figure1):
+        # With p1 kept, p3 is mostly covered (0.8): removing p3 from
+        # {p1, p3} costs less than removing p1.
+        sel = [0, 2]
+        assert removal_loss(figure1, sel, 2) < removal_loss(figure1, sel, 0)
+
+
+class TestShrink:
+    def test_shrinks_below_budget(self, figure1):
+        sel = list(range(7))  # 8.1 Mb
+        shrunk = shrink_to_budget(figure1, sel)  # 4 Mb budget
+        assert figure1.cost_of(shrunk) <= figure1.budget
+
+    def test_quality_close_to_cold_solve(self):
+        for seed in range(5):
+            inst = random_instance(seed=seed, n_photos=16, n_subsets=5,
+                                   budget_fraction=0.4)
+            shrunk = shrink_to_budget(inst, list(range(inst.n)))
+            cold = solve(inst, "phocus").value
+            assert score(inst, shrunk) >= 0.8 * cold
+
+    def test_never_evicts_retained(self):
+        inst = random_instance(seed=7, retained=2, budget_fraction=0.3)
+        shrunk = shrink_to_budget(inst, list(range(inst.n)))
+        assert inst.retained.issubset(set(shrunk))
+
+    def test_noop_when_already_feasible(self, figure1):
+        sel = [0, 1]
+        assert shrink_to_budget(figure1, sel) == [0, 1]
+
+    def test_custom_budget(self, figure1):
+        shrunk = shrink_to_budget(figure1, list(range(7)), budget=2.0e6)
+        assert figure1.cost_of(shrunk) <= 2.0e6
+
+    def test_infeasible_retention(self):
+        inst = random_instance(seed=7, retained=2)
+        with pytest.raises(ValidationError):
+            shrink_to_budget(inst, [], budget=inst.cost_of(inst.retained) * 0.5)
+
+
+class TestExtend:
+    def test_fills_headroom(self, figure1):
+        extended = extend_selection(figure1, [0])
+        assert len(extended) > 1
+        assert figure1.cost_of(extended) <= figure1.budget
+
+    def test_keeps_seed(self, figure1):
+        extended = extend_selection(figure1, [6])  # a weak seed
+        assert 6 in extended
+
+    def test_rejects_over_budget_seed(self, figure1):
+        with pytest.raises(ValidationError):
+            extend_selection(figure1, list(range(7)))
+
+    def test_empty_seed_equals_greedy(self, figure1):
+        from repro.core.greedy import CB, lazy_greedy
+
+        assert extend_selection(figure1, []) == sorted(
+            lazy_greedy(figure1, CB).selection
+        )
+
+
+class TestMaintain:
+    def test_budget_shrink_event(self):
+        inst = random_instance(seed=3, n_photos=18, n_subsets=5, budget_fraction=0.6)
+        previous = solve(inst, "phocus").selection
+        tight = inst.with_budget(inst.budget * 0.5)
+        result = maintain(tight, previous)
+        assert tight.feasible(result.selection)
+        assert result.evicted  # something had to go
+        cold = solve(tight, "phocus").value
+        assert result.value >= 0.85 * cold
+
+    def test_budget_growth_event(self):
+        inst = random_instance(seed=4, n_photos=18, n_subsets=5, budget_fraction=0.3)
+        previous = solve(inst, "phocus").selection
+        roomy = inst.with_budget(inst.budget * 2.0)
+        result = maintain(roomy, previous)
+        assert result.added
+        assert set(previous).issubset(set(result.selection))
+        assert result.value >= score(inst, previous)
+
+    def test_new_arrivals_event(self):
+        """Photos appended to the archive get considered on maintenance."""
+        small = random_instance(seed=5, n_photos=12, n_subsets=4, budget_fraction=0.5)
+        previous = solve(small, "phocus").selection
+        big = random_instance(seed=5, n_photos=20, n_subsets=6, budget_fraction=0.5)
+        # Note: seeds differ in structure; we only need ids 0..11 to exist.
+        result = maintain(big, previous)
+        assert big.feasible(result.selection)
+        cold = solve(big, "phocus").value
+        assert result.value >= 0.8 * cold
+
+    def test_stale_ids_dropped(self, figure1):
+        result = maintain(figure1, [0, 99])
+        assert 99 not in result.selection
+        assert figure1.feasible(result.selection)
+
+    def test_result_bookkeeping(self, figure1):
+        result = maintain(figure1, [6])
+        assert result.value == pytest.approx(score(figure1, result.selection))
+        assert set(result.added).isdisjoint({6}) or 6 in result.selection
+        assert result.cost == pytest.approx(figure1.cost_of(result.selection))

@@ -1,0 +1,148 @@
+"""Tests for the multimodal (visual + EXIF) similarity of [44]."""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+import numpy as np
+import pytest
+
+from repro.core.instance import PARInstance, Photo, SubsetSpec
+from repro.errors import ConfigurationError
+from repro.similarity.multimodal import (
+    MultimodalSimilarity,
+    camera_affinity,
+    place_affinity,
+    time_affinity,
+)
+
+
+def _exif(ts="2023-06-10T10:00:00", lat=48.85, lon=2.35, camera="Canon EOS R6"):
+    return {"timestamp": ts, "latitude": lat, "longitude": lon, "camera": camera}
+
+
+class TestTimeAffinity:
+    def test_same_moment_is_one(self):
+        assert time_affinity(_exif(), _exif()) == pytest.approx(1.0)
+
+    def test_half_life(self):
+        a = _exif(ts="2023-06-10T10:00:00")
+        b = _exif(ts="2023-06-10T16:00:00")  # 6 hours later
+        assert time_affinity(a, b, half_life_hours=6.0) == pytest.approx(0.5)
+
+    def test_missing_timestamp_is_zero(self):
+        assert time_affinity({}, _exif()) == 0.0
+        assert time_affinity(_exif(ts="not-a-date"), _exif()) == 0.0
+
+    def test_datetime_objects_accepted(self):
+        t = datetime(2023, 6, 10, 10, 0, tzinfo=timezone.utc)
+        a = {"timestamp": t}
+        b = {"timestamp": t}
+        assert time_affinity(a, b) == pytest.approx(1.0)
+
+
+class TestPlaceAffinity:
+    def test_same_place_is_one(self):
+        assert place_affinity(_exif(), _exif()) == pytest.approx(1.0)
+
+    def test_half_life_distance(self):
+        a = _exif(lat=0.0, lon=0.0)
+        b = _exif(lat=5.0 / 111.0, lon=0.0)  # ~5 km north
+        assert place_affinity(a, b, half_life_km=5.0) == pytest.approx(0.5, rel=1e-3)
+
+    def test_missing_coordinates_zero(self):
+        assert place_affinity({}, _exif()) == 0.0
+        assert place_affinity({"latitude": "x", "longitude": 0}, _exif()) == 0.0
+
+
+class TestCameraAffinity:
+    def test_match(self):
+        assert camera_affinity(_exif(), _exif()) == 1.0
+
+    def test_mismatch(self):
+        assert camera_affinity(_exif(camera="A"), _exif(camera="B")) == 0.0
+
+    def test_unknown(self):
+        assert camera_affinity({}, _exif()) == 0.0
+
+
+class TestMultimodalSimilarity:
+    def _photos_and_embeddings(self):
+        rng = np.random.default_rng(0)
+        exifs = [
+            _exif(ts="2023-06-10T10:00:00"),
+            _exif(ts="2023-06-10T10:05:00"),                      # same shoot
+            _exif(ts="2023-09-01T18:00:00", lat=40.0, lon=-74.0,  # another event
+                  camera="Pixel 6"),
+        ]
+        photos = [
+            Photo(photo_id=i, cost=1.0, metadata={"exif": exifs[i]})
+            for i in range(3)
+        ]
+        emb = rng.standard_normal((3, 8))
+        emb /= np.linalg.norm(emb, axis=1, keepdims=True)
+        return photos, emb
+
+    def test_valid_sim_matrix(self):
+        photos, emb = self._photos_and_embeddings()
+        sim = MultimodalSimilarity.from_photos(photos)
+        matrix = sim.matrix([0, 1, 2], emb)
+        assert np.allclose(np.diag(matrix), 1.0)
+        assert np.allclose(matrix, matrix.T)
+        assert np.all(matrix >= 0) and np.all(matrix <= 1)
+
+    def test_same_event_more_similar(self):
+        """Shots minutes apart at the same place on the same camera must
+        beat shots from a different month/city/camera, even with random
+        visual embeddings."""
+        photos, emb = self._photos_and_embeddings()
+        sim = MultimodalSimilarity.from_photos(photos, w_visual=0.2)
+        matrix = sim.matrix([0, 1, 2], emb)
+        assert matrix[0, 1] > matrix[0, 2]
+        assert matrix[0, 1] > matrix[1, 2]
+
+    def test_pure_visual_reduces_to_cosine(self):
+        from repro.similarity.metrics import cosine_similarity_matrix
+
+        photos, emb = self._photos_and_embeddings()
+        sim = MultimodalSimilarity.from_photos(
+            photos, w_visual=1.0, w_time=0.0, w_place=0.0, w_camera=0.0
+        )
+        assert np.allclose(sim.matrix([0, 1, 2], emb),
+                           cosine_similarity_matrix(emb), atol=1e-9)
+
+    def test_missing_exif_contributes_zero(self):
+        photos, emb = self._photos_and_embeddings()
+        photos[2] = Photo(photo_id=2, cost=1.0)  # no EXIF at all
+        sim = MultimodalSimilarity.from_photos(photos, w_visual=0.0, w_time=1.0)
+        matrix = sim.matrix([0, 1, 2], emb)
+        assert matrix[0, 2] == 0.0
+        assert matrix[0, 1] > 0.0
+
+    def test_weight_validation(self):
+        with pytest.raises(ConfigurationError):
+            MultimodalSimilarity(exif_of={}, w_visual=0, w_time=0, w_place=0, w_camera=0)
+        with pytest.raises(ConfigurationError):
+            MultimodalSimilarity(exif_of={}, w_visual=-1.0)
+
+    def test_usable_in_instance_build(self):
+        photos, emb = self._photos_and_embeddings()
+        sim = MultimodalSimilarity.from_photos(photos)
+        specs = [SubsetSpec("all", 1.0, [0, 1, 2], [1, 1, 1])]
+        inst = PARInstance.build(photos, specs, 2.0, embeddings=emb, similarity_fn=sim)
+        q = inst.subsets[0]
+        assert q.sim(0, 1) > q.sim(0, 2)
+
+    def test_from_photos_accepts_exif_records(self):
+        from repro.images.exif import synthesize_event_exif
+
+        rng = np.random.default_rng(1)
+        records = synthesize_event_exif(2, rng)
+        photos = [
+            Photo(photo_id=i, cost=1.0, metadata={"exif": records[i]})
+            for i in range(2)
+        ]
+        emb = rng.standard_normal((2, 4))
+        sim = MultimodalSimilarity.from_photos(photos)
+        matrix = sim.matrix([0, 1], emb)
+        assert matrix[0, 1] > 0.0  # same event -> positive affinity

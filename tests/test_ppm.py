@@ -1,0 +1,79 @@
+"""Tests for the PPM/PGM image export."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.images.ppm import contact_sheet, read_ppm, write_ppm
+from repro.images.synthetic import random_prototype, render_cluster
+
+
+class TestWriteRead:
+    def test_color_round_trip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        image = rng.uniform(0, 1, size=(10, 14, 3))
+        path = write_ppm(image, tmp_path / "img.ppm")
+        loaded = read_ppm(path)
+        assert loaded.shape == (10, 14, 3)
+        assert np.allclose(loaded, image, atol=1 / 255)
+
+    def test_gray_round_trip(self, tmp_path):
+        image = np.linspace(0, 1, 48).reshape(6, 8)
+        path = write_ppm(image, tmp_path / "img.pgm")
+        loaded = read_ppm(path)
+        assert loaded.shape == (6, 8)
+        assert np.allclose(loaded, image, atol=1 / 255)
+
+    def test_header_format(self, tmp_path):
+        image = np.zeros((4, 5, 3))
+        path = write_ppm(image, tmp_path / "img.ppm")
+        header = path.read_bytes()[:20]
+        assert header.startswith(b"P6\n5 4\n255\n")
+
+    def test_values_clipped(self, tmp_path):
+        image = np.array([[[2.0, -1.0, 0.5]]])
+        loaded = read_ppm(write_ppm(image, tmp_path / "c.ppm"))
+        assert loaded[0, 0, 0] == 1.0
+        assert loaded[0, 0, 1] == 0.0
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_ppm(np.zeros((2, 2, 3)), tmp_path / "a" / "b" / "c.ppm")
+        assert path.exists()
+
+    def test_rejects_bad_shapes(self, tmp_path):
+        with pytest.raises(ValidationError):
+            write_ppm(np.zeros((2, 2, 4)), tmp_path / "x.ppm")
+
+    def test_read_rejects_non_ppm(self, tmp_path):
+        bad = tmp_path / "bad.ppm"
+        bad.write_bytes(b"JPEG????")
+        with pytest.raises(ValidationError):
+            read_ppm(bad)
+
+
+class TestContactSheet:
+    def test_tiles_rendered_cluster(self, tmp_path):
+        rng = np.random.default_rng(1)
+        photos = render_cluster(random_prototype("c", rng), 6, rng, height=16, width=16)
+        sheet = contact_sheet(photos, columns=3, padding=2)
+        # 2 rows x 3 cols of 16px tiles with 2px padding.
+        assert sheet.shape == (2 * 18 + 2, 3 * 18 + 2, 3)
+        write_ppm(sheet, tmp_path / "sheet.ppm")  # and it is writable
+
+    def test_single_image(self):
+        sheet = contact_sheet([np.zeros((4, 4, 3))], columns=8)
+        assert sheet.shape[0] > 4 and sheet.shape[1] > 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            contact_sheet([])
+
+    def test_rejects_mixed_shapes(self):
+        with pytest.raises(ValidationError):
+            contact_sheet([np.zeros((4, 4, 3)), np.zeros((5, 5, 3))])
+
+    def test_background_value(self):
+        sheet = contact_sheet([np.zeros((2, 2, 3))], padding=1, background=0.5)
+        assert sheet[0, 0, 0] == 0.5

@@ -1,0 +1,160 @@
+"""Tests for the tokenizer, inverted index, and query-to-subset engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import SubsetSpec
+from repro.errors import ValidationError
+from repro.search.engine import SearchEngine
+from repro.search.index import InvertedIndex
+from repro.search.tokenizer import STOP_WORDS, tokenize
+
+
+class TestTokenizer:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Nike RED Shirt") == ["nike", "red", "shirt"]
+
+    def test_removes_stop_words(self):
+        assert tokenize("the cat and the hat") == ["cat", "hat"]
+
+    def test_strips_plurals(self):
+        assert tokenize("shirts") == ["shirt"]
+        assert tokenize("dresses") == ["dress"]
+        assert tokenize("boxes") == ["box"]
+
+    def test_keeps_ss_words(self):
+        assert tokenize("dress") == ["dress"]
+
+    def test_strips_ing(self):
+        assert tokenize("running") == ["run"]
+        assert tokenize("walking") == ["walk"]
+
+    def test_handles_punctuation_and_numbers(self):
+        assert tokenize("iphone-13, pro!") == ["iphone", "13", "pro"]
+
+    def test_empty_input(self):
+        assert tokenize("") == []
+        assert tokenize("   ") == []
+
+    def test_stop_words_is_frozen(self):
+        assert "the" in STOP_WORDS
+        with pytest.raises(AttributeError):
+            STOP_WORDS.add("x")
+
+
+class TestInvertedIndex:
+    def _index(self):
+        index = InvertedIndex()
+        index.add(0, "black nike shirt")
+        index.add(1, "red nike sneakers")
+        index.add(2, "black adidas shirt sports shirt")
+        index.add(3, "blue jeans")
+        return index
+
+    def test_len(self):
+        assert len(self._index()) == 4
+
+    def test_exact_phrase_ranks_highest(self):
+        hits = self._index().search("black shirt")
+        assert hits[0].doc_id in (0, 2)
+        ids = [h.doc_id for h in hits]
+        assert 3 not in ids
+
+    def test_term_frequency_matters(self):
+        # Doc 2 contains "shirt" twice.
+        hits = self._index().search("shirt")
+        assert hits[0].doc_id == 2
+
+    def test_no_match(self):
+        assert self._index().search("zebra") == []
+
+    def test_empty_query(self):
+        assert self._index().search("") == []
+
+    def test_empty_index(self):
+        assert InvertedIndex().search("anything") == []
+
+    def test_top_k(self):
+        hits = self._index().search("nike shirt", top_k=1)
+        assert len(hits) == 1
+
+    def test_remove(self):
+        index = self._index()
+        index.remove(0)
+        ids = [h.doc_id for h in index.search("black shirt")]
+        assert 0 not in ids
+        index.remove(99)  # no-op
+
+    def test_readd_replaces(self):
+        index = self._index()
+        index.add(0, "green hat")
+        assert 0 not in [h.doc_id for h in index.search("black shirt")]
+        assert 0 in [h.doc_id for h in index.search("green hat")]
+
+    def test_deterministic_tie_break(self):
+        index = InvertedIndex()
+        index.add(5, "apple")
+        index.add(2, "apple")
+        hits = index.search("apple")
+        assert [h.doc_id for h in hits] == [2, 5]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            InvertedIndex(k1=-1)
+        with pytest.raises(ValidationError):
+            InvertedIndex(b=2.0)
+
+    def test_scores_positive_and_sorted(self):
+        hits = self._index().search("black nike shirt")
+        scores = [h.score for h in hits]
+        assert all(s > 0 for s in scores)
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestSearchEngine:
+    def _engine(self):
+        engine = SearchEngine()
+        engine.add_photo(0, "adidas black sports shirt")
+        engine.add_photo(1, "nike red running shoes")
+        engine.add_photo(2, "adidas white sneakers")
+        engine.add_photo(3, "gucci black dress")
+        return engine
+
+    def test_register_and_text_of(self):
+        engine = self._engine()
+        assert engine.text_of(0) == "adidas black sports shirt"
+        with pytest.raises(ValidationError):
+            engine.text_of(42)
+
+    def test_rejects_empty_text(self):
+        with pytest.raises(ValidationError):
+            self._engine().add_photo(9, "   ")
+
+    def test_subset_for_query(self):
+        result = self._engine().subset_for_query("adidas")
+        assert set(result.photo_ids) == {0, 2}
+        assert len(result.relevance) == 2
+        assert all(r > 0 for r in result.relevance)
+
+    def test_subset_for_unmatched_query_is_empty(self):
+        result = self._engine().subset_for_query("samsung tv")
+        assert result.photo_ids == []
+
+    def test_to_spec(self):
+        result = self._engine().subset_for_query("black")
+        spec = result.to_spec(weight=2.5)
+        assert isinstance(spec, SubsetSpec)
+        assert spec.weight == 2.5
+        assert spec.subset_id == "black"
+
+    def test_subsets_for_queries_drops_empty(self):
+        specs = self._engine().subsets_for_queries(
+            [("adidas", 3.0), ("samsung tv", 1.0), ("black", 2.0)]
+        )
+        assert [s.subset_id for s in specs] == ["adidas", "black"]
+        assert specs[0].weight == 3.0
+
+    def test_top_k_limits_subset(self):
+        specs = self._engine().subsets_for_queries([("black", 1.0)], top_k=1)
+        assert len(specs[0].members) == 1

@@ -1,0 +1,107 @@
+"""Tests for the instance/solution JSON wire format."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.serialize import (
+    instance_from_dict,
+    instance_from_json,
+    instance_to_dict,
+    instance_to_json,
+    solution_to_dict,
+)
+from repro.core.solver import solve
+from repro.errors import ValidationError
+from repro.sparsify.threshold import threshold_sparsify
+
+from tests.conftest import random_instance
+
+
+class TestInstanceRoundTrip:
+    def test_dense_round_trip(self, figure1):
+        clone = instance_from_json(instance_to_json(figure1))
+        assert clone.n == figure1.n
+        assert clone.budget == figure1.budget
+        assert [q.subset_id for q in clone.subsets] == [
+            q.subset_id for q in figure1.subsets
+        ]
+        for q_old, q_new in zip(figure1.subsets, clone.subsets):
+            assert q_new.relevance == pytest.approx(q_old.relevance)
+            assert np.allclose(q_new.similarity.matrix, q_old.similarity.matrix)
+
+    def test_sparse_round_trip(self, figure1):
+        sparse, _ = threshold_sparsify(figure1, 0.6)
+        clone = instance_from_json(instance_to_json(sparse))
+        assert clone.is_sparse()
+        assert clone.similarity_nnz() == sparse.similarity_nnz()
+        for q_old, q_new in zip(sparse.subsets, clone.subsets):
+            for photo in q_old.members:
+                for other in q_old.members:
+                    assert q_new.sim(int(photo), int(other)) == pytest.approx(
+                        q_old.sim(int(photo), int(other))
+                    )
+
+    def test_round_trip_preserves_solver_output(self, small_instance):
+        clone = instance_from_json(instance_to_json(small_instance))
+        a = solve(small_instance, "phocus")
+        b = solve(clone, "phocus")
+        assert a.selection == b.selection
+        assert a.value == pytest.approx(b.value)
+
+    def test_retained_and_embeddings_preserved(self):
+        inst = random_instance(seed=7, retained=2)
+        clone = instance_from_json(instance_to_json(inst))
+        assert clone.retained == inst.retained
+        assert np.allclose(clone.embeddings, inst.embeddings)
+
+    def test_none_embeddings(self, figure1):
+        clone = instance_from_json(instance_to_json(figure1))
+        assert clone.embeddings is None
+
+    def test_json_is_plain_text(self, figure1):
+        text = instance_to_json(figure1)
+        doc = json.loads(text)
+        assert doc["format"] == 1
+        assert len(doc["photos"]) == 7
+
+    def test_rejects_bad_format_version(self, figure1):
+        doc = instance_to_dict(figure1)
+        doc["format"] = 99
+        with pytest.raises(ValidationError):
+            instance_from_dict(doc)
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(ValidationError):
+            instance_from_json("{not json")
+        with pytest.raises(ValidationError):
+            instance_from_json("[1, 2]")
+
+    def test_rejects_unknown_similarity_kind(self, figure1):
+        doc = instance_to_dict(figure1)
+        doc["subsets"][0]["similarity"]["kind"] = "holographic"
+        with pytest.raises(ValidationError):
+            instance_from_dict(doc)
+
+
+class TestSolutionSerialisation:
+    def test_fields(self, figure1):
+        solution = solve(figure1, "phocus", certificate=True)
+        doc = solution_to_dict(solution)
+        assert doc["algorithm"] == "phocus"
+        assert doc["selection"] == solution.selection
+        assert doc["value"] == pytest.approx(solution.value)
+        assert 0 < doc["ratio_certificate"] <= 1.0
+        json.dumps(doc)  # must be JSON-clean
+
+    def test_numpy_extras_are_converted(self, figure1):
+        solution = solve(figure1, "phocus")
+        solution.extras["array"] = np.array([1, 2])
+        solution.extras["np_int"] = np.int64(5)
+        doc = solution_to_dict(solution)
+        assert doc["extras"]["array"] == [1, 2]
+        assert doc["extras"]["np_int"] == 5
+        json.dumps(doc)

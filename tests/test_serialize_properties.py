@@ -1,0 +1,56 @@
+"""Property tests of the JSON wire format: round trips are lossless."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objective import score
+from repro.core.serialize import instance_from_json, instance_to_json
+from repro.sparsify.threshold import threshold_sparsify
+
+from tests.core.test_greedy_properties import par_instances
+
+
+@settings(max_examples=30, deadline=None)
+@given(inst=par_instances())
+def test_round_trip_preserves_scores(inst):
+    clone = instance_from_json(instance_to_json(inst))
+    rng = np.random.default_rng(0)
+    for _ in range(4):
+        size = int(rng.integers(0, inst.n + 1))
+        sel = sorted(int(p) for p in rng.choice(inst.n, size=size, replace=False))
+        assert score(clone, sel) == pytest.approx(score(inst, sel))
+
+
+@settings(max_examples=30, deadline=None)
+@given(inst=par_instances())
+def test_round_trip_preserves_structure(inst):
+    clone = instance_from_json(instance_to_json(inst))
+    assert clone.n == inst.n
+    assert clone.budget == pytest.approx(inst.budget)
+    assert clone.retained == inst.retained
+    assert [q.subset_id for q in clone.subsets] == [q.subset_id for q in inst.subsets]
+    for q_old, q_new in zip(inst.subsets, clone.subsets):
+        assert q_new.weight == pytest.approx(q_old.weight)
+        assert list(q_new.members) == list(q_old.members)
+
+
+@settings(max_examples=20, deadline=None)
+@given(inst=par_instances(), tau=st.floats(0.0, 1.0))
+def test_sparse_round_trip_preserves_scores(inst, tau):
+    sparse, _ = threshold_sparsify(inst, tau)
+    clone = instance_from_json(instance_to_json(sparse))
+    assert clone.is_sparse()
+    sel = list(range(0, inst.n, 2))
+    assert score(clone, sel) == pytest.approx(score(sparse, sel))
+
+
+@settings(max_examples=20, deadline=None)
+@given(inst=par_instances())
+def test_double_round_trip_is_stable(inst):
+    once = instance_to_json(inst)
+    twice = instance_to_json(instance_from_json(once))
+    assert once == twice

@@ -1,0 +1,177 @@
+"""Tests for similarity metrics and contextual similarity derivation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ConfigurationError, ValidationError
+from repro.similarity.contextual import (
+    ContextualSimilarity,
+    context_reweighted_embeddings,
+    contextual_similarity_matrix,
+)
+from repro.similarity.metrics import (
+    cosine_similarity,
+    cosine_similarity_matrix,
+    distances_to_similarities,
+    euclidean_distance_matrix,
+    unit_normalize,
+)
+
+_vectors = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(2, 6), st.integers(2, 5)),
+    elements=st.floats(-5, 5, allow_nan=False),
+)
+
+
+class TestMetrics:
+    def test_unit_normalize(self):
+        out = unit_normalize(np.array([[3.0, 4.0], [0.0, 0.0]]))
+        assert out[0] == pytest.approx([0.6, 0.8])
+        assert out[1] == pytest.approx([0.0, 0.0])  # zero row preserved
+
+    def test_unit_normalize_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            unit_normalize(np.array([1.0, 2.0]))
+
+    def test_cosine_similarity_values(self):
+        assert cosine_similarity([1, 0], [1, 0]) == pytest.approx(1.0)
+        assert cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+        assert cosine_similarity([1, 0], [-1, 0]) == 0.0  # clipped
+        assert cosine_similarity([0, 0], [1, 0]) == 0.0
+
+    @given(_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_cosine_matrix_is_valid_sim(self, vectors):
+        matrix = cosine_similarity_matrix(vectors)
+        assert matrix.shape == (len(vectors), len(vectors))
+        assert np.all(matrix >= 0) and np.all(matrix <= 1)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_euclidean_distance_matrix(self):
+        vectors = np.array([[0.0, 0.0], [3.0, 4.0]])
+        dist = euclidean_distance_matrix(vectors)
+        assert dist[0, 1] == pytest.approx(5.0)
+        assert dist[0, 0] == 0.0
+
+    @given(_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_euclidean_matches_numpy(self, vectors):
+        dist = euclidean_distance_matrix(vectors)
+        for i in range(len(vectors)):
+            for j in range(len(vectors)):
+                expected = np.linalg.norm(vectors[i] - vectors[j])
+                assert dist[i, j] == pytest.approx(expected, abs=1e-6)
+
+    def test_distances_to_similarities(self):
+        dist = np.array([[0.0, 2.0], [2.0, 0.0]])
+        sims = distances_to_similarities(dist)
+        assert sims[0, 1] == pytest.approx(0.0)  # the max distance maps to 0
+        assert sims[0, 0] == 1.0
+
+    def test_distances_custom_max(self):
+        dist = np.array([[0.0, 1.0], [1.0, 0.0]])
+        sims = distances_to_similarities(dist, max_distance=4.0)
+        assert sims[0, 1] == pytest.approx(0.75)
+
+    def test_all_zero_distances_give_all_ones(self):
+        sims = distances_to_similarities(np.zeros((3, 3)))
+        assert np.all(sims == 1.0)
+
+    def test_negative_distances_rejected(self):
+        with pytest.raises(ValidationError):
+            distances_to_similarities(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+
+
+class TestContextReweighting:
+    def test_strength_zero_is_identity(self):
+        rng = np.random.default_rng(0)
+        emb = rng.standard_normal((5, 4))
+        out = context_reweighted_embeddings(emb, strength=0.0)
+        assert np.allclose(out, emb)
+
+    def test_single_member_unchanged(self):
+        emb = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(context_reweighted_embeddings(emb), emb)
+
+    def test_emphasises_varying_dimensions(self):
+        # Dim 0 identical across members, dim 1 varies -> dim 1 amplified.
+        emb = np.array([[1.0, 0.0], [1.0, 1.0], [1.0, 2.0]])
+        out = context_reweighted_embeddings(emb, strength=1.0)
+        # Constant dimension is damped to (near) zero weight.
+        assert abs(out[0, 0]) < abs(emb[0, 0])
+        assert abs(out[2, 1]) > abs(emb[2, 1])
+
+    def test_invalid_strength(self):
+        with pytest.raises(ConfigurationError):
+            context_reweighted_embeddings(np.ones((2, 2)), strength=2.0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ConfigurationError):
+            context_reweighted_embeddings(np.ones(3))
+
+
+class TestContextualSimilarityMatrix:
+    @pytest.mark.parametrize(
+        "mode", ["cosine", "centroid-reweight", "max-distance", "reweight+normalise"]
+    )
+    def test_all_modes_produce_valid_sim(self, mode):
+        rng = np.random.default_rng(1)
+        emb = rng.standard_normal((6, 5))
+        matrix = contextual_similarity_matrix(emb, mode)
+        assert np.all(matrix >= 0) and np.all(matrix <= 1)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            contextual_similarity_matrix(np.ones((2, 2)), "bogus")
+
+    def test_context_dependence(self):
+        """The paper's novelty: the same photo pair scores differently in
+        different contexts.  We embed pair (a, b) in a tight context (where
+        their difference is the dominant variation) and in a diverse context
+        (where it is negligible) and expect different similarities."""
+        rng = np.random.default_rng(2)
+        a = np.array([1.0, 0.0, 0.0, 0.0])
+        b = np.array([0.96, 0.28, 0.0, 0.0])  # slight variation of a
+        tight_context = np.vstack([a, b, a + [0, 0.1, 0, 0], b - [0, 0.05, 0, 0]])
+        diverse_context = np.vstack([a, b] + [rng.standard_normal(4) for _ in range(4)])
+        sim_tight = contextual_similarity_matrix(tight_context, "reweight+normalise")[0, 1]
+        sim_diverse = contextual_similarity_matrix(diverse_context, "reweight+normalise")[0, 1]
+        # In the diverse context a and b are nearly interchangeable; in the
+        # tight context their variation is discriminating.
+        assert sim_diverse > sim_tight
+
+    def test_max_distance_mode_zeroes_farthest_pair(self):
+        emb = np.array([[1.0, 0.0], [0.0, 1.0], [0.7, 0.7]])
+        matrix = contextual_similarity_matrix(emb, "max-distance")
+        # The orthogonal pair is the farthest -> similarity exactly 0.
+        assert matrix[0, 1] == pytest.approx(0.0)
+        assert matrix[0, 2] > 0.0
+
+
+class TestContextualSimilarityCallable:
+    def test_usable_as_builder_fn(self):
+        from repro.core.instance import PARInstance, Photo, SubsetSpec
+
+        rng = np.random.default_rng(3)
+        emb = rng.standard_normal((4, 5))
+        photos = [Photo(photo_id=i, cost=1.0) for i in range(4)]
+        specs = [SubsetSpec("q", 1.0, [0, 1, 2, 3], [1, 1, 1, 1])]
+        inst = PARInstance.build(
+            photos, specs, 4.0, embeddings=emb,
+            similarity_fn=ContextualSimilarity("max-distance"),
+        )
+        q = inst.subsets[0]
+        assert q.sim(0, 0) == 1.0
+
+    def test_invalid_mode_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            ContextualSimilarity("nope")

@@ -1,0 +1,212 @@
+"""Tests for the tiered store, retention policies, and page workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Photo
+from repro.errors import InfeasibleError, ValidationError
+from repro.storage.archive import (
+    COLD_DEFAULT,
+    HOT_DEFAULT,
+    PageLoadModel,
+    TieredStore,
+    TierSpec,
+)
+from repro.storage.policy import (
+    RetentionPolicy,
+    brand_contract_policy,
+    derive_retained,
+    metadata_flag_policy,
+    recent_photos_policy,
+)
+from repro.storage.workload import replay_page_workload
+
+from tests.conftest import random_instance
+
+
+class TestTierSpec:
+    def test_read_time_includes_latency_and_transfer(self):
+        tier = TierSpec("t", latency_ms=10.0, bandwidth_mb_per_s=100.0)
+        # 1 MB at 100 MB/s = 10 ms transfer + 10 ms latency.
+        assert tier.read_time_ms(1e6) == pytest.approx(20.0)
+
+    def test_defaults_hot_faster_than_cold(self):
+        size = 5e5
+        assert HOT_DEFAULT.read_time_ms(size) < COLD_DEFAULT.read_time_ms(size)
+
+
+class TestTieredStore:
+    def _store(self, capacity=3e6):
+        costs = {0: 1e6, 1: 2e6, 2: 5e5}
+        return TieredStore(costs, hot_capacity_bytes=capacity)
+
+    def test_promote_and_read(self):
+        store = self._store()
+        store.promote([0, 2])
+        assert store.hot_set == frozenset({0, 2})
+        assert store.hot_bytes == pytest.approx(1.5e6)
+        hot_time = store.read(0)
+        cold_time = store.read(1)
+        assert hot_time < cold_time
+        assert store.stats.reads == 2
+        assert store.stats.hot_hits == 1
+        assert store.stats.hit_rate == pytest.approx(0.5)
+
+    def test_byte_hit_rate(self):
+        store = self._store()
+        store.promote([0])
+        store.read(0)  # 1 MB hot
+        store.read(1)  # 2 MB cold
+        assert store.stats.byte_hit_rate == pytest.approx(1.0 / 3.0)
+
+    def test_promotion_capacity_enforced(self):
+        store = self._store(capacity=1e6)
+        with pytest.raises(InfeasibleError):
+            store.promote([0, 1])
+
+    def test_promote_replaces(self):
+        store = self._store()
+        store.promote([0])
+        store.promote([2])
+        assert store.hot_set == frozenset({2})
+
+    def test_unknown_photo(self):
+        store = self._store()
+        with pytest.raises(ValidationError):
+            store.promote([7])
+        with pytest.raises(ValidationError):
+            store.read(7)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValidationError):
+            TieredStore({0: 1.0}, hot_capacity_bytes=0)
+        with pytest.raises(ValidationError):
+            TieredStore({0: -1.0}, hot_capacity_bytes=1.0)
+
+    def test_reset_stats(self):
+        store = self._store()
+        store.promote([0])
+        store.read(0)
+        store.reset_stats()
+        assert store.stats.reads == 0
+        assert store.stats.mean_read_ms == 0.0
+
+
+class TestPageLoadModel:
+    def test_empty_page(self):
+        store = TieredStore({0: 1e6}, hot_capacity_bytes=1e6)
+        assert PageLoadModel(store).load_page([]) == 0.0
+
+    def test_parallelism_speeds_pages(self):
+        costs = {i: 1e6 for i in range(6)}
+        serial_store = TieredStore(costs, hot_capacity_bytes=6e6)
+        serial_store.promote(range(6))
+        parallel_store = TieredStore(costs, hot_capacity_bytes=6e6)
+        parallel_store.promote(range(6))
+        serial = PageLoadModel(serial_store, parallelism=1).load_page(range(6))
+        parallel = PageLoadModel(parallel_store, parallelism=6).load_page(range(6))
+        assert parallel < serial
+
+    def test_meets_deadline(self):
+        store = TieredStore({0: 1e5}, hot_capacity_bytes=1e6)
+        store.promote([0])
+        model = PageLoadModel(store)
+        assert model.meets_deadline([0], deadline_ms=100.0)
+
+    def test_parallelism_guard(self):
+        store = TieredStore({0: 1e5}, hot_capacity_bytes=1e6)
+        with pytest.raises(ValidationError):
+            PageLoadModel(store, parallelism=0).load_page([0])
+
+    def test_cold_reads_blow_deadline(self):
+        """The Section 5.3 story: archive-resident photos break the 100 ms
+        page budget, cached ones meet it."""
+        costs = {i: 8e5 for i in range(8)}
+        store = TieredStore(costs, hot_capacity_bytes=8e6)
+        store.promote([])
+        cold_time = PageLoadModel(store).load_page(range(8))
+        store.promote(range(8))
+        hot_time = PageLoadModel(store).load_page(range(8))
+        assert cold_time > 100.0 > hot_time
+
+
+class TestRetentionPolicies:
+    def _photos(self):
+        return [
+            Photo(0, 1.0, metadata={"brand": "Nike", "passport": False}),
+            Photo(1, 1.0, metadata={"brand": "acme", "passport": True}),
+            Photo(2, 1.0, metadata={"brand": "ACME"}),
+            Photo(3, 1.0, metadata={"exif": {"timestamp": "2024-06-01T10:00:00"}}),
+            Photo(4, 1.0, metadata={"exif": {"timestamp": "2020-01-01T10:00:00"}}),
+        ]
+
+    def test_brand_contract_case_insensitive(self):
+        policy = brand_contract_policy(["Acme"])
+        retained = derive_retained(self._photos(), [policy])
+        assert retained == [1, 2]
+
+    def test_metadata_flag(self):
+        retained = derive_retained(self._photos(), [metadata_flag_policy("passport")])
+        assert retained == [1]
+
+    def test_recent_photos(self):
+        policy = recent_photos_policy("2023-01-01")
+        assert derive_retained(self._photos(), [policy]) == [3]
+
+    def test_union_of_policies(self):
+        retained = derive_retained(
+            self._photos(),
+            [brand_contract_policy(["nike"]), metadata_flag_policy("passport")],
+        )
+        assert retained == [0, 1]
+
+    def test_conflict_raises(self):
+        policies = [
+            metadata_flag_policy("passport"),
+            metadata_flag_policy("passport", action="dispose"),
+        ]
+        with pytest.raises(ValidationError, match="conflicting"):
+            derive_retained(self._photos(), policies)
+
+    def test_dispose_alone_pins_nothing(self):
+        policies = [metadata_flag_policy("passport", action="dispose")]
+        assert derive_retained(self._photos(), policies) == []
+
+    def test_invalid_action(self):
+        with pytest.raises(ValidationError):
+            RetentionPolicy("x", lambda p: True, action="shred")
+
+
+class TestWorkloadReplay:
+    def test_full_selection_gives_full_hit_rate(self):
+        inst = random_instance(seed=0, n_photos=15, budget_fraction=1.0)
+        result = replay_page_workload(
+            inst, list(range(inst.n)), n_visits=50, rng=np.random.default_rng(0)
+        )
+        assert result.hit_rate == pytest.approx(1.0)
+        assert result.byte_hit_rate == pytest.approx(1.0)
+
+    def test_better_selection_loads_faster(self):
+        """A PHOcus selection should beat an empty cache operationally."""
+        from repro.core.solver import solve
+
+        inst = random_instance(seed=1, n_photos=20, n_subsets=5, budget_fraction=0.5)
+        phocus = solve(inst, "phocus").selection
+        good = replay_page_workload(inst, phocus, n_visits=100, rng=np.random.default_rng(2))
+        empty = replay_page_workload(inst, [], n_visits=100, rng=np.random.default_rng(2))
+        assert good.mean_page_load_ms < empty.mean_page_load_ms
+        assert good.hit_rate > empty.hit_rate
+
+    def test_result_fields(self):
+        inst = random_instance(seed=3, n_photos=10)
+        result = replay_page_workload(inst, [0, 1], n_visits=20, rng=np.random.default_rng(1))
+        assert result.visits == 20
+        assert 0.0 <= result.deadline_met_fraction <= 1.0
+        assert result.p95_page_load_ms >= result.mean_page_load_ms * 0.1
+
+    def test_visits_guard(self):
+        inst = random_instance(seed=3, n_photos=10)
+        with pytest.raises(ValidationError):
+            replay_page_workload(inst, [0], n_visits=0)

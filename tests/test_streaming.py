@@ -1,0 +1,109 @@
+"""Tests for the streaming PAR extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.objective import score
+from repro.core.solver import solve
+from repro.errors import ValidationError
+from repro.extensions.streaming import StreamingArchiver, stream_solve
+
+from tests.conftest import random_instance
+
+
+class TestStreamingArchiver:
+    def test_offer_counts_arrivals(self, figure1):
+        archiver = StreamingArchiver(figure1)
+        archiver.offer(0)
+        archiver.offer(1)
+        assert archiver.arrived == 2
+
+    def test_rejects_unknown_photo(self, figure1):
+        archiver = StreamingArchiver(figure1)
+        with pytest.raises(ValidationError):
+            archiver.offer(99)
+
+    def test_invalid_epsilon(self, figure1):
+        with pytest.raises(ValidationError):
+            StreamingArchiver(figure1, epsilon=0.0)
+
+    def test_solution_always_feasible(self, figure1):
+        archiver = StreamingArchiver(figure1)
+        for p in range(7):
+            archiver.offer(p)
+            sel, _ = archiver.current_solution()
+            assert figure1.feasible(sel)
+
+    def test_retained_always_accepted(self):
+        inst = random_instance(seed=7, retained=2)
+        archiver = StreamingArchiver(inst)
+        for p in range(inst.n):
+            archiver.offer(p)
+        sel, _ = archiver.current_solution()
+        assert inst.retained.issubset(set(sel))
+
+    def test_value_matches_selection(self, figure1):
+        sel, val = stream_solve(figure1)
+        assert val == pytest.approx(score(figure1, sel))
+
+    def test_candidate_count_bounded(self):
+        inst = random_instance(seed=1, n_photos=30, n_subsets=6)
+        archiver = StreamingArchiver(inst, epsilon=0.25)
+        for p in range(inst.n):
+            archiver.offer(p)
+        # O(log(n)/epsilon) candidates, far below one per photo.
+        assert archiver.candidates < inst.n
+
+
+class TestStreamQuality:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_reasonable_fraction_of_offline(self, seed):
+        inst = random_instance(seed=seed, n_photos=20, n_subsets=6)
+        offline = solve(inst, "phocus").value
+        _, streamed = stream_solve(inst, epsilon=0.15)
+        assert streamed >= 0.5 * offline
+
+    def test_better_than_random_on_average(self):
+        better = 0
+        for seed in range(5):
+            inst = random_instance(seed=seed, n_photos=24, n_subsets=6)
+            _, streamed = stream_solve(inst, epsilon=0.2)
+            rng = np.random.default_rng(seed)
+            random_val = score(
+                inst, solve(inst, "rand-a", rng=rng).selection
+            )
+            if streamed >= random_val:
+                better += 1
+        assert better >= 4
+
+    def test_order_insensitivity_reasonable(self):
+        """Different arrival orders may change the result, but not wildly."""
+        inst = random_instance(seed=3, n_photos=20, n_subsets=6)
+        values = []
+        for perm_seed in range(4):
+            order = np.random.default_rng(perm_seed).permutation(inst.n)
+            _, val = stream_solve(inst, arrival_order=order, epsilon=0.15)
+            values.append(val)
+        assert min(values) >= 0.6 * max(values)
+
+    def test_smaller_epsilon_not_worse_on_average(self):
+        total_fine = total_coarse = 0.0
+        for seed in range(4):
+            inst = random_instance(seed=seed, n_photos=20, n_subsets=5)
+            _, fine = stream_solve(inst, epsilon=0.1)
+            _, coarse = stream_solve(inst, epsilon=0.8)
+            total_fine += fine
+            total_coarse += coarse
+        assert total_fine >= total_coarse * 0.95
+
+    def test_partial_stream_monotone(self, figure1):
+        """The held solution's value never decreases as photos arrive."""
+        archiver = StreamingArchiver(figure1)
+        last = 0.0
+        for p in range(7):
+            archiver.offer(p)
+            _, val = archiver.current_solution()
+            assert val >= last - 1e-9
+            last = val

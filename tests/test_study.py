@@ -1,0 +1,154 @@
+"""Tests for the simulated user study (analyst, judge, preference protocol)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.objective import score
+from repro.core.solver import solve
+from repro.errors import ValidationError
+from repro.study.gold import (
+    ExpertJudge,
+    PreferenceCounts,
+    gold_standard,
+    run_preference_study,
+)
+from repro.study.manual import AnalystProfile, ManualOutcome, simulated_analyst
+
+from tests.conftest import random_instance
+
+
+class TestAnalystProfile:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            AnalystProfile(attention_noise=2.0)
+        with pytest.raises(ValidationError):
+            AnalystProfile(duplicate_awareness=-0.1)
+        with pytest.raises(ValidationError):
+            AnalystProfile(seconds_per_photo=0.0)
+
+
+class TestSimulatedAnalyst:
+    def test_selection_is_feasible(self, small_instance):
+        outcome = simulated_analyst(small_instance, rng=np.random.default_rng(0))
+        assert small_instance.feasible(outcome.selection)
+
+    def test_starts_from_retained(self):
+        inst = random_instance(seed=7, retained=2)
+        outcome = simulated_analyst(inst, rng=np.random.default_rng(0))
+        assert inst.retained.issubset(set(outcome.selection))
+
+    def test_time_model_positive_and_consistent(self, small_instance):
+        profile = AnalystProfile(seconds_per_photo=4.0, seconds_per_page=90.0)
+        outcome = simulated_analyst(small_instance, profile, np.random.default_rng(0))
+        floor = (
+            outcome.photos_browsed * 4.0 + outcome.pages_visited * 90.0
+        )
+        assert outcome.seconds == pytest.approx(floor * 1.2)
+        assert outcome.hours == pytest.approx(outcome.seconds / 3600)
+
+    def test_deterministic_given_seed(self, small_instance):
+        a = simulated_analyst(small_instance, rng=np.random.default_rng(5))
+        b = simulated_analyst(small_instance, rng=np.random.default_rng(5))
+        assert a.selection == b.selection
+        assert a.seconds == b.seconds
+
+    def test_beats_random_usually(self):
+        """The analyst is competent: better than random selection on most
+        instances (Figure 5g shows them within 15-25% of PHOcus)."""
+        wins = 0
+        for seed in range(8):
+            inst = random_instance(seed=seed, n_photos=20, n_subsets=6)
+            analyst = simulated_analyst(inst, rng=np.random.default_rng(seed))
+            rand = solve(inst, "rand-a", rng=np.random.default_rng(seed))
+            if score(inst, analyst.selection) >= rand.value:
+                wins += 1
+        assert wins >= 6
+
+    def test_phocus_beats_analyst_usually(self):
+        """Figure 5g's shape: PHOcus above the manual solution."""
+        wins = 0
+        for seed in range(8):
+            inst = random_instance(seed=seed, n_photos=20, n_subsets=6)
+            analyst = simulated_analyst(inst, rng=np.random.default_rng(seed))
+            phocus = solve(inst, "phocus")
+            if phocus.value >= score(inst, analyst.selection) - 1e-9:
+                wins += 1
+        assert wins >= 6
+
+    def test_browses_at_most_all_pages(self, small_instance):
+        outcome = simulated_analyst(small_instance, rng=np.random.default_rng(1))
+        assert outcome.pages_visited == len(small_instance.subsets)
+
+
+class TestGoldStandard:
+    def test_exact_on_small(self, figure1):
+        selection, value = gold_standard(figure1)
+        assert value == pytest.approx(13.46)
+
+    def test_sviridenko_fallback(self):
+        inst = random_instance(seed=0, n_photos=12, budget_fraction=0.25)
+        sel_exact, val_exact = gold_standard(inst, exact_limit=40)
+        sel_approx, val_approx = gold_standard(inst, exact_limit=0)
+        assert val_approx <= val_exact + 1e-9
+        assert val_approx >= (1 - 1 / np.e) * val_exact - 1e-9
+
+
+class TestExpertJudge:
+    def test_clear_winner(self, figure1):
+        judge = ExpertJudge(error_rate=0.0, rng=np.random.default_rng(0))
+        assert judge.compare(figure1, [0, 1, 4, 5], [6]) == "A"
+        assert judge.compare(figure1, [6], [0, 1, 4, 5]) == "B"
+
+    def test_tie_on_identical(self, figure1):
+        judge = ExpertJudge(rng=np.random.default_rng(0))
+        assert judge.compare(figure1, [0, 5], [0, 5]) == "tie"
+
+    def test_indifference_window(self, figure1):
+        judge = ExpertJudge(indifference=0.99, error_rate=0.0, rng=np.random.default_rng(0))
+        # Huge indifference window makes everything a tie.
+        assert judge.compare(figure1, [0, 1, 4, 5], [6]) == "tie"
+
+    def test_error_rate_flips_sometimes(self, figure1):
+        judge = ExpertJudge(error_rate=0.49, rng=np.random.default_rng(0))
+        results = {judge.compare(figure1, [0, 1, 4, 5], [6]) for _ in range(100)}
+        assert results == {"A", "B"}
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ExpertJudge(indifference=1.0)
+        with pytest.raises(ValidationError):
+            ExpertJudge(error_rate=0.5)
+
+
+class TestPreferenceStudy:
+    def test_counts_sum_to_iterations(self):
+        inst = random_instance(seed=0, n_photos=40, n_subsets=8)
+        counts = run_preference_study(
+            inst, iterations=6, sample_size=20, rng=np.random.default_rng(0)
+        )
+        assert counts.iterations == 6
+        assert set(counts.as_dict()) == {"phocus", "greedy-ncs", "tie"}
+
+    def test_phocus_never_dominated(self):
+        """The paper's result shape: PHOcus wins far more often than the
+        non-contextual greedy loses to it."""
+        inst = random_instance(seed=1, n_photos=50, n_subsets=10)
+        counts = run_preference_study(
+            inst,
+            iterations=10,
+            sample_size=25,
+            judge=ExpertJudge(error_rate=0.0, rng=np.random.default_rng(1)),
+            rng=np.random.default_rng(1),
+        )
+        assert counts.a_wins >= counts.b_wins
+
+    def test_iterations_guard(self, small_instance):
+        with pytest.raises(ValidationError):
+            run_preference_study(small_instance, iterations=0)
+
+    def test_preference_counts_helper(self):
+        counts = PreferenceCounts(a_wins=35, b_wins=3, ties=12)
+        assert counts.iterations == 50
+        assert counts.as_dict()["PHOcus"] == 35

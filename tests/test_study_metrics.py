@@ -1,0 +1,101 @@
+"""Tests for the selection-agreement metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bruteforce import branch_and_bound
+from repro.core.solver import solve
+from repro.study.metrics import (
+    agreement_report,
+    byte_weighted_overlap,
+    jaccard,
+    precision_recall,
+    quality_ratio,
+)
+
+from tests.conftest import random_instance
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard([1, 2], [3, 4]) == 0.0
+
+    def test_partial(self):
+        assert jaccard([1, 2, 3], [2, 3, 4]) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert jaccard([], []) == 1.0
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        assert precision_recall([1, 2], [1, 2]) == (1.0, 1.0)
+
+    def test_subset_selection(self):
+        precision, recall = precision_recall([1], [1, 2])
+        assert precision == 1.0
+        assert recall == 0.5
+
+    def test_superset_selection(self):
+        precision, recall = precision_recall([1, 2, 3, 4], [1, 2])
+        assert precision == 0.5
+        assert recall == 1.0
+
+    def test_empty_conventions(self):
+        assert precision_recall([], [1]) == (1.0, 0.0)
+        assert precision_recall([1], []) == (0.0, 1.0)
+
+
+class TestByteWeighted:
+    def test_weighting_by_cost(self, figure1):
+        # Gold = {p1 (1.2 Mb), p2 (0.7 Mb)}; selection recovers only p1.
+        overlap = byte_weighted_overlap(figure1, [0], [0, 1])
+        assert overlap == pytest.approx(1.2 / 1.9)
+
+    def test_empty_gold(self, figure1):
+        assert byte_weighted_overlap(figure1, [0], []) == 1.0
+
+
+class TestQualityRatio:
+    def test_gold_ratio_is_one(self, figure1):
+        gold = branch_and_bound(figure1).selection
+        assert quality_ratio(figure1, gold, gold) == pytest.approx(1.0)
+
+    def test_phocus_near_gold(self, figure1):
+        gold = branch_and_bound(figure1).selection
+        sel = solve(figure1, "phocus").selection
+        assert quality_ratio(figure1, sel, gold) == pytest.approx(1.0)
+
+    def test_empty_selection_scores_zero_ratio(self, figure1):
+        gold = branch_and_bound(figure1).selection
+        assert quality_ratio(figure1, [], gold) == 0.0
+
+    def test_zero_gold(self, figure1):
+        assert quality_ratio(figure1, [0], []) == 1.0
+
+
+class TestAgreementReport:
+    def test_all_keys_present(self, small_instance):
+        gold = branch_and_bound(small_instance).selection
+        sel = solve(small_instance, "phocus").selection
+        report = agreement_report(small_instance, sel, gold)
+        assert set(report) == {
+            "jaccard", "precision", "recall",
+            "byte_weighted_overlap", "quality_ratio",
+        }
+        for value in report.values():
+            assert value >= 0.0
+
+    def test_equal_quality_despite_different_photos(self):
+        """The metric design point: substitutable near-duplicates can give
+        low Jaccard but quality_ratio ≈ 1 — which is why the paper judges
+        by preference, not set overlap."""
+        inst = random_instance(seed=5, n_photos=16, n_subsets=4)
+        gold = branch_and_bound(inst).selection
+        sel = solve(inst, "phocus").selection
+        report = agreement_report(inst, sel, gold)
+        assert report["quality_ratio"] >= 0.85
