@@ -1,18 +1,23 @@
 # Development entry points for the PHOcus reproduction.
+#
+# Targets export PYTHONPATH=src so they match the tier-1 verify command
+# and work on a fresh clone without `make install`.
 
 .PHONY: install test bench examples results clean
+
+PYTHONPATH_SRC = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
 install:
 	python setup.py develop
 
 test:
-	pytest tests/
+	$(PYTHONPATH_SRC) python -m pytest -x -q tests/
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	$(PYTHONPATH_SRC) python -m pytest benchmarks/ --benchmark-only
 
 examples:
-	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
+	@for f in examples/*.py; do echo "== $$f"; $(PYTHONPATH_SRC) python $$f > /dev/null || exit 1; done
 	@echo "all examples ran cleanly"
 
 results:

@@ -23,9 +23,41 @@ from repro.core.greedy import CB, UC, lazy_greedy, main_algorithm
 from repro.core.instance import PARInstance
 from repro.core.objective import score
 from repro.core.sviridenko import sviridenko
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError, TransientSolveError
 
-__all__ = ["Solution", "solve", "available_algorithms"]
+__all__ = [
+    "Solution",
+    "solve",
+    "available_algorithms",
+    "classify_failure",
+    "TRANSIENT",
+    "PERMANENT",
+]
+
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+
+# Environmental fault types that a retry can plausibly outrun.  Library
+# errors (bad input, unknown algorithm, infeasible budget) are by
+# definition deterministic and retrying them only wastes worker time.
+_TRANSIENT_TYPES = (TransientSolveError, OSError, MemoryError, TimeoutError)
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Classify a solve failure as :data:`TRANSIENT` or :data:`PERMANENT`.
+
+    The job orchestration layer (:mod:`repro.jobs`) retries transient
+    failures with exponential backoff and fails permanent ones on the
+    first attempt.  :class:`~repro.errors.TransientSolveError` is the
+    explicit escape hatch for callers that know their fault is retryable.
+    """
+    if isinstance(exc, TransientSolveError):
+        return TRANSIENT
+    if isinstance(exc, ReproError):
+        return PERMANENT
+    if isinstance(exc, _TRANSIENT_TYPES):
+        return TRANSIENT
+    return PERMANENT
 
 
 @dataclass

@@ -37,3 +37,15 @@ class ConfigurationError(ReproError):
     For example requesting an unknown solver name, or asking the SimHash
     sparsifier for more bands than signature bits.
     """
+
+
+class TransientSolveError(ReproError):
+    """A solve failed for a reason that may succeed on retry.
+
+    Raised (or used to wrap lower-level faults) when the failure is
+    environmental — a flaky backend, resource exhaustion, an interrupted
+    worker — rather than a property of the problem input.  The job
+    orchestration layer retries these with exponential backoff; every
+    other :class:`ReproError` is treated as permanent and fails the job
+    immediately (see :func:`repro.core.solver.classify_failure`).
+    """

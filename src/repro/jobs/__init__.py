@@ -1,0 +1,48 @@
+"""Background job orchestration: queued async solves with durability.
+
+The paper deploys the Solver as a blocking HTTP service; a production
+archive system runs solves as *background jobs* over per-user
+collections.  This package provides that substrate:
+
+* :mod:`repro.jobs.spec` — job model and lifecycle state machine;
+* :mod:`repro.jobs.queue` — bounded priority queue with per-tenant
+  round-robin fairness (backpressure via :class:`QueueFull`);
+* :mod:`repro.jobs.store` — pluggable persistence; the JSONL journal
+  store survives crashes and replays unfinished jobs;
+* :mod:`repro.jobs.worker` — the worker thread pool, per-job timeouts,
+  cancellation checkpoints, and the shared solve-payload executor;
+* :mod:`repro.jobs.manager` — :class:`JobManager`, the façade
+  (``submit`` / ``status`` / ``result`` / ``cancel`` / ``stats``) with
+  transient-failure retries (exponential backoff + jitter).
+
+Quickstart::
+
+    from repro.core.serialize import instance_to_dict
+    from repro.jobs import JobManager
+
+    with JobManager(workers=4) as manager:
+        job_id = manager.submit_solve(instance_to_dict(instance), tenant="alice")
+        status = manager.wait(job_id)
+        solution_doc = manager.result(job_id)
+"""
+
+from repro.jobs.manager import JobManager
+from repro.jobs.queue import FairPriorityQueue, QueueFull
+from repro.jobs.spec import JobRecord, JobSpec, JobState, new_job_id
+from repro.jobs.store import InMemoryJobStore, JobStore, JournalJobStore
+from repro.jobs.worker import WorkerPool, execute_solve_payload
+
+__all__ = [
+    "JobManager",
+    "JobSpec",
+    "JobRecord",
+    "JobState",
+    "new_job_id",
+    "FairPriorityQueue",
+    "QueueFull",
+    "JobStore",
+    "InMemoryJobStore",
+    "JournalJobStore",
+    "WorkerPool",
+    "execute_solve_payload",
+]

@@ -1,0 +1,375 @@
+"""The job manager: durable queued solves on a worker pool.
+
+:class:`JobManager` is the orchestration façade the service and CLI talk
+to: ``submit`` / ``status`` / ``result`` / ``cancel`` / ``stats``.  It
+owns the fair bounded queue (:mod:`repro.jobs.queue`), the worker pool
+(:mod:`repro.jobs.worker`), and the durability layer
+(:mod:`repro.jobs.store`), and implements the scheduling policy:
+
+* every state change is persisted *before* the next scheduling step, so
+  a crash leaves a journal a fresh manager can replay;
+* transient failures (:func:`repro.core.solver.classify_failure`) are
+  retried with exponential backoff + jitter up to ``max_attempts``;
+  permanent failures and per-job timeouts fail immediately;
+* cancellation works in every non-terminal state — queued jobs are pulled
+  out of the queue, running jobs are flagged and abandoned at the next
+  cancellation checkpoint;
+* on construction, unfinished jobs recovered from the journal (QUEUED or
+  RUNNING at crash time) are re-enqueued exactly once; finished jobs are
+  kept as queryable history.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.solver import PERMANENT, TRANSIENT, classify_failure
+from repro.jobs.queue import FairPriorityQueue, QueueFull
+from repro.jobs.spec import JobRecord, JobSpec, JobState, new_job_id
+from repro.jobs.store import InMemoryJobStore, JobStore, JournalJobStore
+from repro.jobs.worker import WorkerPool, execute_solve_payload, run_with_timeout
+
+__all__ = ["JobManager", "QueueFull"]
+
+
+def _default_solve(spec: JobSpec) -> Dict[str, Any]:
+    return execute_solve_payload(spec.solve_payload())
+
+
+class JobManager:
+    """Accepts solve requests as durable jobs and runs them asynchronously.
+
+    Parameters
+    ----------
+    workers:
+        Size of the worker thread pool.
+    queue_depth:
+        Bound on waiting jobs; :class:`QueueFull` signals backpressure
+        (``0`` disables the bound).
+    journal_path:
+        When given, jobs are journalled to this JSONL file and unfinished
+        ones are replayed on construction.  Mutually exclusive with
+        ``store``.
+    store:
+        An explicit :class:`~repro.jobs.store.JobStore` (default:
+        in-memory).
+    solve_fn:
+        The function executed per job (``JobSpec → result doc``).  The
+        default runs the real solver; tests inject failures through it.
+    retry_base_delay / retry_max_delay:
+        Exponential backoff envelope for transient retries (delay for
+        attempt *k* is ``base · 2^(k-1)``, capped, with ±25% jitter).
+    autostart:
+        Start the worker pool immediately (set ``False`` to stage jobs
+        without executing, e.g. in replay tests).
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        queue_depth: int = 256,
+        *,
+        journal_path: Optional[str] = None,
+        store: Optional[JobStore] = None,
+        solve_fn: Optional[Callable[[JobSpec], Dict[str, Any]]] = None,
+        retry_base_delay: float = 0.5,
+        retry_max_delay: float = 30.0,
+        latency_window: int = 512,
+        autostart: bool = True,
+        rng_seed: Optional[int] = None,
+    ) -> None:
+        if store is not None and journal_path is not None:
+            raise ValueError("give either store or journal_path, not both")
+        self._store: JobStore = (
+            store
+            if store is not None
+            else (JournalJobStore(journal_path) if journal_path else InMemoryJobStore())
+        )
+        self._solve_fn = solve_fn or _default_solve
+        self._retry_base_delay = retry_base_delay
+        self._retry_max_delay = retry_max_delay
+        self._rng = random.Random(rng_seed)
+        self._lock = threading.RLock()
+        self._records: Dict[str, JobRecord] = {}
+        self._cancel_events: Dict[str, threading.Event] = {}
+        self._timers: List[threading.Timer] = []
+        self._dequeue_counter = 0
+        self._latencies: deque = deque(maxlen=latency_window)
+        self._queue = FairPriorityQueue(maxsize=queue_depth, on_pop=self._mark_dequeued)
+        self._pool = WorkerPool(self._queue, self._execute, workers=workers)
+        self._closed = False
+        self._replay()
+        if autostart:
+            self.start()
+
+    # ------------------------------------------------------------------ API
+
+    def submit(self, spec: JobSpec) -> str:
+        """Enqueue a job; returns its id.  Raises :class:`QueueFull` at capacity."""
+        if self._closed:
+            raise RuntimeError("job manager is shut down")
+        record = JobRecord(spec=spec)
+        with self._lock:
+            if spec.job_id in self._records:
+                raise ValueError(f"duplicate job id {spec.job_id!r}")
+            self._records[spec.job_id] = record
+            self._cancel_events[spec.job_id] = threading.Event()
+        try:
+            self._queue.put(record, tenant=spec.tenant, priority=spec.priority)
+        except QueueFull:
+            with self._lock:
+                del self._records[spec.job_id]
+                del self._cancel_events[spec.job_id]
+            raise
+        self._store.save(record)
+        return spec.job_id
+
+    def submit_solve(self, instance_doc: Dict[str, Any], **spec_kwargs: Any) -> str:
+        """Convenience: build a :class:`JobSpec` (fresh id) and submit it."""
+        spec_kwargs.setdefault("job_id", new_job_id())
+        return self.submit(JobSpec(instance=instance_doc, **spec_kwargs))
+
+    def status(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The public record document, or ``None`` for an unknown id."""
+        with self._lock:
+            record = self._records.get(job_id)
+            return record.public_dict() if record is not None else None
+
+    def result(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The solution document of a SUCCEEDED job (``None`` otherwise)."""
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None or record.state is not JobState.SUCCEEDED:
+                return None
+            return record.result
+
+    def wait(self, job_id: str, timeout: float = 30.0, poll: float = 0.01) -> Dict[str, Any]:
+        """Block until the job reaches a terminal state; returns its status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.status(job_id)
+            if doc is None:
+                raise KeyError(f"unknown job {job_id!r}")
+            if JobState(doc["state"]).terminal:
+                return doc
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} not finished after {timeout}s")
+            time.sleep(poll)
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation.  True iff the job was still cancellable."""
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None:
+                raise KeyError(f"unknown job {job_id!r}")
+            if record.terminal:
+                return False
+            event = self._cancel_events.get(job_id)
+            if event is not None:
+                event.set()
+            if record.state is JobState.QUEUED:
+                removed = self._queue.remove(lambda item: item.job_id == job_id)
+                # Not in the queue: either a retry timer holds it (cancel
+                # now; the timer checks state) or a worker just popped it
+                # (the worker's pre-flight checkpoint sees the event).
+                if removed is not None or record.state is JobState.QUEUED:
+                    record.transition(JobState.CANCELLED)
+                    record.error_kind = "cancelled"
+                    record.finished_at = time.time()
+                    self._store.save(record)
+            return True
+
+    def jobs(
+        self, state: Optional[str] = None, tenant: Optional[str] = None
+    ) -> List[Dict[str, Any]]:
+        """Public documents of all known jobs, optionally filtered."""
+        with self._lock:
+            records = sorted(self._records.values(), key=lambda r: r.submitted_at)
+            docs = [
+                r.public_dict()
+                for r in records
+                if (state is None or r.state.value == state)
+                and (tenant is None or r.tenant == tenant)
+            ]
+        return docs
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational gauges: depth, per-state counts, utilisation, latency."""
+        with self._lock:
+            by_state = {s.value: 0 for s in JobState}
+            for record in self._records.values():
+                by_state[record.state.value] += 1
+            latencies = sorted(self._latencies)
+        busy = self._pool.busy_count
+        return {
+            "queue": {
+                "depth": len(self._queue),
+                "limit": self._queue.maxsize,
+                "by_tenant": self._queue.depth_by_tenant(),
+            },
+            "jobs": by_state,
+            "workers": {
+                "total": self._pool.size,
+                "busy": busy,
+                "utilisation": busy / self._pool.size if self._pool.size else 0.0,
+            },
+            "solve_latency_seconds": {
+                "count": len(latencies),
+                "p50": _percentile(latencies, 0.50),
+                "p90": _percentile(latencies, 0.90),
+                "p99": _percentile(latencies, 0.99),
+            },
+        }
+
+    def start(self) -> "JobManager":
+        self._pool.start()
+        return self
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop workers and retry timers and close the store.
+
+        Unfinished jobs stay QUEUED/RUNNING in the journal — a future
+        manager on the same journal picks them up.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            timers, self._timers = self._timers, []
+        for timer in timers:
+            timer.cancel()
+        self._pool.stop(wait=wait)
+        self._store.close()
+
+    def __enter__(self) -> "JobManager":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------ internals
+
+    def _mark_dequeued(self, record: JobRecord) -> None:
+        # Runs under the queue lock, atomically with the pop: dequeue_seq
+        # is therefore a faithful global dispatch order even with many
+        # workers racing (tests assert tenant fairness on it).
+        self._dequeue_counter += 1
+        record.dequeue_seq = self._dequeue_counter
+
+    def _replay(self) -> None:
+        """Adopt journal state: finished jobs become history, unfinished
+        jobs are re-enqueued exactly once (RUNNING-at-crash counts as
+        unfinished — the attempt died with the old process)."""
+        recovered = self._store.load_all()
+        with self._lock:
+            for record in sorted(recovered.values(), key=lambda r: r.submitted_at):
+                self._records[record.job_id] = record
+                if record.terminal:
+                    continue
+                self._cancel_events[record.job_id] = threading.Event()
+                if record.state is JobState.RUNNING:
+                    record.transition(JobState.QUEUED)
+                    self._store.save(record)
+                self._queue.put(
+                    record,
+                    tenant=record.tenant,
+                    priority=record.spec.priority,
+                    force=True,
+                )
+
+    def _execute(self, record: JobRecord) -> None:
+        """Worker-side lifecycle of one dequeued job."""
+        event = self._cancel_events.get(record.job_id) or threading.Event()
+        with self._lock:
+            if record.state is not JobState.QUEUED:
+                return  # cancelled (or otherwise resolved) while waiting
+            if event.is_set():
+                record.transition(JobState.CANCELLED)
+                record.error_kind = "cancelled"
+                record.finished_at = time.time()
+                self._store.save(record)
+                return
+            record.transition(JobState.RUNNING)
+            record.attempt += 1
+            record.started_at = time.time()
+        self._store.save(record)
+
+        outcome, value = run_with_timeout(
+            lambda: self._solve_fn(record.spec),
+            timeout=record.spec.timeout_seconds,
+            cancel_event=event,
+        )
+
+        with self._lock:
+            if record.state is not JobState.RUNNING:
+                return  # resolved concurrently; nothing to record
+            now = time.time()
+            if outcome == "ok":
+                record.transition(JobState.SUCCEEDED)
+                record.result = value
+                record.error = None
+                record.error_kind = None
+                record.finished_at = now
+                record.solve_seconds = now - (record.started_at or now)
+                self._latencies.append(record.solve_seconds)
+            elif outcome == "cancelled":
+                record.transition(JobState.CANCELLED)
+                record.error_kind = "cancelled"
+                record.finished_at = now
+            elif outcome == "timeout":
+                record.transition(JobState.FAILED)
+                record.error = (
+                    f"solve exceeded timeout of {record.spec.timeout_seconds}s"
+                )
+                record.error_kind = "timeout"
+                record.finished_at = now
+            else:  # outcome == "error"
+                exc = value
+                kind = classify_failure(exc)
+                record.error = f"{type(exc).__name__}: {exc}"
+                if kind == TRANSIENT and record.attempt < record.spec.max_attempts:
+                    record.error_kind = TRANSIENT
+                    record.transition(JobState.QUEUED)
+                    self._schedule_retry(record)
+                else:
+                    record.error_kind = (
+                        PERMANENT if kind == PERMANENT else "transient_exhausted"
+                    )
+                    record.transition(JobState.FAILED)
+                    record.finished_at = now
+        self._store.save(record)
+
+    def _schedule_retry(self, record: JobRecord) -> None:
+        """Re-enqueue after exponential backoff with ±25% jitter."""
+        delay = min(
+            self._retry_max_delay,
+            self._retry_base_delay * math.pow(2.0, record.attempt - 1),
+        )
+        delay *= 1.0 + self._rng.uniform(-0.25, 0.25)
+        timer = threading.Timer(delay, self._requeue, args=(record,))
+        timer.daemon = True
+        self._timers.append(timer)
+        timer.start()
+
+    def _requeue(self, record: JobRecord) -> None:
+        with self._lock:
+            if self._closed or record.state is not JobState.QUEUED:
+                return  # cancelled (or shut down) while backing off
+            self._queue.put(
+                record,
+                tenant=record.tenant,
+                priority=record.spec.priority,
+                force=True,
+            )
+
+
+def _percentile(sorted_values: List[float], q: float) -> Optional[float]:
+    if not sorted_values:
+        return None
+    index = max(0, math.ceil(q * len(sorted_values)) - 1)
+    return sorted_values[index]

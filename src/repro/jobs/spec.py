@@ -1,0 +1,237 @@
+"""Job model: specs, records, and the lifecycle state machine.
+
+A *job* is one deferred solve request.  :class:`JobSpec` is the immutable
+request — who asked (``tenant``), what to solve (the serialised instance
+plus algorithm/τ parameters, exactly the ``POST /solve`` vocabulary), and
+the execution envelope (priority, timeout, retry budget).  The mutable
+execution state lives in :class:`JobRecord`, which walks the state machine
+
+.. code-block:: text
+
+    QUEUED ──► RUNNING ──► SUCCEEDED
+       │          │  ╲
+       │          │   ╲──► FAILED          (permanent / retries exhausted /
+       │          │                         timeout)
+       │          └─────► QUEUED           (transient failure → retry)
+       └──────────┴─────► CANCELLED
+
+Illegal transitions raise :class:`~repro.errors.ConfigurationError`, so a
+buggy scheduler fails loudly instead of corrupting the journal.  Records
+serialise with :meth:`JobRecord.to_dict` / :meth:`JobRecord.from_dict`;
+the instance travels in the :mod:`repro.core.serialize` wire format, so a
+journal line is self-contained and can be re-executed after a restart.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, FrozenSet, Optional
+
+from repro.errors import ConfigurationError, ValidationError
+
+__all__ = ["JobState", "JobSpec", "JobRecord", "new_job_id"]
+
+
+class JobState(str, Enum):
+    """Lifecycle states of a job."""
+
+    QUEUED = "QUEUED"
+    RUNNING = "RUNNING"
+    SUCCEEDED = "SUCCEEDED"
+    FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
+
+    @property
+    def terminal(self) -> bool:
+        return self in _TERMINAL
+
+
+_TERMINAL: FrozenSet[JobState] = frozenset(
+    {JobState.SUCCEEDED, JobState.FAILED, JobState.CANCELLED}
+)
+
+# RUNNING → QUEUED is the retry re-queue after a transient failure.
+_TRANSITIONS: Dict[JobState, FrozenSet[JobState]] = {
+    JobState.QUEUED: frozenset({JobState.RUNNING, JobState.CANCELLED}),
+    JobState.RUNNING: frozenset(
+        {JobState.SUCCEEDED, JobState.FAILED, JobState.CANCELLED, JobState.QUEUED}
+    ),
+    JobState.SUCCEEDED: frozenset(),
+    JobState.FAILED: frozenset(),
+    JobState.CANCELLED: frozenset(),
+}
+
+
+def new_job_id() -> str:
+    """A fresh, URL-safe job identifier."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """The immutable request half of a job.
+
+    ``instance`` is the serialised PAR instance document
+    (:func:`repro.core.serialize.instance_to_dict` format); the solve
+    parameters mirror the synchronous ``POST /solve`` body so a job is
+    exactly "a /solve request, deferred".
+    """
+
+    job_id: str
+    instance: Dict[str, Any]
+    tenant: str = "default"
+    algorithm: str = "phocus"
+    tau: float = 0.0
+    sparsify_method: str = "exact"
+    certificate: bool = False
+    seed: Optional[int] = None
+    priority: int = 0
+    timeout_seconds: Optional[float] = None
+    max_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            raise ValidationError("job_id must be non-empty")
+        if not self.tenant:
+            raise ValidationError("tenant must be non-empty")
+        if self.max_attempts < 1:
+            raise ValidationError("max_attempts must be >= 1")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValidationError("timeout_seconds must be positive")
+
+    def solve_payload(self) -> Dict[str, Any]:
+        """The equivalent ``POST /solve`` request body."""
+        return {
+            "instance": self.instance,
+            "algorithm": self.algorithm,
+            "tau": self.tau,
+            "sparsify_method": self.sparsify_method,
+            "certificate": self.certificate,
+            "seed": self.seed,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "instance": self.instance,
+            "algorithm": self.algorithm,
+            "tau": self.tau,
+            "sparsify_method": self.sparsify_method,
+            "certificate": self.certificate,
+            "seed": self.seed,
+            "priority": self.priority,
+            "timeout_seconds": self.timeout_seconds,
+            "max_attempts": self.max_attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "JobSpec":
+        try:
+            return cls(
+                job_id=str(doc["job_id"]),
+                tenant=str(doc.get("tenant", "default")),
+                instance=doc["instance"],
+                algorithm=str(doc.get("algorithm", "phocus")),
+                tau=float(doc.get("tau", 0.0)),
+                sparsify_method=str(doc.get("sparsify_method", "exact")),
+                certificate=bool(doc.get("certificate", False)),
+                seed=doc.get("seed"),
+                priority=int(doc.get("priority", 0)),
+                timeout_seconds=doc.get("timeout_seconds"),
+                max_attempts=int(doc.get("max_attempts", 3)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(f"malformed job spec document: {exc!r}") from exc
+
+
+@dataclass
+class JobRecord:
+    """The mutable execution half of a job.
+
+    Timings are ``time.time()`` epoch seconds; ``solve_seconds`` is the
+    wall-clock of the *successful* attempt.  ``dequeue_seq`` is the global
+    order in which the scheduler handed the job to a worker — tests use it
+    to assert tenant fairness without racing on thread start times.
+    """
+
+    spec: JobSpec
+    state: JobState = JobState.QUEUED
+    attempt: int = 0
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    error_kind: Optional[str] = None  # transient | permanent | timeout | cancelled
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    solve_seconds: Optional[float] = None
+    dequeue_seq: Optional[int] = None
+
+    @property
+    def job_id(self) -> str:
+        return self.spec.job_id
+
+    @property
+    def tenant(self) -> str:
+        return self.spec.tenant
+
+    @property
+    def terminal(self) -> bool:
+        return self.state.terminal
+
+    def transition(self, new_state: JobState) -> None:
+        """Move to ``new_state``, enforcing the state machine."""
+        if new_state not in _TRANSITIONS[self.state]:
+            raise ConfigurationError(
+                f"job {self.job_id}: illegal transition {self.state.value} → "
+                f"{new_state.value}"
+            )
+        self.state = new_state
+
+    def to_dict(self, *, include_instance: bool = True) -> Dict[str, Any]:
+        spec_doc = self.spec.to_dict()
+        if not include_instance:
+            spec_doc.pop("instance", None)
+        return {
+            "spec": spec_doc,
+            "state": self.state.value,
+            "attempt": self.attempt,
+            "result": self.result,
+            "error": self.error,
+            "error_kind": self.error_kind,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "solve_seconds": self.solve_seconds,
+            "dequeue_seq": self.dequeue_seq,
+        }
+
+    def public_dict(self) -> Dict[str, Any]:
+        """The API view of a record: everything except the (large) instance."""
+        doc = self.to_dict(include_instance=False)
+        doc["job_id"] = self.job_id
+        doc["tenant"] = self.tenant
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "JobRecord":
+        try:
+            record = cls(
+                spec=JobSpec.from_dict(doc["spec"]),
+                state=JobState(doc.get("state", "QUEUED")),
+                attempt=int(doc.get("attempt", 0)),
+                result=doc.get("result"),
+                error=doc.get("error"),
+                error_kind=doc.get("error_kind"),
+                submitted_at=float(doc.get("submitted_at", 0.0)),
+                started_at=doc.get("started_at"),
+                finished_at=doc.get("finished_at"),
+                solve_seconds=doc.get("solve_seconds"),
+                dequeue_seq=doc.get("dequeue_seq"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(f"malformed job record document: {exc!r}") from exc
+        return record

@@ -1,0 +1,129 @@
+"""Pluggable job stores: in-memory, and a crash-safe JSONL journal.
+
+The store is the durability layer under :class:`repro.jobs.manager.JobManager`.
+Its contract is tiny — ``save`` a record snapshot on every state change,
+``load_all`` the latest snapshot per job — so alternative backends (SQLite,
+Redis, a real queue service) can slot in later without touching the
+scheduler.
+
+:class:`JournalJobStore` appends one JSON line per state change
+(*append-only*: no seeks, no rewrites, so a crash can at worst truncate
+the final line).  Replay reads the file top to bottom and keeps the last
+snapshot per job id; a trailing partial line from a mid-write crash is
+detected and ignored.  Records carry the full serialised instance in the
+:mod:`repro.core.serialize` wire format, so a replayed ``QUEUED`` job can
+be re-executed by a fresh manager with no other state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Dict, Optional
+
+from repro.jobs.spec import JobRecord
+
+__all__ = ["JobStore", "InMemoryJobStore", "JournalJobStore"]
+
+
+class JobStore:
+    """Interface: persist job record snapshots and recover them."""
+
+    def save(self, record: JobRecord) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def load_all(self) -> Dict[str, JobRecord]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (default: nothing to do)."""
+
+
+class InMemoryJobStore(JobStore):
+    """Volatile store: records live only as long as the process."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: Dict[str, JobRecord] = {}
+
+    def save(self, record: JobRecord) -> None:
+        with self._lock:
+            self._records[record.job_id] = record
+
+    def load_all(self) -> Dict[str, JobRecord]:
+        with self._lock:
+            return dict(self._records)
+
+
+class JournalJobStore(InMemoryJobStore):
+    """In-memory store backed by an append-only JSONL journal.
+
+    Construction replays any existing journal at ``path`` into memory;
+    the manager then decides which recovered jobs to re-enqueue.  Every
+    ``save`` appends a full record snapshot and flushes + fsyncs, so the
+    journal is consistent up to the last completed write even if the
+    process dies mid-run.
+    """
+
+    def __init__(self, path: str) -> None:
+        super().__init__()
+        self.path = str(path)
+        self._replayed = self._replay()
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    @property
+    def replayed_count(self) -> int:
+        """How many distinct jobs the journal held at startup."""
+        return self._replayed
+
+    def _replay(self) -> int:
+        if not os.path.exists(self.path):
+            return 0
+        recovered: Dict[str, JobRecord] = {}
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                    record = JobRecord.from_dict(doc)
+                except Exception:  # torn tail line from a crash — ignore
+                    continue
+                recovered[record.job_id] = record  # last snapshot wins
+        with self._lock:
+            self._records.update(recovered)
+        return len(recovered)
+
+    def save(self, record: JobRecord) -> None:
+        line = json.dumps(record.to_dict()) + "\n"
+        with self._lock:
+            self._records[record.job_id] = record
+            self._file.write(line)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def compact(self) -> None:
+        """Rewrite the journal with one line per job (latest snapshots)."""
+        with self._lock:
+            tmp = self.path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for record in self._records.values():
+                    fh.write(json.dumps(record.to_dict()) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._file.close()
+            os.replace(tmp, self.path)
+            self._file = open(self.path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+                self._file.close()
+
+
+def open_store(journal_path: Optional[str]) -> JobStore:
+    """The default store for a manager: journalled when a path is given."""
+    return JournalJobStore(journal_path) if journal_path else InMemoryJobStore()

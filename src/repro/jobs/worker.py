@@ -1,0 +1,200 @@
+"""Worker pool: threads that pull jobs off the queue and run solves.
+
+Two layers live here:
+
+* :func:`execute_solve_payload` — the one true implementation of "run a
+  ``/solve``-shaped request": deserialise, optionally sparsify, solve,
+  report the true objective.  The synchronous ``POST /solve`` fast path
+  and every background job share it, so the two paths can never drift.
+* :class:`WorkerPool` + :func:`run_with_timeout` — the execution
+  machinery.  Each worker thread loops ``queue.get() → handler(job)``.
+  The handler (the manager's ``_execute``) runs the solve in a *nested*
+  thread so it can enforce a per-job timeout and observe cancellation at
+  poll-interval checkpoints; Python threads cannot be killed, so a timed
+  out / cancelled solve is abandoned (daemon thread) and its result
+  discarded — the job record is what carries the truth.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.objective import score
+from repro.core.serialize import instance_from_dict, solution_to_dict
+from repro.core.solver import solve
+from repro.errors import ValidationError
+from repro.sparsify.pipeline import sparsify_instance
+
+__all__ = ["execute_solve_payload", "run_with_timeout", "WorkerPool"]
+
+
+def execute_solve_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run a ``/solve``-style request body and return the response document.
+
+    The payload vocabulary: ``instance`` (wire-format dict, required),
+    ``algorithm``, ``tau``, ``sparsify_method``, ``certificate``, ``seed``.
+    The reported ``value`` is always the *true* objective on the original
+    (unsparsified) instance.
+    """
+    instance_doc = payload.get("instance")
+    if not isinstance(instance_doc, dict):
+        raise ValidationError("request body needs 'instance' of type dict")
+    instance = instance_from_dict(instance_doc)
+    algorithm = payload.get("algorithm") or "phocus"
+    tau = float(payload.get("tau") or 0.0)
+    method = payload.get("sparsify_method") or "exact"
+    certificate = bool(payload.get("certificate", False))
+    seed = payload.get("seed")
+    rng = np.random.default_rng(seed)
+
+    solver_instance = instance
+    sparsify_doc: Optional[Dict[str, Any]] = None
+    if tau > 0.0:
+        solver_instance, report = sparsify_instance(
+            instance, tau, method=method, rng=rng
+        )
+        sparsify_doc = {
+            "tau": report.tau,
+            "method": report.method,
+            "kept_fraction": report.kept_fraction,
+            "checked_fraction": report.checked_fraction,
+        }
+    solution = solve(solver_instance, algorithm, rng=rng)
+    true_value = (
+        solution.value
+        if solver_instance is instance
+        else score(instance, solution.selection)
+    )
+    solution.value = true_value
+    if certificate:
+        from repro.core.bounds import online_bound
+
+        bound = online_bound(instance, solution.selection)
+        solution.ratio_certificate = (
+            1.0 if bound <= 0 else min(1.0, true_value / bound)
+        )
+    doc = solution_to_dict(solution)
+    doc["sparsify"] = sparsify_doc
+    return doc
+
+
+def run_with_timeout(
+    fn: Callable[[], Any],
+    *,
+    timeout: Optional[float] = None,
+    cancel_event: Optional[threading.Event] = None,
+    poll_interval: float = 0.02,
+) -> Tuple[str, Any]:
+    """Run ``fn`` in a nested daemon thread with timeout + cancel checkpoints.
+
+    Returns one of ``("ok", value)``, ``("error", exception)``,
+    ``("timeout", None)``, ``("cancelled", None)``.  On timeout or cancel
+    the nested thread is abandoned, not killed — callers must treat its
+    eventual result as void.
+    """
+    outcome: Dict[str, Any] = {}
+    done = threading.Event()
+
+    def _target() -> None:
+        try:
+            outcome["value"] = fn()
+        except BaseException as exc:  # noqa: BLE001 - captured for the caller
+            outcome["error"] = exc
+        finally:
+            done.set()
+
+    thread = threading.Thread(target=_target, name="job-solve", daemon=True)
+    thread.start()
+
+    deadline = (threading.TIMEOUT_MAX if timeout is None else timeout) + _now()
+    while True:
+        if done.wait(timeout=poll_interval):
+            if "error" in outcome:
+                return "error", outcome["error"]
+            return "ok", outcome.get("value")
+        if cancel_event is not None and cancel_event.is_set():
+            return "cancelled", None
+        if timeout is not None and _now() >= deadline:
+            return "timeout", None
+
+
+def _now() -> float:
+    import time
+
+    return time.monotonic()
+
+
+class WorkerPool:
+    """A fixed pool of daemon threads draining a job queue.
+
+    ``handler`` receives each dequeued item and must never raise (the
+    manager's handler converts every failure into a job-record state).
+    ``busy_count`` feeds the ``/stats`` worker-utilisation gauge.
+    """
+
+    def __init__(
+        self,
+        queue,
+        handler: Callable[[Any], None],
+        workers: int = 4,
+        name_prefix: str = "phocus-job-worker",
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self._queue = queue
+        self._handler = handler
+        self._workers = workers
+        self._name_prefix = name_prefix
+        self._threads: list = []
+        self._stop = threading.Event()
+        self._busy = 0
+        self._busy_lock = threading.Lock()
+
+    @property
+    def size(self) -> int:
+        return self._workers
+
+    @property
+    def busy_count(self) -> int:
+        with self._busy_lock:
+            return self._busy
+
+    @property
+    def running(self) -> bool:
+        return bool(self._threads) and not self._stop.is_set()
+
+    def start(self) -> None:
+        if self._threads:
+            return
+        self._stop.clear()
+        for i in range(self._workers):
+            t = threading.Thread(
+                target=self._loop, name=f"{self._name_prefix}-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            item = self._queue.get(timeout=0.05)
+            if item is None:
+                continue
+            with self._busy_lock:
+                self._busy += 1
+            try:
+                self._handler(item)
+            except Exception:  # noqa: BLE001 - workers must survive anything
+                pass
+            finally:
+                with self._busy_lock:
+                    self._busy -= 1
+
+    def stop(self, wait: bool = True, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if wait:
+            for t in self._threads:
+                t.join(timeout=timeout)
+        self._threads = []

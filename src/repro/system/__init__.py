@@ -6,9 +6,10 @@ from repro.system.phocus import (
     PHOcus,
     PhocusConfig,
 )
+from repro.jobs import JobManager
 from repro.system.analysis import InstanceDiagnostics, analyze_instance
 from repro.system.report_html import render_report_html, write_report_html
-from repro.system.service import PhocusService
+from repro.system.service import PhocusService, handle_request
 
 __all__ = [
     "PHOcus",
@@ -16,6 +17,8 @@ __all__ = [
     "ArchiveReport",
     "DataRepresentationModule",
     "PhocusService",
+    "JobManager",
+    "handle_request",
     "analyze_instance",
     "InstanceDiagnostics",
     "render_report_html",

@@ -98,6 +98,66 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p = sub.add_parser("serve", help="run the HTTP solver service")
     serve_p.add_argument("--host", default="127.0.0.1")
     serve_p.add_argument("--port", type=int, default=8471)
+    serve_p.add_argument(
+        "--workers", type=int, default=4, help="background solve worker threads"
+    )
+    serve_p.add_argument(
+        "--queue-depth", type=int, default=256, help="job queue bound (0 = unbounded)"
+    )
+    serve_p.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="JSONL job journal; unfinished jobs replay on restart",
+    )
+
+    jobs_p = sub.add_parser(
+        "jobs", help="submit and track background solve jobs on a running service"
+    )
+    jobs_p.add_argument(
+        "--server",
+        default="http://127.0.0.1:8471",
+        help="base URL of a running 'phocus serve' instance",
+    )
+    jobs_sub = jobs_p.add_subparsers(dest="jobs_command", required=True)
+
+    submit_p = jobs_sub.add_parser("submit", help="submit a serialised instance")
+    submit_p.add_argument(
+        "--instance-file",
+        required=True,
+        help="JSON file in the repro.core.serialize instance wire format",
+    )
+    submit_p.add_argument("--algorithm", default="phocus", choices=available_algorithms())
+    submit_p.add_argument("--tau", type=float, default=0.0)
+    submit_p.add_argument("--tenant", default="default")
+    submit_p.add_argument("--priority", type=int, default=0)
+    submit_p.add_argument("--timeout-seconds", type=float)
+    submit_p.add_argument("--max-attempts", type=int, default=3)
+    submit_p.add_argument("--certificate", action="store_true")
+    submit_p.add_argument(
+        "--wait", action="store_true", help="poll until the job finishes"
+    )
+    submit_p.add_argument("--poll-interval", type=float, default=0.5)
+
+    status_p = jobs_sub.add_parser("status", help="show one job's state")
+    status_p.add_argument("--id", required=True, dest="job_id")
+    status_p.add_argument(
+        "--wait", action="store_true", help="poll until the job finishes"
+    )
+    status_p.add_argument("--poll-interval", type=float, default=0.5)
+
+    result_p = jobs_sub.add_parser("result", help="print a finished job's solution")
+    result_p.add_argument("--id", required=True, dest="job_id")
+
+    cancel_p = jobs_sub.add_parser("cancel", help="cancel a queued or running job")
+    cancel_p.add_argument("--id", required=True, dest="job_id")
+
+    list_p = jobs_sub.add_parser("list", help="list jobs on the service")
+    list_p.add_argument("--state", choices=[
+        "QUEUED", "RUNNING", "SUCCEEDED", "FAILED", "CANCELLED"
+    ])
+    list_p.add_argument("--tenant")
+
+    jobs_sub.add_parser("stats", help="queue / worker / latency statistics")
     return parser
 
 
@@ -208,6 +268,137 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _http(server: str, method: str, path: str, payload=None):
+    """One JSON request against a running service; returns (status, doc)."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    url = server.rstrip("/") + path
+    data = json.dumps(payload).encode("utf-8") if payload is not None else None
+    req = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}, method=method
+    )
+    try:
+        with urllib.request.urlopen(req) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        try:
+            return exc.code, json.loads(exc.read())
+        except Exception:  # noqa: BLE001 - non-JSON error body
+            return exc.code, {"error": str(exc)}
+
+
+def _poll_job(server: str, job_id: str, interval: float) -> dict:
+    import time
+
+    last_state = None
+    while True:
+        status, doc = _http(server, "GET", f"/jobs/{job_id}")
+        if status != 200:
+            raise SystemExit(f"error: {doc.get('error', status)}")
+        if doc["state"] != last_state:
+            last_state = doc["state"]
+            print(f"  job {job_id}: {last_state} (attempt {doc['attempt']})")
+        if last_state in ("SUCCEEDED", "FAILED", "CANCELLED"):
+            return doc
+        time.sleep(interval)
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json
+
+    server = args.server
+    if args.jobs_command == "submit":
+        with open(args.instance_file, "r", encoding="utf-8") as fh:
+            instance_doc = json.load(fh)
+        payload = {
+            "instance": instance_doc,
+            "algorithm": args.algorithm,
+            "tau": args.tau,
+            "tenant": args.tenant,
+            "priority": args.priority,
+            "timeout_seconds": args.timeout_seconds,
+            "max_attempts": args.max_attempts,
+            "certificate": args.certificate,
+        }
+        status, doc = _http(server, "POST", "/jobs", payload)
+        if status == 429:
+            print(
+                f"error: queue full ({doc.get('queue_depth')}/{doc.get('queue_limit')}); "
+                "retry later",
+                file=sys.stderr,
+            )
+            return 1
+        if status != 202:
+            print(f"error: {doc.get('error', status)}", file=sys.stderr)
+            return 1
+        print(f"submitted job {doc['job_id']}")
+        if args.wait:
+            final = _poll_job(server, doc["job_id"], args.poll_interval)
+            return 0 if final["state"] == "SUCCEEDED" else 1
+        return 0
+    if args.jobs_command == "status":
+        if args.wait:
+            doc = _poll_job(server, args.job_id, args.poll_interval)
+        else:
+            status, doc = _http(server, "GET", f"/jobs/{args.job_id}")
+            if status != 200:
+                print(f"error: {doc.get('error', status)}", file=sys.stderr)
+                return 1
+        doc.pop("result", None)
+        doc.pop("spec", None)
+        print(json.dumps(doc, indent=2))
+        return 0
+    if args.jobs_command == "result":
+        status, doc = _http(server, "GET", f"/jobs/{args.job_id}")
+        if status != 200:
+            print(f"error: {doc.get('error', status)}", file=sys.stderr)
+            return 1
+        if doc["state"] != "SUCCEEDED":
+            print(
+                f"error: job {args.job_id} is {doc['state']}"
+                + (f" ({doc['error']})" if doc.get("error") else ""),
+                file=sys.stderr,
+            )
+            return 1
+        print(json.dumps(doc["result"], indent=2))
+        return 0
+    if args.jobs_command == "cancel":
+        status, doc = _http(server, "DELETE", f"/jobs/{args.job_id}")
+        if status != 200:
+            print(f"error: {doc.get('error', status)}", file=sys.stderr)
+            return 1
+        verb = "cancelled" if doc.get("cancelled") else "not cancellable"
+        print(f"job {args.job_id}: {verb} (state {doc.get('state')})")
+        return 0
+    if args.jobs_command == "list":
+        query = []
+        if args.state:
+            query.append(f"state={args.state}")
+        if args.tenant:
+            query.append(f"tenant={args.tenant}")
+        suffix = "?" + "&".join(query) if query else ""
+        status, doc = _http(server, "GET", f"/jobs{suffix}")
+        if status != 200:
+            print(f"error: {doc.get('error', status)}", file=sys.stderr)
+            return 1
+        print(f"{'job id':<18} {'tenant':<12} {'state':<10} {'attempt':>7}  error")
+        for job in doc["jobs"]:
+            print(
+                f"{job['job_id']:<18} {job['tenant']:<12} {job['state']:<10} "
+                f"{job['attempt']:>7}  {job.get('error') or ''}"
+            )
+        return 0
+    # stats
+    status, doc = _http(server, "GET", "/stats")
+    if status != 200:
+        print(f"error: {doc.get('error', status)}", file=sys.stderr)
+        return 1
+    print(json.dumps(doc, indent=2))
+    return 0
+
+
 def _cmd_demo() -> int:
     instance = figure1_instance(budget_mb=4.0)
     print("Figure 1 instance: 7 photos, 4 subsets (Bikes/Cats/Bookshelf/Books), 4 Mb budget")
@@ -247,12 +438,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         for line in analyze_instance(instance).summary_lines():
             print(line)
         return 0
+    if args.command == "jobs":
+        return _cmd_jobs(args)
     if args.command == "serve":
         from repro.system.service import PhocusService
 
-        service = PhocusService(host=args.host, port=args.port).start()
+        service = PhocusService(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            journal_path=args.journal,
+        ).start()
         print(f"PHOcus solver service listening on http://{service.address}")
-        print("endpoints: GET /health, GET /algorithms, POST /solve, POST /score")
+        print(
+            "endpoints: GET /health, GET /algorithms, POST /solve, POST /score,\n"
+            "           POST /jobs, GET /jobs, GET /jobs/<id>, DELETE /jobs/<id>,\n"
+            "           GET /stats"
+        )
         try:
             import signal
 

@@ -5,25 +5,36 @@ third-party dependency this offline reproduction avoids, so the service
 is built on the standard library's threading HTTP server with the same
 tiny JSON API a Flask app would expose:
 
-===========  =======  ====================================================
-endpoint     method   behaviour
-===========  =======  ====================================================
-``/health``  GET      liveness + library version
-``/algorithms``  GET  the registered solver names
-``/solve``   POST     body ``{"instance": …, "algorithm"?, "tau"?,
-                      "sparsify_method"?, "certificate"?}`` →
-                      the solution plus sparsification diagnostics
-``/score``   POST     body ``{"instance": …, "selection": [...]}`` →
-                      objective value and per-subset breakdown
-===========  =======  ====================================================
+================  =======  ================================================
+endpoint          method   behaviour
+================  =======  ================================================
+``/health``       GET      liveness + library version
+``/algorithms``   GET      the registered solver names
+``/solve``        POST     synchronous fast path: body ``{"instance": …,
+                           "algorithm"?, "tau"?, "sparsify_method"?,
+                           "certificate"?}`` → solution + diagnostics
+``/score``        POST     body ``{"instance": …, "selection": [...]}`` →
+                           objective value and per-subset breakdown
+``/jobs``         POST     submit an async solve job (same body as
+                           ``/solve`` plus ``tenant``/``priority``/
+                           ``timeout_seconds``/``max_attempts``) → 202
+                           with the job id; 429 when the queue is full
+``/jobs``         GET      list jobs (``?state=``/``?tenant=`` filters)
+``/jobs/<id>``    GET      job status, including the result when done
+``/jobs/<id>``    DELETE   cancel a queued or running job
+``/stats``        GET      queue depth, per-state counts, worker
+                           utilisation, solve-latency percentiles
+================  =======  ================================================
 
 Instances travel in the :mod:`repro.core.serialize` wire format.  Errors
-return ``4xx`` with ``{"error": message}``; unexpected failures ``500``.
+return ``4xx`` with ``{"error": message}``; a wrong method on a known
+path yields ``405`` with the allowed methods in the body's ``allow``
+field; unexpected failures ``500``.
 
 Use :class:`PhocusService` as a context manager for an ephemeral server::
 
     with PhocusService() as service:
-        requests.post(f"http://{service.address}/solve", json=payload)
+        requests.post(f"http://{service.address}/jobs", json=payload)
 """
 
 from __future__ import annotations
@@ -32,61 +43,36 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
-
-import numpy as np
+from urllib.parse import parse_qs, urlsplit
 
 from repro.core.objective import score, score_breakdown
-from repro.core.serialize import (
-    instance_from_dict,
-    solution_to_dict,
-)
-from repro.core.solver import available_algorithms, solve
+from repro.core.serialize import instance_from_dict
+from repro.core.solver import available_algorithms
 from repro.errors import ReproError, ValidationError
-from repro.sparsify.pipeline import sparsify_instance
+from repro.jobs import JobManager, JobState, QueueFull, execute_solve_payload
+from repro.jobs.spec import JobSpec, new_job_id
 
 __all__ = ["PhocusService", "handle_request"]
 
 _MAX_BODY = 64 * 1024 * 1024  # 64 MiB — generous for serialised instances
 
+# Route table: exact path (or the /jobs/<id> prefix) → allowed methods.
+# Wrong method on a known path is a 405 with these in the "allow" field.
+_ALLOWED_METHODS: Dict[str, Tuple[str, ...]] = {
+    "/health": ("GET",),
+    "/algorithms": ("GET",),
+    "/solve": ("POST",),
+    "/score": ("POST",),
+    "/jobs": ("GET", "POST"),
+    "/jobs/<id>": ("DELETE", "GET"),
+    "/stats": ("GET",),
+}
+
 
 def _solve_endpoint(payload: Dict[str, Any]) -> Dict[str, Any]:
-    instance = instance_from_dict(_require(payload, "instance", dict))
-    algorithm = payload.get("algorithm", "phocus")
-    tau = float(payload.get("tau", 0.0))
-    method = payload.get("sparsify_method", "exact")
-    certificate = bool(payload.get("certificate", False))
-    seed = payload.get("seed")
-    rng = np.random.default_rng(seed)
-
-    solver_instance = instance
-    sparsify_doc: Optional[Dict[str, Any]] = None
-    if tau > 0.0:
-        solver_instance, report = sparsify_instance(
-            instance, tau, method=method, rng=rng
-        )
-        sparsify_doc = {
-            "tau": report.tau,
-            "method": report.method,
-            "kept_fraction": report.kept_fraction,
-            "checked_fraction": report.checked_fraction,
-        }
-    solution = solve(solver_instance, algorithm, rng=rng)
-    true_value = (
-        solution.value
-        if solver_instance is instance
-        else score(instance, solution.selection)
-    )
-    solution.value = true_value
-    if certificate:
-        from repro.core.bounds import online_bound
-
-        bound = online_bound(instance, solution.selection)
-        solution.ratio_certificate = (
-            1.0 if bound <= 0 else min(1.0, true_value / bound)
-        )
-    doc = solution_to_dict(solution)
-    doc["sparsify"] = sparsify_doc
-    return doc
+    # The synchronous fast path and background jobs share one executor
+    # (repro.jobs.worker.execute_solve_payload) so they can never drift.
+    return execute_solve_payload(payload)
 
 
 def _score_endpoint(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -107,32 +93,142 @@ def _require(payload: Dict[str, Any], key: str, kind) -> Any:
     return value
 
 
+def _parse_body(body: Optional[bytes]) -> Tuple[Optional[Dict[str, Any]], Optional[Tuple[int, Dict[str, Any]]]]:
+    if not body:
+        return None, (400, {"error": "empty request body"})
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        return None, (400, {"error": f"invalid JSON: {exc}"})
+    if not isinstance(payload, dict):
+        return None, (400, {"error": "request body must be a JSON object"})
+    return payload, None
+
+
+def _submit_job(
+    payload: Dict[str, Any], jobs: JobManager
+) -> Tuple[int, Dict[str, Any]]:
+    instance_doc = _require(payload, "instance", dict)
+    timeout_seconds = payload.get("timeout_seconds")
+    try:
+        spec = JobSpec(
+            job_id=new_job_id(),
+            instance=instance_doc,
+            tenant=str(payload.get("tenant") or "default"),
+            algorithm=str(payload.get("algorithm") or "phocus"),
+            tau=float(payload.get("tau") or 0.0),
+            sparsify_method=str(payload.get("sparsify_method") or "exact"),
+            certificate=bool(payload.get("certificate", False)),
+            seed=payload.get("seed"),
+            priority=int(payload.get("priority") or 0),
+            timeout_seconds=(
+                float(timeout_seconds) if timeout_seconds is not None else None
+            ),
+            max_attempts=int(payload.get("max_attempts") or 3),
+        )
+    except (TypeError, ValueError) as exc:
+        if isinstance(exc, ValidationError):
+            raise
+        raise ValidationError(f"malformed job parameters: {exc}") from exc
+    try:
+        job_id = jobs.submit(spec)
+    except QueueFull as exc:
+        return 429, {
+            "error": str(exc),
+            "queue_depth": exc.depth,
+            "queue_limit": exc.maxsize,
+        }
+    return 202, {"job_id": job_id, "state": JobState.QUEUED.value}
+
+
+def _jobs_routes(
+    method: str,
+    path: str,
+    query: Dict[str, Any],
+    body: Optional[bytes],
+    jobs: Optional[JobManager],
+) -> Tuple[int, Dict[str, Any]]:
+    if jobs is None:
+        return 503, {"error": "job manager not running on this service"}
+    if path == "/jobs" and method == "POST":
+        payload, err = _parse_body(body)
+        if err is not None:
+            return err
+        return _submit_job(payload, jobs)
+    if path == "/jobs" and method == "GET":
+        state = query.get("state")
+        tenant = query.get("tenant")
+        if state is not None and state not in JobState.__members__:
+            return 400, {
+                "error": f"unknown state {state!r}; one of {sorted(JobState.__members__)}"
+            }
+        return 200, {"jobs": jobs.jobs(state=state, tenant=tenant)}
+    job_id = path[len("/jobs/") :]
+    if method == "GET":
+        doc = jobs.status(job_id)
+        if doc is None:
+            return 404, {"error": f"no job {job_id!r}"}
+        if doc["state"] == JobState.SUCCEEDED.value:
+            doc["result"] = jobs.result(job_id)
+        return 200, doc
+    # DELETE /jobs/<id>
+    try:
+        cancelled = jobs.cancel(job_id)
+    except KeyError:
+        return 404, {"error": f"no job {job_id!r}"}
+    doc = jobs.status(job_id)
+    return 200, {
+        "job_id": job_id,
+        "cancelled": cancelled,
+        "state": doc["state"] if doc else None,
+    }
+
+
 def handle_request(
-    method: str, path: str, body: Optional[bytes]
+    method: str,
+    path: str,
+    body: Optional[bytes],
+    jobs: Optional[JobManager] = None,
 ) -> Tuple[int, Dict[str, Any]]:
     """Pure request dispatcher (transport-independent, directly testable).
 
-    Returns ``(http_status, json_payload)``.
+    ``jobs`` is the service's :class:`~repro.jobs.JobManager`; without
+    one, the ``/jobs`` and ``/stats`` routes answer 503.  Returns
+    ``(http_status, json_payload)``.
     """
+    parts = urlsplit(path)
+    path = parts.path.rstrip("/") or "/"
+    query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
+
+    route_key = "/jobs/<id>" if path.startswith("/jobs/") else path
+    allowed = _ALLOWED_METHODS.get(route_key)
+    if allowed is None:
+        return 404, {"error": f"no route for {method} {path}"}
+    if method not in allowed:
+        return 405, {
+            "error": f"method {method} not allowed for {path}",
+            "allow": list(allowed),
+        }
+
     try:
-        if method == "GET" and path == "/health":
+        if path == "/health":
             from repro import __version__
 
             return 200, {"status": "ok", "version": __version__}
-        if method == "GET" and path == "/algorithms":
+        if path == "/algorithms":
             return 200, {"algorithms": available_algorithms()}
-        if method == "POST" and path in ("/solve", "/score"):
-            if not body:
-                return 400, {"error": "empty request body"}
-            try:
-                payload = json.loads(body.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-                return 400, {"error": f"invalid JSON: {exc}"}
-            if not isinstance(payload, dict):
-                return 400, {"error": "request body must be a JSON object"}
+        if path in ("/solve", "/score"):
+            payload, err = _parse_body(body)
+            if err is not None:
+                return err
             endpoint = _solve_endpoint if path == "/solve" else _score_endpoint
             return 200, endpoint(payload)
-        return 404, {"error": f"no route for {method} {path}"}
+        if path == "/stats":
+            if jobs is None:
+                return 503, {"error": "job manager not running on this service"}
+            return 200, jobs.stats()
+        # /jobs and /jobs/<id>
+        return _jobs_routes(method, path, query, body, jobs)
     except ReproError as exc:
         return 422, {"error": str(exc)}
     except Exception as exc:  # noqa: BLE001 - service boundary
@@ -142,16 +238,25 @@ def handle_request(
 class _Handler(BaseHTTPRequestHandler):
     server_version = "PHOcus/1.0"
 
+    def _jobs(self) -> Optional[JobManager]:
+        return getattr(self.server, "phocus_jobs", None)
+
     def _reply(self, status: int, payload: Dict[str, Any]) -> None:
         data = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        if status == 405 and isinstance(payload.get("allow"), list):
+            self.send_header("Allow", ", ".join(payload["allow"]))
         self.end_headers()
         self.wfile.write(data)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        status, payload = handle_request("GET", self.path, None)
+        status, payload = handle_request("GET", self.path, None, self._jobs())
+        self._reply(status, payload)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        status, payload = handle_request("DELETE", self.path, None, self._jobs())
         self._reply(status, payload)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
@@ -160,7 +265,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(413, {"error": "request body too large"})
             return
         body = self.rfile.read(length) if length else b""
-        status, payload = handle_request("POST", self.path, body)
+        status, payload = handle_request("POST", self.path, body, self._jobs())
         self._reply(status, payload)
 
     def log_message(self, *args) -> None:  # silence per-request stderr noise
@@ -168,16 +273,33 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class PhocusService:
-    """An embeddable PHOcus solver server.
+    """An embeddable PHOcus solver server with background job execution.
 
     ``port=0`` (default) binds an ephemeral port; read the bound address
-    from :attr:`address`.  Use as a context manager or call
-    :meth:`start` / :meth:`stop` explicitly.
+    from :attr:`address`.  The service owns a :class:`JobManager`
+    (``workers`` threads, ``queue_depth`` bound, optional JSONL
+    ``journal_path`` for crash recovery) — pass ``job_manager`` to share
+    an external one, or ``workers=0`` to serve only the synchronous API.
+    Use as a context manager or call :meth:`start` / :meth:`stop`.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: int = 4,
+        queue_depth: int = 256,
+        journal_path: Optional[str] = None,
+        job_manager: Optional[JobManager] = None,
+    ) -> None:
         self._server = ThreadingHTTPServer((host, port), _Handler)
         self._thread: Optional[threading.Thread] = None
+        self._owns_jobs = job_manager is None
+        self.jobs = job_manager or JobManager(
+            workers=workers, queue_depth=queue_depth, journal_path=journal_path
+        )
+        self._server.phocus_jobs = self.jobs
 
     @property
     def address(self) -> str:
@@ -200,6 +322,8 @@ class PhocusService:
         self._thread.join(timeout=5)
         self._server.server_close()
         self._thread = None
+        if self._owns_jobs:
+            self.jobs.shutdown()
 
     def __enter__(self) -> "PhocusService":
         return self.start()

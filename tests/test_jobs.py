@@ -1,0 +1,480 @@
+"""Tests for the background job orchestration subsystem (repro.jobs)."""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict
+
+import pytest
+
+from repro.core.serialize import instance_to_dict
+from repro.core.solver import PERMANENT, TRANSIENT, classify_failure, solve
+from repro.errors import (
+    ConfigurationError,
+    TransientSolveError,
+    ValidationError,
+)
+from repro.jobs import (
+    FairPriorityQueue,
+    JobManager,
+    JobRecord,
+    JobSpec,
+    JobState,
+    JournalJobStore,
+    QueueFull,
+    execute_solve_payload,
+)
+
+from tests.conftest import random_instance
+
+
+def _spec(job_id="j1", tenant="default", **kwargs) -> JobSpec:
+    kwargs.setdefault("instance", {"format": 1})
+    return JobSpec(job_id=job_id, tenant=tenant, **kwargs)
+
+
+def _real_spec(seed=0, **kwargs) -> JobSpec:
+    return _spec(instance=instance_to_dict(random_instance(seed=seed)), **kwargs)
+
+
+# --------------------------------------------------------------------- spec
+
+
+class TestSpec:
+    def test_happy_transitions(self):
+        record = JobRecord(spec=_spec())
+        record.transition(JobState.RUNNING)
+        record.transition(JobState.SUCCEEDED)
+        assert record.terminal
+
+    def test_retry_requeue_transition(self):
+        record = JobRecord(spec=_spec())
+        record.transition(JobState.RUNNING)
+        record.transition(JobState.QUEUED)  # transient retry path
+        assert record.state is JobState.QUEUED
+
+    def test_illegal_transition_raises(self):
+        record = JobRecord(spec=_spec())
+        with pytest.raises(ConfigurationError):
+            record.transition(JobState.SUCCEEDED)  # QUEUED → SUCCEEDED
+        record.transition(JobState.RUNNING)
+        record.transition(JobState.FAILED)
+        with pytest.raises(ConfigurationError):
+            record.transition(JobState.RUNNING)  # terminal states are final
+
+    def test_record_round_trip(self):
+        record = JobRecord(spec=_spec(tenant="alice", priority=3, max_attempts=5))
+        record.transition(JobState.RUNNING)
+        record.attempt = 2
+        record.error = "boom"
+        record.error_kind = "transient"
+        clone = JobRecord.from_dict(record.to_dict())
+        assert clone.job_id == record.job_id
+        assert clone.state is JobState.RUNNING
+        assert clone.attempt == 2
+        assert clone.spec.priority == 3
+        assert clone.spec.max_attempts == 5
+
+    def test_spec_validation(self):
+        with pytest.raises(ValidationError):
+            _spec(job_id="")
+        with pytest.raises(ValidationError):
+            _spec(max_attempts=0)
+        with pytest.raises(ValidationError):
+            _spec(timeout_seconds=-1.0)
+
+    def test_public_dict_omits_instance(self):
+        doc = JobRecord(spec=_real_spec()).public_dict()
+        assert "instance" not in doc["spec"]
+        assert doc["job_id"]
+
+
+# -------------------------------------------------------------------- queue
+
+
+class TestQueue:
+    def test_round_robin_across_tenants(self):
+        q = FairPriorityQueue()
+        for tenant in ("a", "a", "a", "b", "b", "c"):
+            q.put(f"{tenant}-{len(q)}", tenant=tenant)
+        order = [q.get(timeout=0.1) for _ in range(6)]
+        tenants = [item.split("-")[0] for item in order]
+        # First cycle serves every waiting tenant once.
+        assert tenants[:3] == ["a", "b", "c"]
+        assert tenants == ["a", "b", "c", "a", "b", "a"]
+
+    def test_priority_within_tenant(self):
+        q = FairPriorityQueue()
+        q.put("low", tenant="a", priority=0)
+        q.put("high", tenant="a", priority=9)
+        assert q.get(timeout=0.1) == "high"
+        assert q.get(timeout=0.1) == "low"
+
+    def test_fifo_within_priority(self):
+        q = FairPriorityQueue()
+        q.put("first", tenant="a")
+        q.put("second", tenant="a")
+        assert [q.get(timeout=0.1), q.get(timeout=0.1)] == ["first", "second"]
+
+    def test_bounded_depth_signals_backpressure(self):
+        q = FairPriorityQueue(maxsize=2)
+        q.put(1, tenant="a")
+        q.put(2, tenant="b")
+        with pytest.raises(QueueFull) as excinfo:
+            q.put(3, tenant="c")
+        assert excinfo.value.depth == 2
+        assert excinfo.value.maxsize == 2
+        q.put(3, tenant="c", force=True)  # internal re-queues bypass the bound
+        assert len(q) == 3
+
+    def test_get_timeout_returns_none(self):
+        assert FairPriorityQueue().get(timeout=0.01) is None
+
+    def test_remove(self):
+        q = FairPriorityQueue()
+        q.put("x", tenant="a")
+        q.put("y", tenant="a")
+        assert q.remove(lambda item: item == "x") == "x"
+        assert q.remove(lambda item: item == "zzz") is None
+        assert len(q) == 1
+        assert q.get(timeout=0.1) == "y"
+
+
+# -------------------------------------------------------------------- store
+
+
+class TestJournalStore:
+    def test_last_snapshot_wins_on_replay(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        store = JournalJobStore(path)
+        record = JobRecord(spec=_spec())
+        store.save(record)
+        record.transition(JobState.RUNNING)
+        store.save(record)
+        store.close()
+
+        reopened = JournalJobStore(path)
+        assert reopened.replayed_count == 1
+        assert reopened.load_all()["j1"].state is JobState.RUNNING
+        reopened.close()
+
+    def test_torn_tail_line_is_ignored(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        store = JournalJobStore(path)
+        store.save(JobRecord(spec=_spec(job_id="good")))
+        store.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"spec": {"job_id": "torn", "inst')  # crash mid-write
+
+        reopened = JournalJobStore(path)
+        assert set(reopened.load_all()) == {"good"}
+        reopened.close()
+
+    def test_compact_rewrites_one_line_per_job(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        store = JournalJobStore(path)
+        record = JobRecord(spec=_spec())
+        for state in (JobState.RUNNING, JobState.SUCCEEDED):
+            store.save(record)
+            if not record.terminal:
+                record.transition(state)
+        store.save(record)
+        store.compact()
+        store.close()
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = [ln for ln in fh if ln.strip()]
+        assert len(lines) == 1
+
+
+# ----------------------------------------------------- failure classification
+
+
+class TestClassifyFailure:
+    def test_explicit_transient(self):
+        assert classify_failure(TransientSolveError("blip")) == TRANSIENT
+
+    def test_repro_errors_are_permanent(self):
+        assert classify_failure(ValidationError("bad input")) == PERMANENT
+        assert classify_failure(ConfigurationError("bad algo")) == PERMANENT
+
+    def test_environmental_faults_are_transient(self):
+        assert classify_failure(OSError("disk hiccup")) == TRANSIENT
+        assert classify_failure(MemoryError()) == TRANSIENT
+        assert classify_failure(TimeoutError()) == TRANSIENT
+
+    def test_unknown_exceptions_are_permanent(self):
+        assert classify_failure(RuntimeError("bug")) == PERMANENT
+
+
+# ---------------------------------------------------------- manager fault paths
+
+
+class TestManagerFaults:
+    def test_transient_failure_retries_then_succeeds(self):
+        spec = _real_spec(job_id="flaky", max_attempts=3)
+        calls = defaultdict(int)
+
+        def solve_fn(s):
+            calls[s.job_id] += 1
+            if calls[s.job_id] == 1:
+                raise TransientSolveError("injected crash")
+            return execute_solve_payload(s.solve_payload())
+
+        with JobManager(workers=1, solve_fn=solve_fn, retry_base_delay=0.01) as m:
+            m.submit(spec)
+            status = m.wait("flaky", timeout=20)
+        assert status["state"] == "SUCCEEDED"
+        assert status["attempt"] == 2
+        assert calls["flaky"] == 2
+
+    def test_transient_failure_exhausts_retries(self):
+        spec = _real_spec(job_id="doomed", max_attempts=3)
+        calls = defaultdict(int)
+
+        def solve_fn(s):
+            calls[s.job_id] += 1
+            raise TransientSolveError("always down")
+
+        with JobManager(workers=1, solve_fn=solve_fn, retry_base_delay=0.01) as m:
+            m.submit(spec)
+            status = m.wait("doomed", timeout=20)
+        assert status["state"] == "FAILED"
+        assert status["error_kind"] == "transient_exhausted"
+        assert status["attempt"] == 3
+        assert calls["doomed"] == 3
+
+    def test_permanent_failure_fails_without_retry(self):
+        calls = defaultdict(int)
+
+        def solve_fn(s):
+            calls[s.job_id] += 1
+            raise ValidationError("deterministic bad input")
+
+        with JobManager(workers=1, solve_fn=solve_fn) as m:
+            m.submit(_real_spec(job_id="perm", max_attempts=5))
+            status = m.wait("perm", timeout=20)
+        assert status["state"] == "FAILED"
+        assert status["error_kind"] == "permanent"
+        assert status["attempt"] == 1
+        assert calls["perm"] == 1
+
+    def test_timeout_fails_with_timeout_reason(self):
+        def solve_fn(s):
+            time.sleep(10)
+
+        with JobManager(workers=1, solve_fn=solve_fn) as m:
+            m.submit(_real_spec(job_id="slow", timeout_seconds=0.2))
+            start = time.monotonic()
+            status = m.wait("slow", timeout=20)
+            waited = time.monotonic() - start
+        assert status["state"] == "FAILED"
+        assert status["error_kind"] == "timeout"
+        assert "timeout" in status["error"]
+        assert waited < 5  # failed at the deadline, not after the 10s sleep
+
+    def test_cancel_queued_job_never_runs(self):
+        calls = defaultdict(int)
+
+        def solve_fn(s):
+            calls[s.job_id] += 1
+            return execute_solve_payload(s.solve_payload())
+
+        manager = JobManager(workers=1, solve_fn=solve_fn, autostart=False)
+        try:
+            manager.submit(_real_spec(job_id="parked"))
+            assert manager.cancel("parked") is True
+            assert manager.status("parked")["state"] == "CANCELLED"
+            manager.start()
+            time.sleep(0.2)
+            assert calls["parked"] == 0
+            assert manager.status("parked")["state"] == "CANCELLED"
+            assert manager.cancel("parked") is False  # already terminal
+        finally:
+            manager.shutdown()
+
+    def test_cancel_running_job(self):
+        started = threading.Event()
+
+        def solve_fn(s):
+            started.set()
+            time.sleep(10)
+
+        with JobManager(workers=1, solve_fn=solve_fn) as m:
+            m.submit(_real_spec(job_id="live"))
+            assert started.wait(timeout=5)
+            assert m.status("live")["state"] == "RUNNING"
+            assert m.cancel("live") is True
+            status = m.wait("live", timeout=5)
+        assert status["state"] == "CANCELLED"
+        assert status["error_kind"] == "cancelled"
+
+    def test_cancel_unknown_job_raises(self):
+        with JobManager(workers=0, autostart=False) as m:
+            with pytest.raises(KeyError):
+                m.cancel("nope")
+
+    def test_queue_full_submit_leaves_no_record(self):
+        with JobManager(workers=0, queue_depth=1, autostart=False) as m:
+            m.submit(_real_spec(job_id="fits"))
+            with pytest.raises(QueueFull):
+                m.submit(_real_spec(job_id="rejected"))
+            assert m.status("rejected") is None
+            assert m.stats()["queue"]["depth"] == 1
+
+
+# ------------------------------------------------------------ acceptance test
+
+
+class TestAcceptance:
+    """The ISSUE acceptance scenario: a multi-tenant fleet with injected
+    faults, fairness, and crash-restart journal replay."""
+
+    N_JOBS = 21
+    TENANTS = ("alice", "bob", "carol")
+
+    def _specs(self):
+        specs, instances = [], {}
+        for i in range(self.N_JOBS):
+            job_id = f"job-{i:02d}"
+            instance = random_instance(seed=i, n_photos=8, n_subsets=3)
+            instances[job_id] = instance
+            specs.append(
+                JobSpec(
+                    job_id=job_id,
+                    tenant=self.TENANTS[i % len(self.TENANTS)],
+                    instance=instance_to_dict(instance),
+                    timeout_seconds=0.3 if job_id == "job-07" else None,
+                    max_attempts=3,
+                )
+            )
+        return specs, instances
+
+    def test_fleet_with_faults_fairness_and_replay(self, tmp_path):
+        journal = str(tmp_path / "jobs.jsonl")
+        specs, instances = self._specs()
+        flaky_id, timeout_id = "job-03", "job-07"
+        executions = defaultdict(int)
+        exec_lock = threading.Lock()
+
+        def solve_fn(spec):
+            with exec_lock:
+                executions[spec.job_id] += 1
+                attempt_no = executions[spec.job_id]
+            if spec.job_id == flaky_id and attempt_no == 1:
+                raise TransientSolveError("injected transient crash")
+            if spec.job_id == timeout_id:
+                time.sleep(10)  # guaranteed to blow the 0.3s per-job timeout
+            return execute_solve_payload(spec.solve_payload())
+
+        # Phase 1: a manager journals all submissions, then is "killed"
+        # before executing anything (workers=0 — no execution threads).
+        first = JobManager(workers=0, journal_path=journal, autostart=False)
+        for spec in specs:
+            first.submit(spec)
+        assert all(doc["state"] == "QUEUED" for doc in first.jobs())
+        first.shutdown(wait=False)
+
+        # Phase 2: a re-created manager replays the journal and runs the
+        # fleet on 4 workers, hitting the injected faults along the way.
+        second = JobManager(
+            workers=4,
+            journal_path=journal,
+            solve_fn=solve_fn,
+            retry_base_delay=0.01,
+        )
+        try:
+            finals = {s.job_id: second.wait(s.job_id, timeout=60) for s in specs}
+
+            # Every non-timeout job SUCCEEDED with results identical to a
+            # direct solve() call.
+            for spec in specs:
+                if spec.job_id == timeout_id:
+                    assert finals[spec.job_id]["state"] == "FAILED"
+                    assert finals[spec.job_id]["error_kind"] == "timeout"
+                    continue
+                assert finals[spec.job_id]["state"] == "SUCCEEDED", finals[spec.job_id]
+                result = second.result(spec.job_id)
+                direct = solve(instances[spec.job_id], "phocus")
+                assert result["selection"] == direct.selection
+                assert result["value"] == pytest.approx(direct.value)
+
+            # The injected transient failure was retried exactly once.
+            assert finals[flaky_id]["attempt"] == 2
+            assert executions[flaky_id] == 2
+
+            # Fairness: the first dispatch cycle serves every tenant's
+            # first job before any tenant's second job runs.
+            dispatch_order = sorted(
+                (doc["dequeue_seq"], doc["tenant"]) for doc in second.jobs()
+            )
+            first_cycle = {tenant for _, tenant in dispatch_order[: len(self.TENANTS)]}
+            assert first_cycle == set(self.TENANTS)
+        finally:
+            second.shutdown()
+
+        # Phase 3: another restart replays nothing new — finished jobs are
+        # history, not work, so no job ever runs twice.
+        third = JobManager(workers=4, journal_path=journal, solve_fn=solve_fn)
+        try:
+            for spec in specs:
+                state = third.status(spec.job_id)["state"]
+                assert state == ("FAILED" if spec.job_id == timeout_id else "SUCCEEDED")
+            assert third.stats()["queue"]["depth"] == 0
+        finally:
+            third.shutdown()
+        for job_id, count in executions.items():
+            expected = 2 if job_id == flaky_id else 1
+            assert count == expected, f"{job_id} executed {count}x"
+
+    def test_replay_resumes_unfinished_jobs_exactly_once(self, tmp_path):
+        journal = str(tmp_path / "jobs.jsonl")
+        executions = defaultdict(int)
+        exec_lock = threading.Lock()
+
+        def solve_fn(spec):
+            with exec_lock:
+                executions[spec.job_id] += 1
+            return execute_solve_payload(spec.solve_payload())
+
+        # Finish some jobs, then stage more without running them.
+        first = JobManager(workers=2, journal_path=journal, solve_fn=solve_fn)
+        done_ids = [first.submit(_real_spec(seed=i, job_id=f"done-{i}")) for i in range(3)]
+        for job_id in done_ids:
+            assert first.wait(job_id, timeout=30)["state"] == "SUCCEEDED"
+        first._pool.stop(wait=True)  # "crash": workers die, journal remains
+        staged_ids = [
+            first.submit(_real_spec(seed=10 + i, job_id=f"staged-{i}")) for i in range(3)
+        ]
+        first.shutdown(wait=False)
+
+        second = JobManager(workers=2, journal_path=journal, solve_fn=solve_fn)
+        try:
+            for job_id in staged_ids:
+                assert second.wait(job_id, timeout=30)["state"] == "SUCCEEDED"
+            for job_id in done_ids:  # untouched history
+                assert second.status(job_id)["state"] == "SUCCEEDED"
+        finally:
+            second.shutdown()
+        assert all(executions[j] == 1 for j in done_ids + staged_ids), executions
+
+
+# ------------------------------------------------------------------- stats
+
+
+class TestStats:
+    def test_stats_shape_and_latency_percentiles(self):
+        with JobManager(workers=2) as m:
+            ids = [
+                m.submit_solve(instance_to_dict(random_instance(seed=i)), tenant="t")
+                for i in range(4)
+            ]
+            for job_id in ids:
+                m.wait(job_id, timeout=30)
+            stats = m.stats()
+        assert stats["jobs"]["SUCCEEDED"] == 4
+        assert stats["queue"]["depth"] == 0
+        assert stats["workers"]["total"] == 2
+        lat = stats["solve_latency_seconds"]
+        assert lat["count"] == 4
+        assert 0 <= lat["p50"] <= lat["p90"] <= lat["p99"]
