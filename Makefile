@@ -3,7 +3,7 @@
 # Targets export PYTHONPATH=src so they match the tier-1 verify command
 # and work on a fresh clone without `make install`.
 
-.PHONY: install test bench examples results clean
+.PHONY: install test bench examples chaos results clean
 
 PYTHONPATH_SRC = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
@@ -19,6 +19,13 @@ bench:
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHONPATH_SRC) python $$f > /dev/null || exit 1; done
 	@echo "all examples ran cleanly"
+
+chaos:
+	@for seed in 0 1 2; do \
+		echo "== PHOCUS_CHAOS_SEED=$$seed"; \
+		PHOCUS_CHAOS_SEED=$$seed $(PYTHONPATH_SRC) python -m pytest -q \
+			tests/test_faults.py tests/core/test_checkpoint.py || exit 1; \
+	done
 
 results:
 	@cat benchmarks/results/*.txt

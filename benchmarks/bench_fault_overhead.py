@@ -1,0 +1,47 @@
+"""Overhead of the disarmed fault-injection probes on the solver hot path.
+
+The crash-safety layer leaves `faults.check("solver.iteration")` in the
+lazy-greedy loop permanently; its disarmed cost must stay in the noise
+(acceptance bar: < 2% on a full greedy solve).  These benches time the
+probe itself and a complete solve with and without checkpointing, so a
+regression that makes the no-op path expensive shows up immediately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.core.checkpoint import MemoryCheckpointSink
+from repro.core.greedy import CB, lazy_greedy
+
+
+@pytest.fixture(scope="module")
+def overhead_instance(p1k):
+    return p1k.instance(p1k.total_cost() * 0.3)
+
+
+def test_disarmed_probe(benchmark):
+    """One disarmed `faults.check` call — a single global None test."""
+    assert faults.active() is None
+    benchmark(faults.check, "solver.iteration")
+
+
+def test_solve_probes_disarmed(benchmark, overhead_instance):
+    """Full lazy-greedy solve with the probes disarmed (production path)."""
+    assert faults.active() is None
+    benchmark(lazy_greedy, overhead_instance, CB)
+
+
+def test_solve_with_checkpointing(benchmark, overhead_instance):
+    """The same solve emitting a checkpoint every 10 picks, for scale."""
+
+    def checkpointed():
+        lazy_greedy(
+            overhead_instance,
+            CB,
+            checkpoint_every=10,
+            checkpoint_sink=MemoryCheckpointSink(),
+        )
+
+    benchmark(checkpointed)

@@ -46,8 +46,20 @@ from repro.core.instance import (
     SubsetSpec,
     normalize_relevance,
 )
+from repro.core.checkpoint import (
+    FileCheckpointSink,
+    MemoryCheckpointSink,
+    decode_record,
+    encode_record,
+    resume_from_checkpoint,
+)
 from repro.core.objective import CoverageState, max_score, score, score_breakdown
-from repro.core.solver import Solution, available_algorithms, solve
+from repro.core.solver import (
+    Solution,
+    available_algorithms,
+    checkpointable_algorithms,
+    solve,
+)
 from repro.core.sviridenko import sviridenko
 
 __all__ = [
@@ -65,6 +77,12 @@ __all__ = [
     "solve",
     "Solution",
     "available_algorithms",
+    "checkpointable_algorithms",
+    "FileCheckpointSink",
+    "MemoryCheckpointSink",
+    "encode_record",
+    "decode_record",
+    "resume_from_checkpoint",
     "main_algorithm",
     "lazy_greedy",
     "naive_greedy",

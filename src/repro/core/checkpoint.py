@@ -1,0 +1,192 @@
+"""Durable wire format for solver checkpoints (CRC32-protected records).
+
+:mod:`repro.core.greedy` emits and consumes checkpoint *documents* —
+plain JSON-safe dicts.  This module turns them into tamper-evident byte
+records and back:
+
+.. code-block:: text
+
+    ┌─────────┬──────────────┬────────────┬─────────────────┐
+    │ magic 8 │ length (u32) │ crc32(u32) │ JSON payload    │
+    └─────────┴──────────────┴────────────┴─────────────────┘
+
+Both integers are big-endian; the CRC covers the payload bytes.  A bit
+flip anywhere — magic, length, body — surfaces as
+:class:`~repro.errors.CheckpointError`, never as a half-parsed resume.
+JSON preserves floats exactly (``repr`` round-trip), so a decoded
+checkpoint resumes bit-identically.
+
+Sinks adapt the solver's ``checkpoint_sink`` callback to storage:
+:class:`MemoryCheckpointSink` for tests, :class:`FileCheckpointSink` for
+a crash-safe latest-checkpoint file (atomic replace via
+:func:`repro.ioutil.atomic_write_bytes`, fault sites ``checkpoint.*``).
+:func:`resume_from_checkpoint` is the one-call restart path: hand it the
+instance and a record (bytes, path, or document) and it finishes the
+solve.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import struct
+import zlib
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.greedy import GreedyRun, lazy_greedy, main_algorithm
+from repro.core.instance import PARInstance
+from repro.errors import CheckpointError
+
+__all__ = [
+    "MAGIC",
+    "encode_record",
+    "decode_record",
+    "encode_record_b64",
+    "decode_record_b64",
+    "checkpoint_progress",
+    "MemoryCheckpointSink",
+    "FileCheckpointSink",
+    "resume_from_checkpoint",
+]
+
+MAGIC = b"PHCKPT1\x00"
+_HEADER = struct.Struct(">II")  # payload length, crc32
+
+
+def encode_record(doc: Dict[str, Any]) -> bytes:
+    """Serialise a checkpoint document to a self-validating byte record."""
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return MAGIC + _HEADER.pack(len(payload), crc) + payload
+
+
+def decode_record(data: bytes) -> Dict[str, Any]:
+    """Parse and verify a record; :class:`CheckpointError` on any defect."""
+    head = len(MAGIC) + _HEADER.size
+    if len(data) < head:
+        raise CheckpointError(f"checkpoint record truncated ({len(data)} bytes)")
+    if data[: len(MAGIC)] != MAGIC:
+        raise CheckpointError("bad checkpoint magic; not a checkpoint record")
+    length, crc = _HEADER.unpack(data[len(MAGIC) : head])
+    payload = data[head : head + length]
+    if len(payload) != length:
+        raise CheckpointError(
+            f"checkpoint payload truncated: expected {length} bytes, "
+            f"got {len(payload)}"
+        )
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise CheckpointError("checkpoint CRC32 mismatch (corrupt record)")
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"checkpoint payload is not JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise CheckpointError("checkpoint payload must be a JSON object")
+    return doc
+
+
+def encode_record_b64(doc: Dict[str, Any]) -> str:
+    """ASCII-safe record encoding (for embedding in JSON job journals)."""
+    return base64.b64encode(encode_record(doc)).decode("ascii")
+
+
+def decode_record_b64(text: str) -> Dict[str, Any]:
+    try:
+        raw = base64.b64decode(text.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as exc:
+        raise CheckpointError(f"invalid base64 checkpoint record: {exc}") from exc
+    return decode_record(raw)
+
+
+def checkpoint_progress(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """The small ``{"phase": ..., "picks": ...}`` progress view of a doc."""
+    progress = doc.get("progress")
+    if isinstance(progress, dict):
+        return dict(progress)
+    return {}
+
+
+class MemoryCheckpointSink:
+    """Keeps every emitted checkpoint document in memory (test workhorse)."""
+
+    def __init__(self) -> None:
+        self.docs: List[Dict[str, Any]] = []
+
+    def __call__(self, doc: Dict[str, Any]) -> None:
+        self.docs.append(doc)
+
+    @property
+    def last(self) -> Optional[Dict[str, Any]]:
+        return self.docs[-1] if self.docs else None
+
+
+class FileCheckpointSink:
+    """Persists the latest checkpoint to one file, crash-safely.
+
+    Every emission rewrites ``path`` through the atomic temp-file +
+    fsync + rename protocol, so a crash mid-checkpoint leaves the
+    previous (valid) checkpoint in place.  Fault sites:
+    ``checkpoint.write`` / ``checkpoint.fsync`` / ``checkpoint.replace``.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = os.fspath(path)
+
+    def __call__(self, doc: Dict[str, Any]) -> None:
+        from repro.ioutil import atomic_write_bytes
+
+        atomic_write_bytes(self.path, encode_record(doc), site="checkpoint")
+
+    def load(self) -> Optional[Dict[str, Any]]:
+        """The stored document, or ``None`` when no checkpoint exists yet."""
+        if not os.path.exists(self.path):
+            return None
+        with open(self.path, "rb") as fh:
+            return decode_record(fh.read())
+
+
+def resume_from_checkpoint(
+    instance: PARInstance,
+    source: Union[bytes, str, os.PathLike, Dict[str, Any]],
+    *,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_sink=None,
+) -> GreedyRun:
+    """Restart an interrupted solve and run it to completion.
+
+    ``source`` may be a checkpoint document, an encoded record
+    (``bytes``), or a path to a file written by
+    :class:`FileCheckpointSink`.  Dispatches on the record's ``kind`` to
+    :func:`~repro.core.greedy.lazy_greedy` or
+    :func:`~repro.core.greedy.main_algorithm`; the finished run is
+    guaranteed to match an uninterrupted solve of the same instance.
+    Fresh ``checkpoint_every`` / ``checkpoint_sink`` values let the
+    resumed run keep checkpointing.
+    """
+    if isinstance(source, dict):
+        doc = source
+    elif isinstance(source, bytes):
+        doc = decode_record(source)
+    else:
+        path = os.fspath(source)
+        with open(path, "rb") as fh:
+            doc = decode_record(fh.read())
+
+    kind = doc.get("kind")
+    if kind == "lazy_greedy":
+        return lazy_greedy(
+            instance,
+            doc.get("mode", ""),
+            checkpoint_every=checkpoint_every,
+            checkpoint_sink=checkpoint_sink,
+            resume_from=doc,
+        )
+    if kind == "main_algorithm":
+        return main_algorithm(
+            instance,
+            checkpoint_every=checkpoint_every,
+            checkpoint_sink=checkpoint_sink,
+            resume_from=doc,
+        )
+    raise CheckpointError(f"unknown checkpoint kind {kind!r}")

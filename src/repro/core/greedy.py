@@ -17,18 +17,30 @@ lazy-forward scheme of Leskovec et al. [30]:
 
 Every function starts from the retention set ``S0`` and never exceeds the
 budget ``B``.
+
+Crash safety: :func:`lazy_greedy` and :func:`main_algorithm` can emit
+*checkpoints* — JSON-safe snapshots of their resumable state (selection
+order, residual budget, the CELF heap of stale upper bounds, UC/CB phase
+progress) — every ``checkpoint_every`` picks, and can be restarted from
+such a snapshot via ``resume_from``.  A resumed run replays the recorded
+insertion order through a fresh :class:`CoverageState` (bit-identical
+float accumulation) and continues with the restored heap, so it provably
+reaches the same selection as an uninterrupted run.  The wire encoding
+(CRC32-protected records) lives in :mod:`repro.core.checkpoint`; this
+module deals only in plain dicts.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.instance import PARInstance
 from repro.core.objective import CoverageState
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
+from repro.faults import check as _fault_check
 
 __all__ = [
     "GreedyMode",
@@ -38,6 +50,10 @@ __all__ = [
     "naive_greedy",
     "main_algorithm",
 ]
+
+CheckpointSink = Callable[[Dict[str, Any]], None]
+
+_CKPT_FORMAT = 1
 
 
 @dataclass(frozen=True)
@@ -93,6 +109,10 @@ class GreedyRun:
     evaluations: int = 0
     picks: List[Tuple[int, float]] = field(default_factory=list)
     trace: List[TraceEvent] = field(default_factory=list)
+    #: number of picks already present in the checkpoint this run resumed
+    #: from (``None`` for an uninterrupted run) — resumed work is
+    #: ``len(picks) - resumed_at`` picks.
+    resumed_at: Optional[int] = None
 
 
 def lazy_greedy(
@@ -101,6 +121,9 @@ def lazy_greedy(
     *,
     state: Optional[CoverageState] = None,
     trace: bool = False,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_sink: Optional[CheckpointSink] = None,
+    resume_from: Optional[Dict[str, Any]] = None,
 ) -> GreedyRun:
     """Algorithm 2 (``LazyGreedy(type)``) with CELF lazy evaluation.
 
@@ -118,42 +141,66 @@ def lazy_greedy(
     trace:
         When true, record the Figure 3-style event log (every refresh,
         selection and budget-drop) in ``GreedyRun.trace``.
+    checkpoint_every:
+        Emit a checkpoint document to ``checkpoint_sink`` after every
+        this-many selections (requires a sink; ``None`` disables).
+    checkpoint_sink:
+        Callable receiving each checkpoint document (a JSON-safe dict;
+        see :mod:`repro.core.checkpoint` for durable encodings).
+    resume_from:
+        A checkpoint document previously emitted by this function (same
+        ``mode``, same instance).  The run restarts mid-solve and reaches
+        exactly the selection an uninterrupted run would have.
     """
     if mode not in _MODES:
         raise ConfigurationError(f"unknown greedy mode {mode!r}; expected UC or CB")
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ConfigurationError("checkpoint_every must be >= 1")
+    if checkpoint_every is not None and checkpoint_sink is None:
+        raise ConfigurationError("checkpoint_every needs a checkpoint_sink")
 
-    if state is None:
-        state = CoverageState(instance, instance.retained)
     costs = instance.costs
-    spent = instance.cost_of(state.selected)
     budget = instance.budget
 
-    run = GreedyRun(
-        selection=list(state.selected),
-        value=state.value,
-        cost=spent,
-        mode=mode,
-        evaluations=0,
-    )
-
-    # Priority queue of (-key, tiebreak, photo_id, stamp).  ``stamp`` is the
-    # selection size at which the cached gain was computed; an entry is
-    # "current" (the paper's curr_p flag) iff its stamp equals the present
-    # selection size.
-    counter = itertools.count()
-    heap: List[Tuple[float, int, int, int]] = []
-    stamp = len(state.selected)
-    for p in range(instance.n):
-        if p in state.selected:
-            continue
-        if spent + costs[p] > budget * (1 + 1e-12):
-            continue
-        gain = state.gain(p)
-        run.evaluations += 1
-        key = gain / costs[p] if mode == CB else gain
-        heapq.heappush(heap, (-key, next(counter), p, stamp))
+    if resume_from is not None:
+        if state is not None:
+            raise ConfigurationError("resume_from and state are mutually exclusive")
+        if trace:
+            raise ConfigurationError("cannot resume a traced run (trace is partial)")
+        state, run, heap, counter, spent = _restore_greedy(
+            instance, mode, resume_from
+        )
+    else:
+        if state is None:
+            state = CoverageState(instance, instance.retained)
+        spent = instance.cost_of(state.selected)
+        run = GreedyRun(
+            selection=list(state.selected),
+            value=state.value,
+            cost=spent,
+            mode=mode,
+            evaluations=0,
+        )
+        # Priority queue of (-key, tiebreak, photo_id, stamp).  ``stamp`` is
+        # the selection size at which the cached gain was computed; an entry
+        # is "current" (the paper's curr_p flag) iff its stamp equals the
+        # present selection size.
+        counter = 0
+        heap: List[Tuple[float, int, int, int]] = []
+        stamp = len(state.selected)
+        for p in range(instance.n):
+            if p in state.selected:
+                continue
+            if spent + costs[p] > budget * (1 + 1e-12):
+                continue
+            gain = state.gain(p)
+            run.evaluations += 1
+            key = gain / costs[p] if mode == CB else gain
+            heapq.heappush(heap, (-key, counter, p, stamp))
+            counter += 1
 
     while heap:
+        _fault_check("solver.iteration")
         neg_key, _, p, gain_stamp = heapq.heappop(heap)
         if p in state.selected:
             continue
@@ -174,17 +221,96 @@ def lazy_greedy(
             run.cost = spent
             if trace:
                 run.trace.append(TraceEvent("select", len(run.picks), p, realized))
+            if checkpoint_every and len(run.picks) % checkpoint_every == 0:
+                checkpoint_sink(_greedy_checkpoint_doc(run, state, heap, counter, spent))
         else:
             gain = state.gain(p)
             run.evaluations += 1
             key = gain / costs[p] if mode == CB else gain
-            heapq.heappush(heap, (-key, next(counter), p, len(state.selected)))
+            heapq.heappush(heap, (-key, counter, p, len(state.selected)))
+            counter += 1
             if trace:
                 run.trace.append(
                     TraceEvent("refresh", len(run.picks) + 1, p, gain)
                 )
 
     return run
+
+
+def _greedy_checkpoint_doc(
+    run: GreedyRun,
+    state: CoverageState,
+    heap: List[Tuple[float, int, int, int]],
+    counter: int,
+    spent: float,
+) -> Dict[str, Any]:
+    """Snapshot everything :func:`lazy_greedy` needs to continue (JSON-safe)."""
+    return {
+        "format": _CKPT_FORMAT,
+        "kind": "lazy_greedy",
+        "mode": run.mode,
+        "n": state.instance.n,
+        "added": [int(p) for p in state.order],
+        "selection": [int(p) for p in run.selection],
+        "picks": [[int(p), float(g)] for p, g in run.picks],
+        "evaluations": int(run.evaluations),
+        "spent": float(spent),
+        "value": float(state.value),
+        "heap": [[float(k), int(c), int(p), int(s)] for k, c, p, s in heap],
+        "counter": int(counter),
+        "progress": {"mode": run.mode, "picks": len(run.picks)},
+    }
+
+
+def _restore_greedy(
+    instance: PARInstance, mode: GreedyMode, doc: Dict[str, Any]
+):
+    """Rebuild the loop state of :func:`lazy_greedy` from a checkpoint doc.
+
+    The coverage state is reconstructed by replaying the recorded add
+    order, which reproduces the incremental float accumulation exactly;
+    a value mismatch therefore means the checkpoint belongs to a
+    different instance (or was tampered with) and raises
+    :class:`~repro.errors.CheckpointError`.
+    """
+    try:
+        if doc.get("kind") != "lazy_greedy" or doc.get("format") != _CKPT_FORMAT:
+            raise CheckpointError(
+                f"not a lazy_greedy checkpoint: kind={doc.get('kind')!r} "
+                f"format={doc.get('format')!r}"
+            )
+        if doc["mode"] != mode:
+            raise CheckpointError(
+                f"checkpoint is for mode {doc['mode']!r}, not {mode!r}"
+            )
+        if int(doc["n"]) != instance.n:
+            raise CheckpointError(
+                f"checkpoint is for an instance of {doc['n']} photos, "
+                f"not {instance.n}"
+            )
+        state = CoverageState(instance, [int(p) for p in doc["added"]])
+        if not math.isclose(state.value, float(doc["value"]), rel_tol=1e-9, abs_tol=1e-12):
+            raise CheckpointError(
+                f"replayed objective {state.value!r} does not match "
+                f"checkpointed {doc['value']!r}; wrong instance?"
+            )
+        run = GreedyRun(
+            selection=[int(p) for p in doc["selection"]],
+            value=state.value,
+            cost=float(doc["spent"]),
+            mode=mode,
+            evaluations=int(doc["evaluations"]),
+            picks=[(int(p), float(g)) for p, g in doc["picks"]],
+            resumed_at=len(doc["picks"]),
+        )
+        heap = [(float(k), int(c), int(p), int(s)) for k, c, p, s in doc["heap"]]
+        counter = int(doc["counter"])
+        spent = float(doc["spent"])
+    except CheckpointError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed checkpoint document: {exc!r}") from exc
+    return state, run, heap, counter, spent
 
 
 def naive_greedy(
@@ -245,6 +371,9 @@ def main_algorithm(
     instance: PARInstance,
     *,
     lazy: bool = True,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_sink: Optional[CheckpointSink] = None,
+    resume_from: Optional[Dict[str, Any]] = None,
 ) -> GreedyRun:
     """Algorithm 1: run UC and CB greedy passes and keep the better result.
 
@@ -253,10 +382,123 @@ def main_algorithm(
     the two passes yields the ``(1 − 1/e)/2`` worst-case guarantee of [30]
     (and the exact ``1 − 1/e`` of [37] when all costs are equal, since the
     UC pass then *is* the classical greedy).
+
+    Checkpointing wraps both passes: each emitted document records which
+    phase (UC or CB) is in flight, the finished UC summary once the CB
+    pass starts, and the inner :func:`lazy_greedy` snapshot, so a resume
+    lands mid-pass and still finishes both passes deterministically.
     """
-    runner = lazy_greedy if lazy else naive_greedy
-    res_uc = runner(instance, UC)
-    res_cb = runner(instance, CB)
+    wants_checkpoint = (
+        checkpoint_every is not None
+        or checkpoint_sink is not None
+        or resume_from is not None
+    )
+    if wants_checkpoint and not lazy:
+        raise ConfigurationError("checkpointing requires the lazy solver")
+    if not wants_checkpoint:
+        runner = lazy_greedy if lazy else naive_greedy
+        res_uc = runner(instance, UC)
+        res_cb = runner(instance, CB)
+        winner = res_cb if res_cb.value >= res_uc.value else res_uc
+        winner.evaluations = res_uc.evaluations + res_cb.evaluations
+        return winner
+
+    uc_inner = cb_inner = None
+    uc_summary: Optional[Dict[str, Any]] = None
+    resumed_total: Optional[int] = None
+    if resume_from is not None:
+        try:
+            if (
+                resume_from.get("kind") != "main_algorithm"
+                or resume_from.get("format") != _CKPT_FORMAT
+            ):
+                raise CheckpointError(
+                    f"not a main_algorithm checkpoint: "
+                    f"kind={resume_from.get('kind')!r}"
+                )
+            phase = resume_from["phase"]
+            if phase == UC:
+                uc_inner = resume_from["inner"]
+            elif phase == CB:
+                uc_summary = resume_from["uc"]
+                cb_inner = resume_from["inner"]
+            else:
+                raise CheckpointError(f"unknown checkpoint phase {phase!r}")
+            resumed_total = len(resume_from["inner"]["picks"]) + (
+                len(uc_summary["picks"]) if uc_summary is not None else 0
+            )
+        except CheckpointError:
+            raise
+        except (KeyError, TypeError) as exc:
+            raise CheckpointError(f"malformed checkpoint document: {exc!r}") from exc
+
+    def _outer_sink(phase: str, uc_doc: Optional[Dict[str, Any]]):
+        if checkpoint_sink is None:
+            return None
+
+        def sink(inner_doc: Dict[str, Any]) -> None:
+            done_before = len(uc_doc["picks"]) if uc_doc is not None else 0
+            checkpoint_sink(
+                {
+                    "format": _CKPT_FORMAT,
+                    "kind": "main_algorithm",
+                    "phase": phase,
+                    "uc": uc_doc,
+                    "inner": inner_doc,
+                    "progress": {
+                        "phase": phase,
+                        "picks": done_before + inner_doc["progress"]["picks"],
+                    },
+                }
+            )
+
+        return sink
+
+    if uc_summary is None:
+        res_uc = lazy_greedy(
+            instance,
+            UC,
+            checkpoint_every=checkpoint_every,
+            checkpoint_sink=_outer_sink(UC, None),
+            resume_from=uc_inner,
+        )
+        uc_summary = _summarize_run(res_uc)
+    else:
+        res_uc = _run_from_summary(uc_summary)
+    res_cb = lazy_greedy(
+        instance,
+        CB,
+        checkpoint_every=checkpoint_every,
+        checkpoint_sink=_outer_sink(CB, uc_summary),
+        resume_from=cb_inner,
+    )
     winner = res_cb if res_cb.value >= res_uc.value else res_uc
     winner.evaluations = res_uc.evaluations + res_cb.evaluations
+    winner.resumed_at = resumed_total
     return winner
+
+
+def _summarize_run(run: GreedyRun) -> Dict[str, Any]:
+    """JSON-safe summary of a finished pass, embedded in phase checkpoints."""
+    return {
+        "mode": run.mode,
+        "selection": [int(p) for p in run.selection],
+        "picks": [[int(p), float(g)] for p, g in run.picks],
+        "value": float(run.value),
+        "cost": float(run.cost),
+        "evaluations": int(run.evaluations),
+    }
+
+
+def _run_from_summary(doc: Dict[str, Any]) -> GreedyRun:
+    try:
+        return GreedyRun(
+            selection=[int(p) for p in doc["selection"]],
+            value=float(doc["value"]),
+            cost=float(doc["cost"]),
+            mode=doc["mode"],
+            evaluations=int(doc["evaluations"]),
+            picks=[(int(p), float(g)) for p, g in doc["picks"]],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed pass summary in checkpoint: {exc!r}") from exc

@@ -58,6 +58,10 @@ class CoverageState:
         ]
         self._value = 0.0
         self._selected: set = set()
+        # Insertion order of every add(); replaying it on a fresh state
+        # reproduces _best and _value bit-for-bit (float additions are
+        # order-sensitive), which is what solve checkpoints rely on.
+        self._order: List[int] = []
         for p in selection:
             self.add(int(p))
 
@@ -72,6 +76,11 @@ class CoverageState:
     def selected(self) -> frozenset:
         """The photos added so far."""
         return frozenset(self._selected)
+
+    @property
+    def order(self) -> List[int]:
+        """The photos in the exact order they were added (copy)."""
+        return list(self._order)
 
     def __contains__(self, photo_id: int) -> bool:
         return int(photo_id) in self._selected
@@ -145,6 +154,7 @@ class CoverageState:
                 realized += float(wrel[pos_idx] @ delta[positive])
                 best[pos_idx] = sims[positive]
         self._selected.add(p)
+        self._order.append(p)
         self._value += realized
         return realized
 
@@ -156,6 +166,7 @@ class CoverageState:
         clone._weighted_rel = self._weighted_rel
         clone._value = self._value
         clone._selected = set(self._selected)
+        clone._order = list(self._order)
         return clone
 
     def subset_value(self, qi: int) -> float:

@@ -29,6 +29,7 @@ __all__ = [
     "Solution",
     "solve",
     "available_algorithms",
+    "checkpointable_algorithms",
     "classify_failure",
     "TRANSIENT",
     "PERMANENT",
@@ -101,19 +102,28 @@ class Solution:
         return self.cost / self.budget if self.budget > 0 else 0.0
 
 
-def _run_phocus(instance: PARInstance, rng) -> tuple:
-    run = main_algorithm(instance)
-    return run.selection, {"mode": run.mode, "evaluations": run.evaluations}
+def _greedy_extras(run) -> Dict[str, object]:
+    extras: Dict[str, object] = {"evaluations": run.evaluations, "picks": len(run.picks)}
+    if run.resumed_at is not None:
+        extras["resumed_from_picks"] = run.resumed_at
+    return extras
 
 
-def _run_lazy_uc(instance: PARInstance, rng) -> tuple:
-    run = lazy_greedy(instance, UC)
-    return run.selection, {"evaluations": run.evaluations}
+def _run_phocus(instance: PARInstance, rng, **checkpoint_kwargs) -> tuple:
+    run = main_algorithm(instance, **checkpoint_kwargs)
+    extras = _greedy_extras(run)
+    extras["mode"] = run.mode
+    return run.selection, extras
 
 
-def _run_lazy_cb(instance: PARInstance, rng) -> tuple:
-    run = lazy_greedy(instance, CB)
-    return run.selection, {"evaluations": run.evaluations}
+def _run_lazy_uc(instance: PARInstance, rng, **checkpoint_kwargs) -> tuple:
+    run = lazy_greedy(instance, UC, **checkpoint_kwargs)
+    return run.selection, _greedy_extras(run)
+
+
+def _run_lazy_cb(instance: PARInstance, rng, **checkpoint_kwargs) -> tuple:
+    run = lazy_greedy(instance, CB, **checkpoint_kwargs)
+    return run.selection, _greedy_extras(run)
 
 
 def _run_naive_greedy(instance: PARInstance, rng) -> tuple:
@@ -164,9 +174,18 @@ _REGISTRY: Dict[str, Callable] = {
 }
 
 
+# Algorithms whose solves can be checkpointed and resumed mid-run.
+_CHECKPOINTABLE = frozenset({"phocus", "lazy-uc", "lazy-cb"})
+
+
 def available_algorithms() -> List[str]:
     """Names accepted by :func:`solve`."""
     return sorted(_REGISTRY)
+
+
+def checkpointable_algorithms() -> List[str]:
+    """Algorithms accepting ``checkpoint_every`` / ``resume_from``."""
+    return sorted(_CHECKPOINTABLE)
 
 
 def solve(
@@ -175,6 +194,9 @@ def solve(
     *,
     certificate: bool = False,
     rng: Optional[np.random.Generator] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_sink: Optional[Callable[[Dict[str, object]], None]] = None,
+    resume_from: Optional[Dict[str, object]] = None,
 ) -> Solution:
     """Solve a PAR instance with the named algorithm.
 
@@ -191,6 +213,12 @@ def solve(
         certificate (costs one extra pass of gain evaluations).
     rng:
         Randomness source for the randomised baselines.
+    checkpoint_every / checkpoint_sink / resume_from:
+        Crash-safety controls for the checkpointable algorithms (see
+        :func:`checkpointable_algorithms` and
+        :mod:`repro.core.checkpoint`): emit a resumable snapshot every
+        ``checkpoint_every`` picks, and/or restart from a previously
+        captured checkpoint document.
     """
     try:
         runner = _REGISTRY[algorithm]
@@ -198,9 +226,28 @@ def solve(
         raise ConfigurationError(
             f"unknown algorithm {algorithm!r}; available: {available_algorithms()}"
         ) from None
+    wants_checkpoint = (
+        checkpoint_every is not None
+        or checkpoint_sink is not None
+        or resume_from is not None
+    )
+    if wants_checkpoint and algorithm not in _CHECKPOINTABLE:
+        raise ConfigurationError(
+            f"algorithm {algorithm!r} does not support checkpointing; "
+            f"checkpointable: {checkpointable_algorithms()}"
+        )
 
     start = time.perf_counter()
-    selection, extras = runner(instance, rng)
+    if wants_checkpoint:
+        selection, extras = runner(
+            instance,
+            rng,
+            checkpoint_every=checkpoint_every,
+            checkpoint_sink=checkpoint_sink,
+            resume_from=resume_from,
+        )
+    else:
+        selection, extras = runner(instance, rng)
     elapsed = time.perf_counter() - start
 
     selection = sorted(set(int(p) for p in selection) | instance.retained)

@@ -6,6 +6,12 @@ retention set and generator extras.  Contextual similarities are *not*
 stored — they are derived from the embeddings on :meth:`Dataset.instance`,
 which keeps files compact and guarantees a round-tripped dataset produces
 bit-identical instances.
+
+Writes are crash-safe: the document goes through
+:func:`repro.ioutil.atomic_write_bytes` (same-directory temp file, fsync,
+atomic ``os.replace``), so a crash mid-save leaves either the previous
+file or the new one — never a torn JSON.  Fault sites: ``dataset.write``
+/ ``dataset.fsync`` / ``dataset.replace``.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ import numpy as np
 from repro.core.instance import Photo, SubsetSpec
 from repro.datasets.base import Dataset
 from repro.errors import ValidationError
+from repro.ioutil import atomic_write_bytes
 
 __all__ = ["save_dataset", "load_dataset"]
 
@@ -55,8 +62,7 @@ def save_dataset(dataset: Dataset, path: Union[str, Path]) -> None:
         ],
         "embeddings": np.asarray(dataset.embeddings).tolist(),
     }
-    with path.open("w", encoding="utf-8") as handle:
-        json.dump(doc, handle)
+    atomic_write_bytes(path, json.dumps(doc).encode("utf-8"), site="dataset")
 
 
 def load_dataset(path: Union[str, Path]) -> Dataset:

@@ -39,6 +39,17 @@ class ConfigurationError(ReproError):
     """
 
 
+class CheckpointError(ReproError):
+    """A solve checkpoint cannot be decoded or does not fit the instance.
+
+    Raised when a checkpoint record fails its CRC32 (bit rot, torn
+    write), carries an unknown format, or references a different
+    instance than the one being resumed.  Callers that merely *recover*
+    (the job manager) catch this and fall back to a from-scratch solve;
+    a resume explicitly requested with a bad checkpoint fails loudly.
+    """
+
+
 class TransientSolveError(ReproError):
     """A solve failed for a reason that may succeed on retry.
 

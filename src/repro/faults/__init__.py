@@ -1,0 +1,117 @@
+"""Deterministic fault injection for crash-safety testing.
+
+Production photo archives treat recomputation as the expensive resource:
+long solves must survive process death, torn writes, and dropped fsyncs,
+and those failure paths must be *testable on demand*, not whenever CI
+happens to crash.  This package is that standing harness.  Library code
+marks its failure points with named probes:
+
+    from repro import faults
+
+    faults.check("journal.write")            # may raise / kill here
+    if not faults.should_drop("journal.fsync"):
+        os.fsync(fd)                         # fsync may be "lost"
+    data = faults.mangle("dataset.write", data)  # bytes may be corrupted
+
+With no plan armed every probe is a near-zero-cost no-op (one global
+``None`` test), so the probes stay in production code.  A chaos test
+arms a seeded :class:`FaultPlan` describing exactly which hit of which
+site fails and how::
+
+    plan = faults.FaultPlan(seed=7).on("solver.iteration", "kill", nth=5)
+    with faults.armed(plan):
+        run_job()          # the 5th solver iteration dies like SIGKILL
+
+See :data:`repro.faults.plan.KNOWN_SITES` for the standing site names
+and ``docs/fault_injection.md`` for usage recipes.  Arming is
+process-wide (the point is to reach probes deep inside the stack), so
+tests must disarm afterwards — use the :func:`armed` context manager.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.faults.plan import KNOWN_SITES, FaultPlan, FaultRule, ProcessKilled
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "ProcessKilled",
+    "KNOWN_SITES",
+    "arm",
+    "disarm",
+    "armed",
+    "active",
+    "is_armed",
+    "check",
+    "should_drop",
+    "mangle",
+]
+
+_plan: Optional[FaultPlan] = None
+_arm_lock = threading.Lock()
+
+
+def arm(plan: FaultPlan) -> FaultPlan:
+    """Arm ``plan`` process-wide; returns it.  Replaces any armed plan."""
+    global _plan
+    with _arm_lock:
+        _plan = plan
+    return plan
+
+
+def disarm() -> None:
+    """Remove the armed plan; every probe becomes a no-op again."""
+    global _plan
+    with _arm_lock:
+        _plan = None
+
+
+@contextmanager
+def armed(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Context manager: arm ``plan`` for the block, always disarm after."""
+    arm(plan)
+    try:
+        yield plan
+    finally:
+        disarm()
+
+
+def active() -> Optional[FaultPlan]:
+    """The armed plan, or ``None``."""
+    return _plan
+
+
+def is_armed() -> bool:
+    return _plan is not None
+
+
+def check(site: str) -> None:
+    """Probe ``site``; an armed plan may raise or kill here.
+
+    The disarmed path is a single global load and ``None`` test — cheap
+    enough for solver inner loops (see ``benchmarks/bench_fault_overhead``).
+    """
+    plan = _plan
+    if plan is None:
+        return
+    plan.probe_check(site)
+
+
+def should_drop(site: str) -> bool:
+    """True when an armed plan wants the side effect at ``site`` skipped."""
+    plan = _plan
+    if plan is None:
+        return False
+    return plan.probe_drop(site)
+
+
+def mangle(site: str, data: bytes) -> bytes:
+    """Return ``data``, possibly with one seeded bit flipped by the plan."""
+    plan = _plan
+    if plan is None:
+        return data
+    return plan.probe_mangle(site, data)

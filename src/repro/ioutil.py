@@ -1,0 +1,67 @@
+"""Durable file-write primitives shared by every persistence layer.
+
+One idiom, implemented once: *write to a same-directory temp file, fsync,
+atomically rename over the target, fsync the directory*.  A crash at any
+point leaves either the old file or the new file — never a torn mix.
+Dataset saves, checkpoint sinks, and journal compaction all route through
+:func:`atomic_write_bytes`, which also carries the fault-injection probes
+(``<site>.write`` / ``<site>.fsync`` / ``<site>.replace``) so chaos tests
+can crash each stage of the protocol deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from repro import faults
+
+__all__ = ["atomic_write_bytes", "fsync_directory"]
+
+
+def fsync_directory(path: Union[str, os.PathLike]) -> None:
+    """fsync a directory so a just-renamed entry survives power loss.
+
+    Best effort: platforms that cannot open directories (Windows) skip it.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: Union[str, os.PathLike], data: bytes, *, site: str = "file"
+) -> None:
+    """Crash-safely replace ``path`` with ``data``.
+
+    ``site`` names the fault-injection probe family: ``{site}.write``
+    fires before (and may corrupt) the temp-file write, ``{site}.fsync``
+    can drop the data fsync, and ``{site}.replace`` fires between the
+    write and the atomic rename — the classic torn-save crash window.
+    """
+    path = os.fspath(path)
+    tmp = path + ".tmp"
+    faults.check(f"{site}.write")
+    data = faults.mangle(f"{site}.write", data)
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            if not faults.should_drop(f"{site}.fsync"):
+                os.fsync(fh.fileno())
+        faults.check(f"{site}.replace")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    fsync_directory(os.path.dirname(path) or ".")

@@ -21,6 +21,8 @@ owns the fair bounded queue (:mod:`repro.jobs.queue`), the worker pool
 
 from __future__ import annotations
 
+import inspect
+import logging
 import math
 import random
 import threading
@@ -28,7 +30,14 @@ import time
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.core.checkpoint import (
+    checkpoint_progress,
+    decode_record_b64,
+    encode_record_b64,
+)
 from repro.core.solver import PERMANENT, TRANSIENT, classify_failure
+from repro.errors import CheckpointError
+from repro.faults.plan import ProcessKilled
 from repro.jobs.queue import FairPriorityQueue, QueueFull
 from repro.jobs.spec import JobRecord, JobSpec, JobState, new_job_id
 from repro.jobs.store import InMemoryJobStore, JobStore, JournalJobStore
@@ -36,9 +45,23 @@ from repro.jobs.worker import WorkerPool, execute_solve_payload, run_with_timeou
 
 __all__ = ["JobManager", "QueueFull"]
 
+logger = logging.getLogger(__name__)
 
-def _default_solve(spec: JobSpec) -> Dict[str, Any]:
-    return execute_solve_payload(spec.solve_payload())
+
+def _supports_checkpoints(fn: Callable[..., Any]) -> bool:
+    """Whether a solve function accepts the checkpoint keyword hooks.
+
+    Injected test solve_fns are usually plain ``spec → doc`` callables;
+    they keep working untouched.  A function opts in by declaring
+    ``checkpoint_sink`` (and ``resume_from``) keywords, or ``**kwargs``.
+    """
+    try:
+        params = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # builtins / C callables
+        return False
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        return True
+    return "checkpoint_sink" in params
 
 
 class JobManager:
@@ -67,6 +90,11 @@ class JobManager:
     autostart:
         Start the worker pool immediately (set ``False`` to stage jobs
         without executing, e.g. in replay tests).
+    default_checkpoint_every:
+        When set, jobs that do not specify their own ``checkpoint_every``
+        checkpoint every this-many greedy picks; replayed ``RUNNING``
+        jobs then resume from their last checkpoint instead of starting
+        from scratch.
     """
 
     def __init__(
@@ -82,15 +110,20 @@ class JobManager:
         latency_window: int = 512,
         autostart: bool = True,
         rng_seed: Optional[int] = None,
+        default_checkpoint_every: Optional[int] = None,
     ) -> None:
         if store is not None and journal_path is not None:
             raise ValueError("give either store or journal_path, not both")
+        if default_checkpoint_every is not None and default_checkpoint_every < 1:
+            raise ValueError("default_checkpoint_every must be >= 1")
         self._store: JobStore = (
             store
             if store is not None
             else (JournalJobStore(journal_path) if journal_path else InMemoryJobStore())
         )
-        self._solve_fn = solve_fn or _default_solve
+        self._default_checkpoint_every = default_checkpoint_every
+        self._solve_fn = solve_fn or self._default_solve
+        self._solve_accepts_checkpoints = _supports_checkpoints(self._solve_fn)
         self._retry_base_delay = retry_base_delay
         self._retry_max_delay = retry_max_delay
         self._rng = random.Random(rng_seed)
@@ -206,7 +239,7 @@ class JobManager:
                 by_state[record.state.value] += 1
             latencies = sorted(self._latencies)
         busy = self._pool.busy_count
-        return {
+        stats: Dict[str, Any] = {
             "queue": {
                 "depth": len(self._queue),
                 "limit": self._queue.maxsize,
@@ -225,6 +258,13 @@ class JobManager:
                 "p99": _percentile(latencies, 0.99),
             },
         }
+        if isinstance(self._store, JournalJobStore):
+            stats["journal"] = {
+                "replayed": self._store.replayed_count,
+                "quarantined": self._store.quarantined_count,
+                "compactions": self._store.compaction_count,
+            }
+        return stats
 
     def start(self) -> "JobManager":
         self._pool.start()
@@ -254,6 +294,20 @@ class JobManager:
 
     # ------------------------------------------------------------ internals
 
+    def _default_solve(
+        self,
+        spec: JobSpec,
+        *,
+        checkpoint_sink: Optional[Callable[[Dict[str, Any]], None]] = None,
+        resume_from: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        payload = spec.solve_payload()
+        if "checkpoint_every" not in payload and self._default_checkpoint_every:
+            payload["checkpoint_every"] = self._default_checkpoint_every
+        return execute_solve_payload(
+            payload, checkpoint_sink=checkpoint_sink, resume_from=resume_from
+        )
+
     def _mark_dequeued(self, record: JobRecord) -> None:
         # Runs under the queue lock, atomically with the pop: dequeue_seq
         # is therefore a faithful global dispatch order even with many
@@ -264,7 +318,9 @@ class JobManager:
     def _replay(self) -> None:
         """Adopt journal state: finished jobs become history, unfinished
         jobs are re-enqueued exactly once (RUNNING-at-crash counts as
-        unfinished — the attempt died with the old process)."""
+        unfinished — the attempt died with the old process).  A recovered
+        RUNNING job keeps its last checkpoint, so its next attempt
+        resumes mid-solve instead of starting over."""
         recovered = self._store.load_all()
         with self._lock:
             for record in sorted(recovered.values(), key=lambda r: r.submitted_at):
@@ -297,13 +353,56 @@ class JobManager:
             record.transition(JobState.RUNNING)
             record.attempt += 1
             record.started_at = time.time()
+            resume_doc: Optional[Dict[str, Any]] = None
+            if record.checkpoint and self._solve_accepts_checkpoints:
+                try:
+                    resume_doc = decode_record_b64(record.checkpoint)
+                except CheckpointError as exc:
+                    # A corrupt checkpoint never blocks the job — fall
+                    # back to solving from scratch.
+                    logger.warning(
+                        "job %s: discarding corrupt checkpoint (%s)",
+                        record.job_id,
+                        exc,
+                    )
+                    record.checkpoint = None
+                    record.checkpoint_progress = None
         self._store.save(record)
 
+        if self._solve_accepts_checkpoints:
+
+            def _on_checkpoint(doc: Dict[str, Any]) -> None:
+                # Runs on the solve thread, possibly after a timeout or
+                # cancel abandoned it — only persist while still RUNNING.
+                blob = encode_record_b64(doc)
+                progress = checkpoint_progress(doc)
+                with self._lock:
+                    if record.state is not JobState.RUNNING:
+                        return
+                    record.checkpoint = blob
+                    record.checkpoint_progress = progress
+                self._store.save(record)
+
+            solve_call = lambda: self._solve_fn(  # noqa: E731
+                record.spec,
+                checkpoint_sink=_on_checkpoint,
+                resume_from=resume_doc,
+            )
+        else:
+            solve_call = lambda: self._solve_fn(record.spec)  # noqa: E731
+
         outcome, value = run_with_timeout(
-            lambda: self._solve_fn(record.spec),
+            solve_call,
             timeout=record.spec.timeout_seconds,
             cancel_event=event,
         )
+
+        if outcome == "error" and isinstance(value, ProcessKilled):
+            # Emulated SIGKILL (fault injection): die *without* touching
+            # the record, exactly as a real process death would — the
+            # journal keeps the job RUNNING with its last checkpoint, and
+            # the next manager on the same journal resumes it.
+            raise value
 
         with self._lock:
             if record.state is not JobState.RUNNING:
@@ -314,6 +413,7 @@ class JobManager:
                 record.result = value
                 record.error = None
                 record.error_kind = None
+                record.checkpoint = None  # finished: the blob is dead weight
                 record.finished_at = now
                 record.solve_seconds = now - (record.started_at or now)
                 self._latencies.append(record.solve_seconds)

@@ -91,6 +91,7 @@ class JobSpec:
     priority: int = 0
     timeout_seconds: Optional[float] = None
     max_attempts: int = 3
+    checkpoint_every: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.job_id:
@@ -101,10 +102,12 @@ class JobSpec:
             raise ValidationError("max_attempts must be >= 1")
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:
             raise ValidationError("timeout_seconds must be positive")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValidationError("checkpoint_every must be >= 1")
 
     def solve_payload(self) -> Dict[str, Any]:
         """The equivalent ``POST /solve`` request body."""
-        return {
+        payload = {
             "instance": self.instance,
             "algorithm": self.algorithm,
             "tau": self.tau,
@@ -112,6 +115,9 @@ class JobSpec:
             "certificate": self.certificate,
             "seed": self.seed,
         }
+        if self.checkpoint_every is not None:
+            payload["checkpoint_every"] = self.checkpoint_every
+        return payload
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -126,6 +132,7 @@ class JobSpec:
             "priority": self.priority,
             "timeout_seconds": self.timeout_seconds,
             "max_attempts": self.max_attempts,
+            "checkpoint_every": self.checkpoint_every,
         }
 
     @classmethod
@@ -143,6 +150,7 @@ class JobSpec:
                 priority=int(doc.get("priority", 0)),
                 timeout_seconds=doc.get("timeout_seconds"),
                 max_attempts=int(doc.get("max_attempts", 3)),
+                checkpoint_every=doc.get("checkpoint_every"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ValidationError(f"malformed job spec document: {exc!r}") from exc
@@ -169,6 +177,11 @@ class JobRecord:
     finished_at: Optional[float] = None
     solve_seconds: Optional[float] = None
     dequeue_seq: Optional[int] = None
+    # Latest resumable checkpoint: a base64 wire record
+    # (repro.core.checkpoint) plus its small progress view.  The blob is
+    # journal-only; the API serves just the progress dict.
+    checkpoint: Optional[str] = None
+    checkpoint_progress: Optional[Dict[str, Any]] = None
 
     @property
     def job_id(self) -> str:
@@ -207,11 +220,15 @@ class JobRecord:
             "finished_at": self.finished_at,
             "solve_seconds": self.solve_seconds,
             "dequeue_seq": self.dequeue_seq,
+            "checkpoint": self.checkpoint,
+            "checkpoint_progress": self.checkpoint_progress,
         }
 
     def public_dict(self) -> Dict[str, Any]:
-        """The API view of a record: everything except the (large) instance."""
+        """The API view of a record: everything except the (large) instance
+        and the raw checkpoint blob (its progress view is kept)."""
         doc = self.to_dict(include_instance=False)
+        doc.pop("checkpoint", None)
         doc["job_id"] = self.job_id
         doc["tenant"] = self.tenant
         return doc
@@ -231,6 +248,8 @@ class JobRecord:
                 finished_at=doc.get("finished_at"),
                 solve_seconds=doc.get("solve_seconds"),
                 dequeue_seq=doc.get("dequeue_seq"),
+                checkpoint=doc.get("checkpoint"),
+                checkpoint_progress=doc.get("checkpoint_progress"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ValidationError(f"malformed job record document: {exc!r}") from exc

@@ -24,20 +24,31 @@ import numpy as np
 
 from repro.core.objective import score
 from repro.core.serialize import instance_from_dict, solution_to_dict
-from repro.core.solver import solve
+from repro.core.solver import checkpointable_algorithms, solve
 from repro.errors import ValidationError
 from repro.sparsify.pipeline import sparsify_instance
 
 __all__ = ["execute_solve_payload", "run_with_timeout", "WorkerPool"]
 
 
-def execute_solve_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+def execute_solve_payload(
+    payload: Dict[str, Any],
+    *,
+    checkpoint_sink: Optional[Callable[[Dict[str, Any]], None]] = None,
+    resume_from: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
     """Run a ``/solve``-style request body and return the response document.
 
     The payload vocabulary: ``instance`` (wire-format dict, required),
-    ``algorithm``, ``tau``, ``sparsify_method``, ``certificate``, ``seed``.
-    The reported ``value`` is always the *true* objective on the original
-    (unsparsified) instance.
+    ``algorithm``, ``tau``, ``sparsify_method``, ``certificate``, ``seed``,
+    ``checkpoint_every``.  The reported ``value`` is always the *true*
+    objective on the original (unsparsified) instance.
+
+    ``checkpoint_sink`` / ``resume_from`` thread the crash-safety hooks
+    through to :func:`repro.core.solver.solve`.  Resume is sound even
+    under ``tau > 0``: sparsification happens before the solve and is
+    deterministic in ``seed``, so the resumed run sees the identical
+    sparsified instance the checkpoint was taken against.
     """
     instance_doc = payload.get("instance")
     if not isinstance(instance_doc, dict):
@@ -62,7 +73,28 @@ def execute_solve_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
             "kept_fraction": report.kept_fraction,
             "checked_fraction": report.checked_fraction,
         }
-    solution = solve(solver_instance, algorithm, rng=rng)
+    # checkpoint_every is meaningless without somewhere to put the
+    # snapshots — the synchronous /solve path has no sink, so drop it.
+    # The hooks are also best-effort: for algorithms that cannot
+    # checkpoint (exact / randomised baselines) they are ignored rather
+    # than rejected, so one manager can run a mixed workload.
+    if algorithm not in checkpointable_algorithms():
+        checkpoint_sink = None
+        resume_from = None
+    checkpoint_every = (
+        payload.get("checkpoint_every") if checkpoint_sink is not None else None
+    )
+    if checkpoint_every is not None or checkpoint_sink is not None or resume_from is not None:
+        solution = solve(
+            solver_instance,
+            algorithm,
+            rng=rng,
+            checkpoint_every=checkpoint_every,
+            checkpoint_sink=checkpoint_sink,
+            resume_from=resume_from,
+        )
+    else:
+        solution = solve(solver_instance, algorithm, rng=rng)
     true_value = (
         solution.value
         if solver_instance is instance

@@ -109,6 +109,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="JSONL job journal; unfinished jobs replay on restart",
     )
+    serve_p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="N",
+        help="checkpoint running solves every N greedy picks so replayed "
+        "jobs resume mid-solve instead of restarting",
+    )
 
     jobs_p = sub.add_parser(
         "jobs", help="submit and track background solve jobs on a running service"
@@ -132,6 +139,12 @@ def build_parser() -> argparse.ArgumentParser:
     submit_p.add_argument("--priority", type=int, default=0)
     submit_p.add_argument("--timeout-seconds", type=float)
     submit_p.add_argument("--max-attempts", type=int, default=3)
+    submit_p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="N",
+        help="checkpoint this job every N greedy picks",
+    )
     submit_p.add_argument("--certificate", action="store_true")
     submit_p.add_argument(
         "--wait", action="store_true", help="poll until the job finishes"
@@ -320,6 +333,7 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             "priority": args.priority,
             "timeout_seconds": args.timeout_seconds,
             "max_attempts": args.max_attempts,
+            "checkpoint_every": args.checkpoint_every,
             "certificate": args.certificate,
         }
         status, doc = _http(server, "POST", "/jobs", payload)
@@ -449,6 +463,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             workers=args.workers,
             queue_depth=args.queue_depth,
             journal_path=args.journal,
+            checkpoint_every=args.checkpoint_every,
         ).start()
         print(f"PHOcus solver service listening on http://{service.address}")
         print(

@@ -17,10 +17,12 @@ endpoint          method   behaviour
                            objective value and per-subset breakdown
 ``/jobs``         POST     submit an async solve job (same body as
                            ``/solve`` plus ``tenant``/``priority``/
-                           ``timeout_seconds``/``max_attempts``) → 202
-                           with the job id; 429 when the queue is full
+                           ``timeout_seconds``/``max_attempts``/
+                           ``checkpoint_every``) → 202 with the job id;
+                           429 when the queue is full
 ``/jobs``         GET      list jobs (``?state=``/``?tenant=`` filters)
 ``/jobs/<id>``    GET      job status, including the result when done
+                           and ``checkpoint_progress`` while running
 ``/jobs/<id>``    DELETE   cancel a queued or running job
 ``/stats``        GET      queue depth, per-state counts, worker
                            utilisation, solve-latency percentiles
@@ -125,6 +127,11 @@ def _submit_job(
                 float(timeout_seconds) if timeout_seconds is not None else None
             ),
             max_attempts=int(payload.get("max_attempts") or 3),
+            checkpoint_every=(
+                int(payload["checkpoint_every"])
+                if payload.get("checkpoint_every") is not None
+                else None
+            ),
         )
     except (TypeError, ValueError) as exc:
         if isinstance(exc, ValidationError):
@@ -292,12 +299,16 @@ class PhocusService:
         queue_depth: int = 256,
         journal_path: Optional[str] = None,
         job_manager: Optional[JobManager] = None,
+        checkpoint_every: Optional[int] = None,
     ) -> None:
         self._server = ThreadingHTTPServer((host, port), _Handler)
         self._thread: Optional[threading.Thread] = None
         self._owns_jobs = job_manager is None
         self.jobs = job_manager or JobManager(
-            workers=workers, queue_depth=queue_depth, journal_path=journal_path
+            workers=workers,
+            queue_depth=queue_depth,
+            journal_path=journal_path,
+            default_checkpoint_every=checkpoint_every,
         )
         self._server.phocus_jobs = self.jobs
 

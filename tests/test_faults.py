@@ -1,0 +1,322 @@
+"""Deterministic fault-injection harness + chaos recovery tests.
+
+The chaos scenarios are parameterised by ``PHOCUS_CHAOS_SEED`` (CI runs a
+small fixed set of seeds) but every run is fully deterministic given the
+seed: the fault plan fires on exact probe hit counts, so "kill the worker
+mid-solve" happens at the same greedy iteration every time.
+"""
+
+import contextlib
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.core.checkpoint import FileCheckpointSink, MemoryCheckpointSink
+from repro.core.greedy import CB, lazy_greedy
+from repro.core.serialize import instance_to_dict
+from repro.datasets.io import load_dataset, save_dataset
+from repro.datasets.public import generate_public_dataset
+from repro.faults.plan import KNOWN_SITES, FaultPlan, ProcessKilled
+from repro.jobs import JobManager, JournalJobStore
+from tests.conftest import random_instance
+
+CHAOS_SEED = int(os.environ.get("PHOCUS_CHAOS_SEED", "0"))
+
+
+@contextlib.contextmanager
+def quiet_process_kills():
+    """Silence the default unhandled-thread-exception traceback for the
+    deliberate ProcessKilled deaths these tests cause."""
+    previous = threading.excepthook
+
+    def _hook(args):
+        if not issubclass(args.exc_type, ProcessKilled):
+            previous(args)
+
+    threading.excepthook = _hook
+    try:
+        yield
+    finally:
+        threading.excepthook = previous
+
+
+@pytest.fixture(autouse=True)
+def always_disarmed():
+    yield
+    faults.disarm()
+
+
+# ----------------------------------------------------------- plan mechanics
+
+
+def test_disarmed_probes_are_noops():
+    assert faults.active() is None
+    faults.check("solver.iteration")  # must not raise
+    assert faults.should_drop("journal.fsync") is False
+    assert faults.mangle("journal.write", b"abc") == b"abc"
+
+
+def test_check_fires_on_exact_nth_hit():
+    plan = FaultPlan().on("solver.iteration", "raise", nth=3)
+    with faults.armed(plan):
+        faults.check("solver.iteration")
+        faults.check("solver.iteration")
+        with pytest.raises(OSError, match="injected fault"):
+            faults.check("solver.iteration")
+        faults.check("solver.iteration")  # times=1: fires exactly once
+    assert plan.hits("solver.iteration") == 4
+    assert plan.fired("solver.iteration") == 1
+    assert plan.log == [("solver.iteration", "raise", 3)]
+
+
+def test_check_custom_exception_and_unlimited_times():
+    plan = FaultPlan().on("journal.write", "raise", nth=2, times=None, exc=IOError)
+    with faults.armed(plan):
+        faults.check("journal.write")
+        for _ in range(3):
+            with pytest.raises(IOError):
+                faults.check("journal.write")
+
+
+def test_kill_action_is_base_exception():
+    plan = FaultPlan().on("solver.iteration", "kill")
+    with faults.armed(plan):
+        with pytest.raises(ProcessKilled):
+            faults.check("solver.iteration")
+    assert not issubclass(ProcessKilled, Exception)
+
+
+def test_drop_fires_once_then_stops():
+    plan = FaultPlan().on("journal.fsync", "drop", nth=2)
+    with faults.armed(plan):
+        assert faults.should_drop("journal.fsync") is False
+        assert faults.should_drop("journal.fsync") is True
+        assert faults.should_drop("journal.fsync") is False
+
+
+def test_corrupt_is_seed_deterministic():
+    flipped = []
+    for _ in range(2):
+        plan = FaultPlan(seed=99).on("dataset.write", "corrupt")
+        with faults.armed(plan):
+            flipped.append(faults.mangle("dataset.write", b"hello world"))
+    assert flipped[0] == flipped[1]
+    assert flipped[0] != b"hello world"
+    # exactly one bit differs
+    diff = [a ^ b for a, b in zip(flipped[0], b"hello world")]
+    assert sum(bin(d).count("1") for d in diff) == 1
+
+
+def test_unknown_action_rejected():
+    with pytest.raises(ValueError):
+        FaultPlan().on("solver.iteration", "explode")
+
+
+def test_known_sites_documented():
+    assert "solver.iteration" in KNOWN_SITES
+    assert all("." in site for site in KNOWN_SITES)
+
+
+# ------------------------------------------------- crash-safe file writes
+
+
+def test_save_dataset_crash_leaves_previous_file_intact(tmp_path):
+    dataset = generate_public_dataset(12, 4, seed=CHAOS_SEED)
+    target = tmp_path / "data.json"
+    save_dataset(dataset, target)
+    before = target.read_bytes()
+
+    plan = FaultPlan().on("dataset.replace", "kill")
+    with faults.armed(plan), pytest.raises(ProcessKilled):
+        save_dataset(dataset, target)
+    assert target.read_bytes() == before  # old file untouched
+    assert not (tmp_path / "data.json.tmp").exists()  # no torn temp left
+
+    save_dataset(dataset, target)  # healthy retry succeeds
+    assert load_dataset(target).name == dataset.name
+
+
+def test_checkpoint_sink_crash_keeps_last_valid_checkpoint(tmp_path):
+    instance = random_instance(seed=CHAOS_SEED, n_photos=30, n_subsets=6, budget_fraction=0.5)
+    sink = FileCheckpointSink(tmp_path / "solve.ckpt")
+    plan = FaultPlan().on("checkpoint.replace", "raise", nth=3, times=None)
+    with faults.armed(plan), pytest.raises(OSError):
+        lazy_greedy(instance, CB, checkpoint_every=1, checkpoint_sink=sink)
+    surviving = sink.load()  # the 2nd checkpoint, intact
+    assert surviving is not None
+    resumed = lazy_greedy(instance, CB, resume_from=surviving)
+    assert resumed.selection == lazy_greedy(instance, CB).selection
+
+
+# --------------------------------------------------------- chaos: the kill
+
+
+def _wait_for(predicate, timeout=30.0, poll=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll)
+    return False
+
+
+def test_killed_worker_resumes_to_identical_solution(tmp_path):
+    """The tentpole chaos scenario: a worker dies mid-solve at a seeded
+    injection point; a fresh manager on the same journal resumes the job
+    from its last checkpoint and finishes with *exactly* the selection
+    and objective of an uninterrupted run — in strictly fewer picks."""
+    instance = random_instance(
+        seed=100 + CHAOS_SEED, n_photos=50, n_subsets=8, budget_fraction=0.5
+    )
+    doc = instance_to_dict(instance)
+    journal = str(tmp_path / "journal.jsonl")
+
+    with JobManager(workers=1, journal_path=str(tmp_path / "ref.jsonl")) as ref_mgr:
+        ref_id = ref_mgr.submit_solve(doc, job_id="ref", algorithm="phocus")
+        ref_mgr.wait(ref_id, timeout=60)
+        reference = ref_mgr.result(ref_id)
+    assert reference is not None
+
+    kill_at = 30 + (CHAOS_SEED % 7)
+    plan = FaultPlan(seed=CHAOS_SEED).on("solver.iteration", "kill", nth=kill_at)
+    with quiet_process_kills():
+        with faults.armed(plan):
+            crashed = JobManager(
+                workers=1, journal_path=journal, default_checkpoint_every=1
+            )
+            job_id = crashed.submit_solve(doc, job_id="chaos", algorithm="phocus")
+            assert _wait_for(lambda: plan.fired("solver.iteration") > 0)
+            time.sleep(0.2)  # let the killed thread unwind
+            status = crashed.status(job_id)
+            assert status["state"] == "RUNNING"  # died without a terminal write
+            assert status["checkpoint_progress"]["picks"] >= 1
+            assert "checkpoint" not in status  # blob never leaves the journal
+            crashed._store.close()  # emulate process death: no clean shutdown
+
+    recovered = JobManager(workers=1, journal_path=journal, default_checkpoint_every=1)
+    try:
+        final = recovered.wait(job_id, timeout=60)
+        result = recovered.result(job_id)
+        stats = recovered.stats()
+    finally:
+        recovered.shutdown()
+
+    assert final["state"] == "SUCCEEDED"
+    assert stats["journal"]["replayed"] == 1
+    assert result["selection"] == reference["selection"]
+    assert result["value"] == reference["value"]
+    resumed_from = result["extras"]["resumed_from_picks"]
+    assert resumed_from >= 1  # strictly fewer picks than from scratch
+    assert result["extras"]["picks"] - resumed_from < reference["extras"]["picks"]
+
+
+def test_corrupt_checkpoint_falls_back_to_scratch(tmp_path):
+    """A flipped bit in the stored checkpoint must never wedge the job —
+    recovery solves from scratch and still matches the reference."""
+    instance = random_instance(seed=7, n_photos=40, n_subsets=6, budget_fraction=0.5)
+    doc = instance_to_dict(instance)
+    journal = str(tmp_path / "journal.jsonl")
+
+    with JobManager(workers=1) as ref_mgr:
+        ref_id = ref_mgr.submit_solve(doc, job_id="ref", algorithm="phocus")
+        ref_mgr.wait(ref_id, timeout=60)
+        reference = ref_mgr.result(ref_id)
+
+    plan = FaultPlan(seed=3).on("solver.iteration", "kill", nth=35)
+    with quiet_process_kills(), faults.armed(plan):
+        crashed = JobManager(workers=1, journal_path=journal, default_checkpoint_every=1)
+        job_id = crashed.submit_solve(doc, job_id="chaos", algorithm="phocus")
+        assert _wait_for(lambda: plan.fired("solver.iteration") > 0)
+        time.sleep(0.2)
+        crashed._store.close()
+
+    # Corrupt the stored checkpoint blob of the RUNNING snapshot.
+    lines = []
+    with open(journal, "r", encoding="utf-8") as fh:
+        for line in fh:
+            record = json.loads(line.split(" ", 1)[1])
+            if record.get("checkpoint"):
+                blob = record["checkpoint"]
+                record["checkpoint"] = blob[:-8] + ("A" * 8 if blob[-8:] != "A" * 8 else "B" * 8)
+            # re-encode without a CRC prefix: legacy lines stay readable
+            lines.append(json.dumps(record))
+    with open(journal, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+    recovered = JobManager(workers=1, journal_path=journal, default_checkpoint_every=1)
+    try:
+        final = recovered.wait(job_id, timeout=60)
+        result = recovered.result(job_id)
+    finally:
+        recovered.shutdown()
+    assert final["state"] == "SUCCEEDED"
+    assert result["selection"] == reference["selection"]
+    assert result["value"] == reference["value"]
+    assert "resumed_from_picks" not in result["extras"]  # scratch fallback
+
+
+# ------------------------------------------- chaos: torn journal append
+
+
+def test_torn_final_append_replays_job_exactly_once(tmp_path):
+    """Crash between the journal append and its fsync: the SUCCEEDED line
+    is torn, so replay sees the job RUNNING and re-runs it exactly once —
+    one record, one extra execution, terminal state SUCCEEDED."""
+    journal = str(tmp_path / "journal.jsonl")
+    runs = []
+
+    def counting_solve(spec):
+        runs.append(spec.job_id)
+        return {"selection": [0], "value": 1.0}
+
+    instance_doc = instance_to_dict(random_instance(seed=1, n_photos=8))
+    with JobManager(workers=1, journal_path=journal, solve_fn=counting_solve) as m1:
+        job_id = m1.submit_solve(instance_doc, job_id="torn")
+        m1.wait(job_id, timeout=30)
+    assert runs == ["torn"]
+
+    # Tear the tail: drop the second half of the final (SUCCEEDED) line,
+    # exactly what an append that never reached fsync looks like.
+    with open(journal, "rb") as fh:
+        data = fh.read()
+    body, last = data.rstrip(b"\n").rsplit(b"\n", 1)
+    with open(journal, "wb") as fh:
+        fh.write(body + b"\n" + last[: len(last) // 2])
+
+    m2 = JobManager(workers=1, journal_path=journal, solve_fn=counting_solve)
+    try:
+        final = m2.wait(job_id, timeout=30)
+        stats = m2.stats()
+        records = m2.jobs()
+    finally:
+        m2.shutdown()
+    assert final["state"] == "SUCCEEDED"
+    assert runs == ["torn", "torn"]  # replayed exactly once
+    assert len(records) == 1  # no duplicate job records
+    assert stats["journal"]["quarantined"] == 1
+
+
+def test_dropped_fsync_still_replays_from_page_cache(tmp_path):
+    """An fsync dropped by the fault plan models data sitting in the OS
+    page cache: a process crash (not power loss) still finds the line on
+    replay, so recovery must be unaffected."""
+    journal = str(tmp_path / "journal.jsonl")
+    plan = FaultPlan().on("journal.fsync", "drop", times=None)
+    with faults.armed(plan):
+        store = JournalJobStore(journal)
+        with JobManager(store=store, workers=1, solve_fn=lambda s: {"ok": True}) as m1:
+            job_id = m1.submit_solve(
+                instance_to_dict(random_instance(seed=2, n_photos=8)), job_id="drop"
+            )
+            m1.wait(job_id, timeout=30)
+    assert plan.fired("journal.fsync") >= 1
+
+    m2 = JobManager(workers=1, journal_path=journal)
+    try:
+        assert m2.status("drop")["state"] == "SUCCEEDED"
+    finally:
+        m2.shutdown()

@@ -89,6 +89,25 @@ class TestSpec:
         assert "instance" not in doc["spec"]
         assert doc["job_id"]
 
+    def test_checkpoint_every_validated_and_serialised(self):
+        with pytest.raises(ValidationError):
+            _spec(checkpoint_every=0)
+        spec = _spec(checkpoint_every=5)
+        assert JobSpec.from_dict(spec.to_dict()).checkpoint_every == 5
+        assert spec.solve_payload()["checkpoint_every"] == 5
+        assert "checkpoint_every" not in _spec().solve_payload()
+
+    def test_checkpoint_blob_round_trips_but_stays_private(self):
+        record = JobRecord(spec=_spec())
+        record.checkpoint = "QkxPQg=="
+        record.checkpoint_progress = {"phase": "UC", "picks": 4}
+        clone = JobRecord.from_dict(record.to_dict())
+        assert clone.checkpoint == "QkxPQg=="
+        assert clone.checkpoint_progress == {"phase": "UC", "picks": 4}
+        public = record.public_dict()
+        assert "checkpoint" not in public  # the blob never leaves the journal
+        assert public["checkpoint_progress"] == {"phase": "UC", "picks": 4}
+
 
 # -------------------------------------------------------------------- queue
 
@@ -185,6 +204,75 @@ class TestJournalStore:
         with open(path, "r", encoding="utf-8") as fh:
             lines = [ln for ln in fh if ln.strip()]
         assert len(lines) == 1
+        assert store.compaction_count == 1
+
+    def test_corrupt_mid_file_line_is_quarantined(self, tmp_path):
+        """Corruption *anywhere* — not just the tail — is skipped, counted,
+        and the rest of the journal still replays."""
+        path = str(tmp_path / "journal.jsonl")
+        store = JournalJobStore(path)
+        for job_id in ("first", "second", "third"):
+            store.save(JobRecord(spec=_spec(job_id=job_id)))
+        store.close()
+
+        with open(path, "rb") as fh:
+            lines = fh.read().splitlines(keepends=True)
+        middle = bytearray(lines[1])
+        middle[len(middle) // 2] ^= 0x01  # bit flip in the middle line
+        lines[1] = bytes(middle)
+        with open(path, "wb") as fh:
+            fh.writelines(lines)
+
+        reopened = JournalJobStore(path)
+        assert set(reopened.load_all()) == {"first", "third"}
+        assert reopened.quarantined_count == 1
+        reopened.close()
+
+    def test_legacy_plain_json_lines_still_replay(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        import json as _json
+
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(_json.dumps(JobRecord(spec=_spec(job_id="old")).to_dict()) + "\n")
+        store = JournalJobStore(path)
+        assert set(store.load_all()) == {"old"}
+        assert store.quarantined_count == 0
+        store.close()
+
+    def test_fsync_policy_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            JournalJobStore(str(tmp_path / "j.jsonl"), fsync_policy="sometimes")
+        with pytest.raises(ConfigurationError):
+            JournalJobStore(str(tmp_path / "j.jsonl"), fsync_every=0)
+        with pytest.raises(ConfigurationError):
+            JournalJobStore(str(tmp_path / "j.jsonl"), compact_bytes=0)
+
+    @pytest.mark.parametrize("policy", ["always", "batch", "never"])
+    def test_fsync_policies_all_persist(self, tmp_path, policy):
+        path = str(tmp_path / "journal.jsonl")
+        store = JournalJobStore(path, fsync_policy=policy, fsync_every=2)
+        for i in range(5):
+            store.save(JobRecord(spec=_spec(job_id=f"j{i}")))
+        store.close()
+        reopened = JournalJobStore(path)
+        assert reopened.replayed_count == 5
+        reopened.close()
+
+    def test_size_bounded_auto_compaction(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        store = JournalJobStore(path, compact_bytes=2048)
+        record = JobRecord(spec=_real_spec(job_id="churn"))
+        for _ in range(40):  # many superseded snapshots of one job
+            store.save(record)
+        assert store.compaction_count >= 1
+        import os as _os
+
+        # after compaction the file holds just the live snapshot
+        assert _os.path.getsize(path) < 40 * 200
+        store.close()
+        reopened = JournalJobStore(path)
+        assert set(reopened.load_all()) == {"churn"}
+        reopened.close()
 
 
 # ----------------------------------------------------- failure classification
