@@ -3,7 +3,11 @@
 # Targets export PYTHONPATH=src so they match the tier-1 verify command
 # and work on a fresh clone without `make install`.
 
-.PHONY: install test bench examples chaos results clean
+.PHONY: install test bench bench-kernels examples chaos results clean
+
+# Instance-size multiplier for the kernel bench (CI smoke uses 0.25).
+KERNEL_BENCH_SCALE ?= 1.0
+KERNEL_BENCH_OUT ?= BENCH_solver_kernels.json
 
 PYTHONPATH_SRC = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
@@ -15,6 +19,10 @@ test:
 
 bench:
 	$(PYTHONPATH_SRC) python -m pytest benchmarks/ --benchmark-only
+
+bench-kernels:
+	$(PYTHONPATH_SRC) python benchmarks/bench_solver_kernels.py \
+		--scale $(KERNEL_BENCH_SCALE) --out $(KERNEL_BENCH_OUT)
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHONPATH_SRC) python $$f > /dev/null || exit 1; done

@@ -11,10 +11,18 @@ ALGORITHMS = ["rand-a", "greedy-nr", "greedy-ncs", "phocus"]
 
 
 def run_quality_figure(dataset: Dataset, fractions: Dict[str, float], seed: int = 0) -> QualityGrid:
-    """Run the RAND/G-NR/G-NCS/PHOcus sweep over the paper's budget grid."""
+    """Run the RAND/G-NR/G-NCS/PHOcus sweep over the paper's budget grid.
+
+    Honours ``--repro-workers`` / ``PHOCUS_BENCH_WORKERS``: with more than
+    one worker the sweep fans out over the shared-memory process pool.
+    """
+    from conftest import sweep_workers
+
     total_mb = dataset.total_cost_mb()
     budgets_mb = [total_mb * f for f in fractions.values()]
-    return run_quality_grid(dataset, budgets_mb, ALGORITHMS, seed=seed)
+    return run_quality_grid(
+        dataset, budgets_mb, ALGORITHMS, seed=seed, workers=sweep_workers()
+    )
 
 
 def assert_figure5_shape(grid: QualityGrid) -> None:

@@ -62,3 +62,34 @@ def test_micro_sparsified_solve(benchmark, micro_instance):
     """Algorithm 2 on the τ-sparsified instance (the production path)."""
     sparse, _ = threshold_sparsify(micro_instance, 0.5)
     benchmark(lazy_greedy, sparse, CB)
+
+
+def test_micro_sparse_all_gains_kernel_vs_reference(benchmark, micro_instance):
+    """Flat-CSR kernel vs per-subset reference all_gains on a sparse instance.
+
+    The benchmark fixture times the kernel path (so regressions show in the
+    tracked stats); the reference path is timed inline and the old-vs-new
+    speedup ratio is recorded in ``extra_info`` — it lands in the saved
+    JSON next to the timing columns.
+    """
+    import time
+
+    sparse, _ = threshold_sparsify(micro_instance, 0.5)
+    seeded = range(0, sparse.n, 7)
+    kernel = CoverageState(sparse, seeded, backend="kernel")
+    reference = CoverageState(sparse, seeded, backend="reference")
+
+    benchmark(kernel.all_gains)
+
+    repeats = 5
+    ref_best = min(
+        (lambda t0: (reference.all_gains(), time.perf_counter() - t0))(
+            time.perf_counter()
+        )[1]
+        for _ in range(repeats)
+    )
+    kernel_best = benchmark.stats.stats.min
+    benchmark.extra_info["reference_seconds"] = ref_best
+    benchmark.extra_info["kernel_seconds"] = kernel_best
+    benchmark.extra_info["speedup_old_over_new"] = ref_best / kernel_best
+    assert kernel_best > 0 and ref_best > 0

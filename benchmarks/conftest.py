@@ -10,6 +10,7 @@ rows to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote them.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -35,6 +36,30 @@ def pytest_addoption(parser):
         default=1.0,
         help="multiply the default bench dataset sizes (1.0 = quick laptop run)",
     )
+    parser.addoption(
+        "--repro-workers",
+        type=int,
+        default=int(os.environ.get("PHOCUS_BENCH_WORKERS", "1")),
+        help=(
+            "worker processes for the Fig 5 budget sweeps (shared-memory "
+            "solve_many); 1 = serial.  Also settable via PHOCUS_BENCH_WORKERS."
+        ),
+    )
+
+
+# Stashed by pytest_configure so non-fixture helpers (benchmark.pedantic
+# callables in the Fig 5 benches) can read the sweep worker count.
+_WORKERS = 1
+
+
+def pytest_configure(config):
+    global _WORKERS
+    _WORKERS = max(1, int(config.getoption("--repro-workers")))
+
+
+def sweep_workers() -> int:
+    """Worker count requested for Fig 5 sweeps (see --repro-workers)."""
+    return _WORKERS
 
 
 @pytest.fixture(scope="session")

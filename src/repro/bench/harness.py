@@ -88,15 +88,33 @@ def run_quality_grid(
     seed: int = 0,
     contextual_mode: str = "reweight+normalise",
     instance_transform: Optional[Callable[[PARInstance], PARInstance]] = None,
+    workers: Optional[int] = None,
 ) -> QualityGrid:
     """Run the standard budget × algorithm sweep on a dataset.
 
     ``instance_transform`` lets a bench inject preprocessing (e.g.
     τ-sparsification) between instance construction and solving; the
     reported values are still measured on the untransformed objective.
+
+    ``workers > 1`` fans the (budget × algorithm) cells out over the
+    shared-memory process pool (:func:`repro.core.solver.solve_many`):
+    the instance is built once at the first budget, exported once, and
+    every cell runs with a task-level budget override — valid because
+    dataset instances are budget-independent apart from the budget field.
+    Benches with an ``instance_transform`` fall back to the serial path
+    (the transform may depend on the budget).
     """
-    cells: List[QualityCell] = []
     budgets = [b * MB for b in budgets_mb]
+    if workers is not None and workers > 1 and instance_transform is None:
+        return _run_quality_grid_parallel(
+            dataset,
+            budgets,
+            algorithms,
+            seed=seed,
+            contextual_mode=contextual_mode,
+            workers=workers,
+        )
+    cells: List[QualityCell] = []
     ceiling = 0.0
     for budget in budgets:
         instance = dataset.instance(budget, contextual_mode=contextual_mode)
@@ -133,6 +151,45 @@ def run_quality_grid(
         algorithms=list(algorithms),
         cells=cells,
         max_value=ceiling,
+    )
+
+
+def _run_quality_grid_parallel(
+    dataset: Dataset,
+    budgets: Sequence[float],
+    algorithms: Sequence[str],
+    *,
+    seed: int,
+    contextual_mode: str,
+    workers: int,
+) -> QualityGrid:
+    from repro.core.parallel import SolveTask
+    from repro.core.solver import solve_many
+
+    instance = dataset.instance(budgets[0], contextual_mode=contextual_mode)
+    tasks = [
+        SolveTask(algorithm=algorithm, budget=budget, seed=seed)
+        for budget in budgets
+        for algorithm in algorithms
+    ]
+    solutions = solve_many(instance, tasks, workers=workers)
+    cells = [
+        QualityCell(
+            budget=task.budget,
+            algorithm=task.algorithm,
+            value=solution.value,
+            cost=solution.cost,
+            seconds=solution.elapsed_seconds,
+            extras=dict(solution.extras),
+        )
+        for task, solution in zip(tasks, solutions)
+    ]
+    return QualityGrid(
+        dataset_name=dataset.name,
+        budgets=list(budgets),
+        algorithms=list(algorithms),
+        cells=cells,
+        max_value=max_score(instance),
     )
 
 

@@ -39,11 +39,13 @@ from repro.core.greedy import CB, UC, lazy_greedy, main_algorithm, naive_greedy
 from repro.core.hardness import MaxCoverageInstance, mc_to_par
 from repro.core.instance import (
     DenseSimilarity,
+    IncidenceCSR,
     PARInstance,
     Photo,
     PredefinedSubset,
     SparseSimilarity,
     SubsetSpec,
+    build_incidence,
     normalize_relevance,
 )
 from repro.core.checkpoint import (
@@ -54,11 +56,13 @@ from repro.core.checkpoint import (
     resume_from_checkpoint,
 )
 from repro.core.objective import CoverageState, max_score, score, score_breakdown
+from repro.core.parallel import SharedInstance, SolveTask, default_workers
 from repro.core.solver import (
     Solution,
     available_algorithms,
     checkpointable_algorithms,
     solve,
+    solve_many,
 )
 from repro.core.sviridenko import sviridenko
 
@@ -69,12 +73,18 @@ __all__ = [
     "SubsetSpec",
     "DenseSimilarity",
     "SparseSimilarity",
+    "IncidenceCSR",
+    "build_incidence",
     "normalize_relevance",
     "CoverageState",
     "score",
     "score_breakdown",
     "max_score",
     "solve",
+    "solve_many",
+    "SolveTask",
+    "SharedInstance",
+    "default_workers",
     "Solution",
     "available_algorithms",
     "checkpointable_algorithms",

@@ -187,9 +187,9 @@ def lazy_greedy(
         # present selection size.
         counter = 0
         heap: List[Tuple[float, int, int, int]] = []
-        stamp = len(state.selected)
+        stamp = state.size
         for p in range(instance.n):
-            if p in state.selected:
+            if p in state:
                 continue
             if spent + costs[p] > budget * (1 + 1e-12):
                 continue
@@ -199,12 +199,17 @@ def lazy_greedy(
             heapq.heappush(heap, (-key, counter, p, stamp))
             counter += 1
 
+    # Hot-loop locals: the selection set is read directly (no frozenset
+    # copies) and its size tracked inline — state.add is the only writer.
+    selected = state._selected
+    size = state.size
+    budget_cap = budget * (1 + 1e-12)
     while heap:
         _fault_check("solver.iteration")
         neg_key, _, p, gain_stamp = heapq.heappop(heap)
-        if p in state.selected:
+        if p in selected:
             continue
-        if spent + costs[p] > budget * (1 + 1e-12):
+        if spent + costs[p] > budget_cap:
             # Cannot afford p now; it can never become affordable again, so
             # drop it permanently.
             if trace:
@@ -212,8 +217,9 @@ def lazy_greedy(
                     TraceEvent("drop", len(run.picks) + 1, p, -neg_key)
                 )
             continue
-        if gain_stamp == len(state.selected):
+        if gain_stamp == size:
             realized = state.add(p)
+            size += 1
             run.selection.append(p)
             run.picks.append((p, realized))
             spent += float(costs[p])
@@ -227,7 +233,7 @@ def lazy_greedy(
             gain = state.gain(p)
             run.evaluations += 1
             key = gain / costs[p] if mode == CB else gain
-            heapq.heappush(heap, (-key, counter, p, len(state.selected)))
+            heapq.heappush(heap, (-key, counter, p, size))
             counter += 1
             if trace:
                 run.trace.append(
@@ -341,12 +347,14 @@ def naive_greedy(
     remaining = [p for p in range(instance.n) if p not in state.selected]
 
     while True:
+        # Spent only ever grows, so a candidate that cannot fit the residual
+        # budget now never fits later: drop it permanently instead of
+        # re-checking (and re-considering) it every iteration.
+        remaining = [p for p in remaining if spent + costs[p] <= budget * (1 + 1e-12)]
         best_p = -1
         best_key = -1.0
         best_gain = 0.0
         for p in remaining:
-            if spent + costs[p] > budget * (1 + 1e-12):
-                continue
             gain = state.gain(p)
             run.evaluations += 1
             key = gain / costs[p] if mode == CB else gain

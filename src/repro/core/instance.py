@@ -44,6 +44,8 @@ __all__ = [
     "PredefinedSubset",
     "SubsetSpec",
     "PARInstance",
+    "IncidenceCSR",
+    "build_incidence",
     "normalize_relevance",
 ]
 
@@ -146,6 +148,19 @@ class DenseSimilarity:
         """Number of stored (nonzero) similarity entries."""
         return int(np.count_nonzero(self.matrix))
 
+    def csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(indptr, cols, vals)`` of the nonzero entries, row-major.
+
+        Row ``i``'s entries occupy ``cols[indptr[i]:indptr[i+1]]`` in the
+        same order :meth:`neighbors` reports them, so flat consumers (the
+        incidence kernels) see exactly what the per-row API sees.
+        """
+        rows, cols = np.nonzero(self.matrix)
+        counts = np.bincount(rows, minlength=len(self))
+        indptr = np.zeros(len(self) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, cols.astype(np.int64, copy=False), self.matrix[rows, cols]
+
     def sparsified(self, tau: float) -> "SparseSimilarity":
         """Return the τ-sparsified copy: entries below ``tau`` become 0."""
         m = len(self)
@@ -226,8 +241,159 @@ class SparseSimilarity:
     def nnz(self) -> int:
         return int(sum(idx.size for idx in self._indices))
 
+    def csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(indptr, cols, vals)`` of the stored entries, row-major.
+
+        Same contract as :meth:`DenseSimilarity.csr`: row ``i``'s entries
+        appear in :meth:`neighbors` order between ``indptr[i]`` and
+        ``indptr[i+1]``.
+        """
+        lens = np.fromiter(
+            (idx.size for idx in self._indices), dtype=np.int64, count=self._size
+        )
+        indptr = np.zeros(self._size + 1, dtype=np.int64)
+        np.cumsum(lens, out=indptr[1:])
+        if self._size:
+            cols = np.concatenate(self._indices)
+            vals = np.concatenate(self._values)
+        else:
+            cols = np.zeros(0, dtype=np.int64)
+            vals = np.zeros(0, dtype=np.float64)
+        return indptr, cols, vals
+
 
 SimilarityBackend = Union[DenseSimilarity, SparseSimilarity]
+
+
+class IncidenceCSR:
+    """Flat photo→(subset, neighbour) incidence arrays (the kernel layout).
+
+    The per-subset coverage vectors ``best[q]`` are laid out back to back
+    in one *slot space* of length ``total_slots`` (subset ``qi`` owns slots
+    ``subset_offsets[qi] : subset_offsets[qi+1]``).  For every photo ``p``
+    and every subset containing it, the neighbour list of ``p``'s local row
+    is stored contiguously as
+
+    * ``slots`` — the neighbour's global slot,
+    * ``sims`` — ``SIM(q, p, neighbour)``,
+    * ``wrel`` — ``W(q) · R(q, neighbour)`` (pre-gathered),
+
+    grouped first by photo (``entry_indptr``), then by membership inside
+    the photo in ascending subset order (``photo_member_indptr`` into
+    ``member_entry_indptr``).  Membership order and per-row entry order
+    match ``PARInstance.membership`` / ``similarity.neighbors`` exactly,
+    which is what lets :class:`repro.core.objective.CoverageState`'s kernel
+    backend reproduce the reference float accumulation bit for bit.
+    """
+
+    __slots__ = (
+        "subset_offsets",
+        "photo_member_indptr",
+        "member_entry_indptr",
+        "entry_indptr",
+        "slots",
+        "sims",
+        "wrel",
+        "total_slots",
+    )
+
+    def __init__(
+        self,
+        subset_offsets: np.ndarray,
+        photo_member_indptr: np.ndarray,
+        member_entry_indptr: np.ndarray,
+        entry_indptr: np.ndarray,
+        slots: np.ndarray,
+        sims: np.ndarray,
+        wrel: np.ndarray,
+    ) -> None:
+        self.subset_offsets = subset_offsets
+        self.photo_member_indptr = photo_member_indptr
+        self.member_entry_indptr = member_entry_indptr
+        self.entry_indptr = entry_indptr
+        self.slots = slots
+        self.sims = sims
+        self.wrel = wrel
+        self.total_slots = int(subset_offsets[-1]) if subset_offsets.size else 0
+
+    @property
+    def nnz(self) -> int:
+        return int(self.slots.size)
+
+
+def build_incidence(subsets: Sequence[PredefinedSubset], n: int) -> IncidenceCSR:
+    """Build the flat incidence CSR for ``n`` photos over ``subsets``.
+
+    Fully vectorised (O(nnz) numpy, no per-entry Python): each subset
+    contributes its similarity CSR; entries are then permuted from
+    subset-major to photo-major order with a gather.
+    """
+    n_subsets = len(subsets)
+    sizes = np.fromiter((len(q) for q in subsets), dtype=np.int64, count=n_subsets)
+    subset_offsets = np.zeros(n_subsets + 1, dtype=np.int64)
+    np.cumsum(sizes, out=subset_offsets[1:])
+
+    if n_subsets == 0:
+        zero = np.zeros(0, dtype=np.int64)
+        return IncidenceCSR(
+            subset_offsets,
+            np.zeros(n + 1, dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+            np.zeros(n + 1, dtype=np.int64),
+            zero,
+            np.zeros(0, dtype=np.float64),
+            np.zeros(0, dtype=np.float64),
+        )
+
+    # Subset-major pass: concatenate every subset's row CSR, converting
+    # local columns to global slots and gathering W(q)·R(q, col) per entry.
+    slot_parts, val_parts, wrel_parts, len_parts = [], [], [], []
+    mem_photo_parts = []
+    for qi, q in enumerate(subsets):
+        indptr, cols, vals = q.similarity.csr()
+        slot_parts.append(cols + subset_offsets[qi])
+        val_parts.append(vals)
+        wrel_parts.append((q.weight * q.relevance)[cols])
+        len_parts.append(indptr[1:] - indptr[:-1])
+        mem_photo_parts.append(q.members)
+
+    all_slots = np.concatenate(slot_parts)
+    all_vals = np.concatenate(val_parts)
+    all_wrel = np.concatenate(wrel_parts)
+    mem_len = np.concatenate(len_parts)
+    mem_photo = np.concatenate(mem_photo_parts)
+
+    src_start = np.zeros(mem_len.size + 1, dtype=np.int64)
+    np.cumsum(mem_len, out=src_start[1:])
+    src_start = src_start[:-1]
+
+    # Photo-major permutation.  A stable sort keeps memberships of the
+    # same photo in ascending subset order — the exact iteration order of
+    # PARInstance.membership, on which bit-identical accumulation rests.
+    order = np.argsort(mem_photo, kind="stable")
+    counts = np.bincount(mem_photo, minlength=n)
+    photo_member_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=photo_member_indptr[1:])
+
+    sorted_len = mem_len[order]
+    member_entry_indptr = np.zeros(order.size + 1, dtype=np.int64)
+    np.cumsum(sorted_len, out=member_entry_indptr[1:])
+    nnz = int(member_entry_indptr[-1])
+
+    within = np.arange(nnz, dtype=np.int64) - np.repeat(
+        member_entry_indptr[:-1], sorted_len
+    )
+    src_idx = np.repeat(src_start[order], sorted_len) + within
+
+    return IncidenceCSR(
+        subset_offsets,
+        photo_member_indptr,
+        member_entry_indptr,
+        member_entry_indptr[photo_member_indptr],
+        all_slots[src_idx],
+        all_vals[src_idx],
+        all_wrel[src_idx],
+    )
 
 
 class PredefinedSubset:
@@ -362,6 +528,8 @@ class PARInstance:
         budget: float,
         retained: Iterable[int] = (),
         embeddings: Optional[np.ndarray] = None,
+        *,
+        incidence: Optional[IncidenceCSR] = None,
     ) -> None:
         self.photos: List[Photo] = list(photos)
         self.n = len(self.photos)
@@ -414,6 +582,14 @@ class PARInstance:
             for local, photo_id in enumerate(q.members):
                 self.membership[int(photo_id)].append((qi, local))
 
+        # Flat incidence CSR: the hot-path layout every gain/add/all_gains
+        # kernel runs on.  ``incidence`` is an internal fast path for
+        # callers that copy an instance without changing subsets (e.g.
+        # with_budget) — the arrays only depend on subsets and n.
+        self.incidence: IncidenceCSR = (
+            incidence if incidence is not None else build_incidence(self.subsets, self.n)
+        )
+
     # ------------------------------------------------------------------
     # Convenience accessors
     # ------------------------------------------------------------------
@@ -460,6 +636,7 @@ class PARInstance:
             budget,
             self.retained,
             embeddings=self.embeddings,
+            incidence=self.incidence,
         )
 
     def with_adjusted_weights(

@@ -14,6 +14,26 @@ array per subset, which makes
   size of ``p``'s neighbour lists (sparse), and
 * an update ``add(p)`` the same.
 
+Two interchangeable evaluation backends are provided:
+
+* ``backend="kernel"`` (default) — runs on the flat incidence CSR
+  precomputed by :class:`~repro.core.instance.PARInstance`
+  (:class:`~repro.core.instance.IncidenceCSR`): per-photo contiguous slices
+  of (slot, similarity, weighted relevance), so ``gain``/``add`` are a
+  handful of vectorised slice ops per membership and ``all_gains`` is one
+  pass of ``np.maximum`` + ``np.add.reduceat`` over the whole entry array,
+  with no per-member Python loop and no sparse special-casing;
+* ``backend="reference"`` — the original per-subset ``neighbors()`` loop,
+  kept as the correctness oracle.
+
+Both backends accumulate floats in the *same order* (per membership, in
+ascending subset order, with identical masked dot products), so a kernel
+state and a reference state fed the same add order agree bit for bit on
+``value`` and the coverage vectors — which is what keeps the checkpoint
+resume proofs of :mod:`repro.core.checkpoint` valid on either backend.
+The default backend can be forced globally with the
+``PHOCUS_COVERAGE_BACKEND`` environment variable.
+
 All solvers in :mod:`repro.core` are built on this structure.  The module
 also exposes :func:`score`, a from-scratch evaluator used by tests to verify
 the incremental state, and :func:`score_breakdown` for per-subset reporting.
@@ -21,13 +41,30 @@ the incremental state, and :func:`score_breakdown` for per-subset reporting.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.instance import PARInstance
+from repro.errors import ConfigurationError
 
-__all__ = ["CoverageState", "score", "score_breakdown", "max_score"]
+__all__ = [
+    "CoverageState",
+    "KERNEL",
+    "REFERENCE",
+    "score",
+    "score_breakdown",
+    "max_score",
+]
+
+KERNEL = "kernel"
+REFERENCE = "reference"
+_BACKENDS = (KERNEL, REFERENCE)
+
+
+def _default_backend() -> str:
+    return os.environ.get("PHOCUS_COVERAGE_BACKEND", KERNEL)
 
 
 class CoverageState:
@@ -39,29 +76,67 @@ class CoverageState:
     objective value is maintained as selections are added, and marginal
     gains are evaluated without mutating the state.
 
+    A ``gain(p)`` query memoises its intermediate masks; an ``add(p)`` at
+    the same selection size reuses them instead of recomputing the deltas
+    (the CELF select step always adds the photo it just refreshed), at no
+    extra cost to queries that are never followed by an add.
+
     Parameters
     ----------
     instance:
         The PAR instance whose objective is tracked.
     selection:
         Optional initial selection (e.g. the retention set ``S0``).
+    backend:
+        ``"kernel"`` (flat CSR kernels, default) or ``"reference"`` (the
+        original per-subset loop).  ``None`` reads
+        ``PHOCUS_COVERAGE_BACKEND`` and falls back to the kernel.
     """
 
-    def __init__(self, instance: PARInstance, selection: Iterable[int] = ()) -> None:
+    def __init__(
+        self,
+        instance: PARInstance,
+        selection: Iterable[int] = (),
+        *,
+        backend: Optional[str] = None,
+    ) -> None:
+        if backend is None:
+            backend = _default_backend()
+        if backend not in _BACKENDS:
+            raise ConfigurationError(
+                f"unknown coverage backend {backend!r}; expected one of {_BACKENDS}"
+            )
+        self.backend = backend
         self.instance = instance
-        # best[qi][j] = max similarity of member j of subset qi to the selection.
-        self._best: List[np.ndarray] = [
-            np.zeros(len(q), dtype=np.float64) for q in instance.subsets
-        ]
+        self._has_sparse = any(q.similarity.is_sparse for q in instance.subsets)
         self._weighted_rel: List[np.ndarray] = [
             q.weight * q.relevance for q in instance.subsets
         ]
+        if backend == KERNEL:
+            inc = instance.incidence
+            self._best_flat: Optional[np.ndarray] = np.zeros(
+                inc.total_slots, dtype=np.float64
+            )
+            # best[qi][j] = max similarity of member j of subset qi to the
+            # selection — views into the flat slot vector, so kernel writes
+            # and the per-subset accessors always agree.
+            off = inc.subset_offsets
+            self._best: List[np.ndarray] = [
+                self._best_flat[off[qi] : off[qi + 1]]
+                for qi in range(len(instance.subsets))
+            ]
+        else:
+            self._best_flat = None
+            self._best = [np.zeros(len(q), dtype=np.float64) for q in instance.subsets]
         self._value = 0.0
         self._selected: set = set()
         # Insertion order of every add(); replaying it on a fresh state
         # reproduces _best and _value bit-for-bit (float additions are
         # order-sensitive), which is what solve checkpoints rely on.
         self._order: List[int] = []
+        # (photo, stamp, total, segments) of the most recent gain() query;
+        # segments hold the already-computed masks an add() can replay.
+        self._gain_cache: Optional[Tuple[int, int, float, list]] = None
         for p in selection:
             self.add(int(p))
 
@@ -74,8 +149,14 @@ class CoverageState:
 
     @property
     def selected(self) -> frozenset:
-        """The photos added so far."""
+        """The photos added so far (a fresh frozenset — use ``in state`` /
+        ``state.size`` in hot loops)."""
         return frozenset(self._selected)
+
+    @property
+    def size(self) -> int:
+        """Number of photos selected (O(1), no copy)."""
+        return len(self._selected)
 
     @property
     def order(self) -> List[int]:
@@ -90,7 +171,86 @@ class CoverageState:
         p = int(photo_id)
         if p in self._selected:
             return 0.0
+        if self.backend == KERNEL:
+            total, segments = self._evaluate_kernel(p)
+        else:
+            total, segments = self._evaluate_reference(p)
+        self._gain_cache = (p, len(self._order), total, segments)
+        return total
+
+    def add(self, photo_id: int) -> float:
+        """Add a photo to the selection; return the realised marginal gain."""
+        p = int(photo_id)
+        if p in self._selected:
+            return 0.0
+        cache = self._gain_cache
+        if cache is not None and cache[0] == p and cache[1] == len(self._order):
+            # The preceding gain(p) already computed the deltas and masks
+            # at this exact selection — replay them instead of recomputing.
+            realized, segments = cache[2], cache[3]
+        elif self.backend == KERNEL:
+            realized, segments = self._evaluate_kernel(p)
+        else:
+            realized, segments = self._evaluate_reference(p)
+        if self.backend == KERNEL:
+            best = self._best_flat
+            for slots, sims, positive in segments:
+                best[slots[positive]] = sims[positive]
+        else:
+            for qi, idx, sims, positive in segments:
+                self._best[qi][idx[positive]] = sims[positive]
+        self._gain_cache = None
+        self._selected.add(p)
+        self._order.append(p)
+        self._value += realized
+        return realized
+
+    # ----------------------------------------------------------- kernels
+
+    def _evaluate_kernel(self, p: int) -> Tuple[float, list]:
+        """Marginal gain of ``p`` on the flat CSR plus replayable segments.
+
+        One gather/subtract/compare pass over the photo's whole entry
+        range, then one masked dot per membership.  Accumulation matches
+        the reference backend bit for bit: delta values are elementwise
+        identical however the range is sliced, each dot runs on the same
+        extracted operands in the same (ascending-subset) order, and
+        all-zero segments contribute exactly nothing either way.
+        """
+        inc = self.instance.incidence
+        s0 = inc.entry_indptr[p]
+        e0 = inc.entry_indptr[p + 1]
+        if s0 == e0:
+            return 0.0, []
+        slots = inc.slots[s0:e0]
+        sims = inc.sims[s0:e0]
+        delta = sims - self._best_flat[slots]
+        positive = delta > 0
+        if not positive.any():
+            return 0.0, []
+        wrel = inc.wrel[s0:e0]
+        ms = inc.photo_member_indptr[p]
+        me = inc.photo_member_indptr[p + 1]
+        if me - ms == 1:
+            return float(wrel[positive] @ delta[positive]), [(slots, sims, positive)]
+        eptr = inc.member_entry_indptr
         total = 0.0
+        for k in range(ms, me):
+            s = eptr[k] - s0
+            e = eptr[k + 1] - s0
+            pseg = positive[s:e]
+            dsel = delta[s:e][pseg]
+            if dsel.size:
+                total += float(wrel[s:e][pseg] @ dsel)
+        # The add-replay segment covers the whole entry range at once:
+        # memberships live in disjoint subsets, so their slots never
+        # collide and one masked assignment equals the per-segment writes.
+        return total, [(slots, sims, positive)]
+
+    def _evaluate_reference(self, p: int) -> Tuple[float, list]:
+        """The original per-subset ``neighbors()`` evaluation (oracle)."""
+        total = 0.0
+        segments: list = []
         for qi, local in self.instance.membership[p]:
             subset = self.instance.subsets[qi]
             best = self._best[qi]
@@ -100,17 +260,52 @@ class CoverageState:
             positive = delta > 0
             if np.any(positive):
                 total += float(wrel[idx[positive]] @ delta[positive])
-        return total
+                segments.append((qi, idx, sims, positive))
+        return total, segments
 
     def all_gains(self) -> np.ndarray:
         """Marginal gains of every photo at once (vectorised).
 
-        Equivalent to ``[self.gain(p) for p in range(n)]`` but computed
-        per subset with one matrix operation, which is substantially
-        faster when many candidates must be ranked (online bounds,
-        branch-and-bound root ordering, batch heuristics).  Selected
-        photos report 0.
+        Equivalent to ``[self.gain(p) for p in range(n)]`` but computed in
+        bulk, which is substantially faster when many candidates must be
+        ranked (online bounds, branch-and-bound root ordering, batch
+        heuristics).  The kernel backend runs one masked
+        multiply + ``np.add.reduceat`` pass over the flat entry array —
+        dense and sparse instances take the identical code path; the
+        reference backend keeps the original per-subset evaluation.
+        Selected photos report 0.
         """
+        if self.backend == KERNEL:
+            gains = self._all_gains_kernel()
+        else:
+            gains = self._all_gains_reference()
+        if self._selected:
+            gains[list(self._selected)] = 0.0
+        return gains
+
+    def _all_gains_kernel(self) -> np.ndarray:
+        inc = self.instance.incidence
+        gains = np.zeros(self.instance.n, dtype=np.float64)
+        if inc.slots.size == 0:
+            return gains
+        if not self._has_sparse:
+            # All-dense instances: the per-subset BLAS matmul beats the
+            # flat gather+reduceat pass (contiguous SIMD vs indexed loads),
+            # so delegate to it.  Sparse/mixed instances take the flat
+            # path, which has no per-row Python loop.
+            return self._all_gains_reference()
+        delta = inc.sims - self._best_flat[inc.slots]
+        np.maximum(delta, 0.0, out=delta)
+        delta *= inc.wrel
+        starts = inc.entry_indptr[:-1]
+        nonempty = starts < inc.entry_indptr[1:]
+        # reduceat over the nonempty per-photo ranges: consecutive nonempty
+        # starts abut (empty ranges have zero width), so each segment ends
+        # exactly at the next start.
+        gains[nonempty] = np.add.reduceat(delta, starts[nonempty])
+        return gains
+
+    def _all_gains_reference(self) -> np.ndarray:
         gains = np.zeros(self.instance.n, dtype=np.float64)
         for qi, subset in enumerate(self.instance.subsets):
             best = self._best[qi]
@@ -132,41 +327,31 @@ class CoverageState:
                         else 0.0
                     )
             np.add.at(gains, subset.members, local_gains)
-        if self._selected:
-            gains[list(self._selected)] = 0.0
         return gains
 
-    def add(self, photo_id: int) -> float:
-        """Add a photo to the selection; return the realised marginal gain."""
-        p = int(photo_id)
-        if p in self._selected:
-            return 0.0
-        realized = 0.0
-        for qi, local in self.instance.membership[p]:
-            subset = self.instance.subsets[qi]
-            best = self._best[qi]
-            wrel = self._weighted_rel[qi]
-            idx, sims = subset.similarity.neighbors(local)
-            delta = sims - best[idx]
-            positive = delta > 0
-            if np.any(positive):
-                pos_idx = idx[positive]
-                realized += float(wrel[pos_idx] @ delta[positive])
-                best[pos_idx] = sims[positive]
-        self._selected.add(p)
-        self._order.append(p)
-        self._value += realized
-        return realized
+    # ------------------------------------------------------------------
 
     def copy(self) -> "CoverageState":
         """Deep copy (shares the immutable instance, copies mutable state)."""
         clone = CoverageState.__new__(CoverageState)
+        clone.backend = self.backend
         clone.instance = self.instance
-        clone._best = [b.copy() for b in self._best]
+        clone._has_sparse = self._has_sparse
         clone._weighted_rel = self._weighted_rel
+        if self.backend == KERNEL:
+            clone._best_flat = self._best_flat.copy()
+            off = self.instance.incidence.subset_offsets
+            clone._best = [
+                clone._best_flat[off[qi] : off[qi + 1]]
+                for qi in range(len(self.instance.subsets))
+            ]
+        else:
+            clone._best_flat = None
+            clone._best = [b.copy() for b in self._best]
         clone._value = self._value
         clone._selected = set(self._selected)
         clone._order = list(self._order)
+        clone._gain_cache = None
         return clone
 
     def subset_value(self, qi: int) -> float:

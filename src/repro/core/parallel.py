@@ -1,0 +1,387 @@
+"""Shared-memory parallel batch solving.
+
+A Fig 5-style experiment runs many *independent* solves over the same
+archive — a budget sweep, UC/CB pairs, an algorithm grid.  Naively fanning
+those out with :class:`~concurrent.futures.ProcessPoolExecutor` would
+pickle the full instance (dense similarity matrices included) once per
+task, which for archive-scale instances costs more than the solve itself.
+
+This module instead places every large array of a :class:`PARInstance` —
+costs, per-subset similarity backends, and the flat incidence CSR the
+kernels run on — into a single :mod:`multiprocessing.shared_memory` block.
+Workers attach by *name* and rebuild the instance as zero-copy numpy views
+over the mapped buffer; only a small spec dict (names, weights, offsets)
+crosses the pickle boundary per task.
+
+Lifecycle: the parent creates the block, runs the batch, then closes *and
+unlinks* it in a ``finally`` — the segment is removed even when a task
+fails.  Workers attach once per block name and never unlink; if a worker
+crashes, its mapping dies with the process and the parent's ``finally``
+still reclaims the segment.  (On Python < 3.13 worker attachment also
+registers with the resource tracker; pool workers share the parent's
+tracker process, whose registry is a set, so the duplicate registration is
+harmless and the parent's unlink clears it.)
+
+Determinism: results come back in task order regardless of completion
+order, and ``workers=1`` runs the identical code path inline, so a batch
+is reproducible at any worker count.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_context, shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.instance import (
+    DenseSimilarity,
+    IncidenceCSR,
+    PARInstance,
+    Photo,
+    PredefinedSubset,
+    SimilarityBackend,
+    SparseSimilarity,
+)
+from repro.core.solver import Solution, available_algorithms, solve
+from repro.errors import ConfigurationError, InfeasibleError
+
+__all__ = [
+    "SolveTask",
+    "SharedInstance",
+    "solve_batch",
+    "default_workers",
+]
+
+
+@dataclass(frozen=True)
+class SolveTask:
+    """One unit of a batch: an algorithm run with optional overrides.
+
+    ``budget`` overrides the shared instance's budget (the incidence CSR
+    and similarities are budget-independent, so a sweep shares one
+    instance); ``seed`` seeds the randomised baselines; ``label`` is an
+    opaque tag echoed into ``Solution.extras["task_label"]`` so grid
+    callers can route results without positional bookkeeping.
+    """
+
+    algorithm: str = "phocus"
+    budget: Optional[float] = None
+    certificate: bool = False
+    seed: Optional[int] = None
+    label: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "budget": self.budget,
+            "certificate": self.certificate,
+            "seed": self.seed,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "SolveTask":
+        return cls(
+            algorithm=str(doc.get("algorithm", "phocus")),
+            budget=None if doc.get("budget") is None else float(doc["budget"]),
+            certificate=bool(doc.get("certificate", False)),
+            seed=None if doc.get("seed") is None else int(doc["seed"]),
+            label=str(doc.get("label", "")),
+        )
+
+
+def default_workers() -> int:
+    """Worker count matched to the visible CPUs (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+# ---------------------------------------------------------------------------
+# Packing: instance -> one shared-memory block + picklable spec
+# ---------------------------------------------------------------------------
+
+
+class _Packer:
+    """Accumulates arrays into one contiguous 8-byte-aligned layout."""
+
+    def __init__(self) -> None:
+        self._pending: List[Tuple[int, np.ndarray]] = []
+        self.size = 0
+
+    def add(self, arr: np.ndarray) -> Dict[str, object]:
+        arr = np.ascontiguousarray(arr)
+        ref = {
+            "offset": self.size,
+            "shape": tuple(int(s) for s in arr.shape),
+            "dtype": arr.dtype.str,
+        }
+        self._pending.append((self.size, arr))
+        self.size = (self.size + arr.nbytes + 7) & ~7
+        return ref
+
+    def write_into(self, shm: shared_memory.SharedMemory) -> None:
+        for offset, arr in self._pending:
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=offset)
+            view[...] = arr
+        self._pending.clear()
+
+
+def _view(shm: shared_memory.SharedMemory, ref: Dict[str, object]) -> np.ndarray:
+    return np.ndarray(
+        ref["shape"], dtype=np.dtype(ref["dtype"]), buffer=shm.buf, offset=ref["offset"]
+    )
+
+
+class SharedInstance:
+    """A :class:`PARInstance` exported into one shared-memory segment.
+
+    The constructor packs every array; :attr:`name` and :attr:`spec` are
+    the (cheap, picklable) handle workers need to :meth:`attach`.  Use as a
+    context manager — exit closes *and unlinks* the segment.  Workers that
+    attached keep their mapping until process exit (POSIX keeps unlinked
+    segments alive while mapped), so unlinking early is safe.
+    """
+
+    def __init__(self, instance: PARInstance) -> None:
+        packer = _Packer()
+        subset_specs: List[Dict[str, object]] = []
+        for q in instance.subsets:
+            sim: SimilarityBackend = q.similarity
+            if sim.is_sparse:
+                indptr, cols, vals = sim.csr()
+                sim_spec: Dict[str, object] = {
+                    "kind": "sparse",
+                    "size": len(sim),
+                    "indptr": packer.add(indptr),
+                    "cols": packer.add(cols),
+                    "vals": packer.add(vals),
+                }
+            else:
+                sim_spec = {"kind": "dense", "matrix": packer.add(sim.matrix)}
+            subset_specs.append(
+                {
+                    "subset_id": q.subset_id,
+                    "weight": q.weight,
+                    "members": packer.add(q.members),
+                    "relevance": packer.add(q.relevance),
+                    "similarity": sim_spec,
+                }
+            )
+        inc = instance.incidence
+        self.spec: Dict[str, object] = {
+            "n": instance.n,
+            "budget": instance.budget,
+            "retained": sorted(instance.retained),
+            "costs": packer.add(instance.costs),
+            "subsets": subset_specs,
+            "incidence": {
+                "subset_offsets": packer.add(inc.subset_offsets),
+                "photo_member_indptr": packer.add(inc.photo_member_indptr),
+                "member_entry_indptr": packer.add(inc.member_entry_indptr),
+                "entry_indptr": packer.add(inc.entry_indptr),
+                "slots": packer.add(inc.slots),
+                "sims": packer.add(inc.sims),
+                "wrel": packer.add(inc.wrel),
+            },
+        }
+        self._shm = shared_memory.SharedMemory(create=True, size=max(packer.size, 1))
+        packer.write_into(self._shm)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    def close(self) -> None:
+        """Unmap and remove the segment (idempotent)."""
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - live views in this process
+            return
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __enter__(self) -> "SharedInstance":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Worker side: attach by name, rebuild as views
+# ---------------------------------------------------------------------------
+
+# One mapping per segment name per worker process; released at process exit.
+_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    shm = _ATTACHED.get(name)
+    if shm is None:
+        try:
+            shm = shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:
+            # Python < 3.13 has no track flag and registers the attachment
+            # with the resource tracker.  Pool workers share the parent's
+            # tracker process (its pipe is inherited through fork/spawn
+            # preparation), whose registry is a set — the duplicate
+            # registration is a no-op and the parent's unlink clears it, so
+            # no unregister gymnastics are needed.
+            shm = shared_memory.SharedMemory(name=name)
+        _ATTACHED[name] = shm
+    return shm
+
+
+def attach_instance(
+    name: str, spec: Dict[str, object], *, budget: Optional[float] = None
+) -> PARInstance:
+    """Rebuild the shared instance as zero-copy views (worker side).
+
+    Bypasses :class:`PARInstance` validation — the parent validated the
+    instance before packing, and re-validating would force copies.  Photo
+    labels/metadata and embeddings are not shipped (no solver reads them);
+    the budget override re-checks retention-set feasibility so a sweep
+    budget below ``C(S0)`` fails exactly like a normal construction.
+    """
+    shm = _attach(name)
+    n = int(spec["n"])
+    costs = _view(shm, spec["costs"])
+
+    subsets: List[PredefinedSubset] = []
+    for s in spec["subsets"]:
+        sim_spec = s["similarity"]
+        if sim_spec["kind"] == "sparse":
+            indptr = _view(shm, sim_spec["indptr"])
+            cols = _view(shm, sim_spec["cols"])
+            vals = _view(shm, sim_spec["vals"])
+            size = int(sim_spec["size"])
+            backend: SimilarityBackend = SparseSimilarity.__new__(SparseSimilarity)
+            backend._size = size
+            backend._indices = [cols[indptr[i] : indptr[i + 1]] for i in range(size)]
+            backend._values = [vals[indptr[i] : indptr[i + 1]] for i in range(size)]
+        else:
+            backend = DenseSimilarity.__new__(DenseSimilarity)
+            backend.matrix = _view(shm, sim_spec["matrix"])
+        subset = PredefinedSubset.__new__(PredefinedSubset)
+        subset.subset_id = s["subset_id"]
+        subset.weight = float(s["weight"])
+        subset.members = _view(shm, s["members"])
+        subset.relevance = _view(shm, s["relevance"])
+        subset.similarity = backend
+        subset._local = {int(p): i for i, p in enumerate(subset.members)}
+        subsets.append(subset)
+
+    inst = PARInstance.__new__(PARInstance)
+    inst.photos = [Photo(photo_id=i, cost=float(costs[i])) for i in range(n)]
+    inst.n = n
+    inst.costs = costs
+    inst.budget = float(spec["budget"] if budget is None else budget)
+    inst.subsets = subsets
+    inst.retained = frozenset(int(p) for p in spec["retained"])
+    inst.embeddings = None
+    inst.membership = [[] for _ in range(n)]
+    for qi, q in enumerate(subsets):
+        for local, photo_id in enumerate(q.members):
+            inst.membership[int(photo_id)].append((qi, local))
+    inc = spec["incidence"]
+    inst.incidence = IncidenceCSR(
+        _view(shm, inc["subset_offsets"]),
+        _view(shm, inc["photo_member_indptr"]),
+        _view(shm, inc["member_entry_indptr"]),
+        _view(shm, inc["entry_indptr"]),
+        _view(shm, inc["slots"]),
+        _view(shm, inc["sims"]),
+        _view(shm, inc["wrel"]),
+    )
+    retained_cost = inst.cost_of(inst.retained)
+    if retained_cost > inst.budget * (1 + 1e-12):
+        raise InfeasibleError(
+            f"retention set costs {retained_cost:.1f} bytes, which exceeds "
+            f"the budget of {inst.budget:.1f} bytes"
+        )
+    return inst
+
+
+def _run_task(instance: PARInstance, task: SolveTask) -> Solution:
+    """Run one task (both the serial path and workers call exactly this)."""
+    if task.budget is not None and task.budget != instance.budget:
+        instance = instance.with_budget(task.budget)
+    rng = None if task.seed is None else np.random.default_rng(task.seed)
+    solution = solve(
+        instance, task.algorithm, certificate=task.certificate, rng=rng
+    )
+    if task.label:
+        solution.extras["task_label"] = task.label
+    return solution
+
+
+def _worker_run(name: str, spec: Dict[str, object], task: SolveTask) -> Solution:
+    instance = attach_instance(name, spec, budget=task.budget)
+    return _run_task(instance, task)
+
+
+# ---------------------------------------------------------------------------
+# The batch driver
+# ---------------------------------------------------------------------------
+
+
+def solve_batch(
+    instance: PARInstance,
+    tasks: Sequence[SolveTask],
+    *,
+    workers: Optional[int] = None,
+) -> List[Solution]:
+    """Solve independent tasks over one instance, results in task order.
+
+    ``workers=None`` or ``1`` (or a single task) runs inline — no
+    processes, no shared memory, identical code path per task.  With more
+    workers the instance is packed once into shared memory and tasks fan
+    out over a ``ProcessPoolExecutor`` (``fork`` context where available,
+    so workers skip interpreter + import start-up).
+    """
+    tasks = [t if isinstance(t, SolveTask) else SolveTask(**t) for t in tasks]
+    known = set(available_algorithms())
+    for t in tasks:
+        if t.algorithm not in known:
+            raise ConfigurationError(
+                f"unknown algorithm {t.algorithm!r}; available: {sorted(known)}"
+            )
+        if t.budget is not None and not (t.budget > 0):
+            raise ConfigurationError(
+                f"task budget must be positive, got {t.budget!r}"
+            )
+    if not tasks:
+        return []
+    if workers is not None and workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+
+    if workers is None or workers <= 1 or len(tasks) == 1:
+        return [_run_task(instance, t) for t in tasks]
+
+    shared = SharedInstance(instance)
+    try:
+        try:
+            ctx = get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            ctx = get_context()
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(tasks)), mp_context=ctx
+        ) as pool:
+            futures = [
+                pool.submit(_worker_run, shared.name, shared.spec, t) for t in tasks
+            ]
+            return [f.result() for f in futures]
+    finally:
+        shared.close()

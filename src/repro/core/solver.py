@@ -28,6 +28,7 @@ from repro.errors import ConfigurationError, ReproError, TransientSolveError
 __all__ = [
     "Solution",
     "solve",
+    "solve_many",
     "available_algorithms",
     "checkpointable_algorithms",
     "classify_failure",
@@ -266,3 +267,17 @@ def solve(
         ratio_certificate=ratio,
         extras=extras,
     )
+
+
+def solve_many(instance: PARInstance, tasks, *, workers: Optional[int] = None) -> List[Solution]:
+    """Solve a batch of independent tasks over one instance.
+
+    ``tasks`` is a sequence of :class:`repro.core.parallel.SolveTask` (or
+    dicts with the same fields).  With ``workers > 1`` the instance is
+    exported once into shared memory and solves fan out over a process
+    pool; results always come back in task order.  See
+    :mod:`repro.core.parallel` for the mechanics.
+    """
+    from repro.core.parallel import solve_batch
+
+    return solve_batch(instance, tasks, workers=workers)

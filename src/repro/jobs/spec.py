@@ -92,6 +92,11 @@ class JobSpec:
     timeout_seconds: Optional[float] = None
     max_attempts: int = 3
     checkpoint_every: Optional[int] = None
+    # A budget sweep: solve the same instance once per budget (a Fig 5
+    # curve as one job).  parallel_workers > 1 fans the sweep out over the
+    # shared-memory process pool (repro.core.parallel).
+    budgets: Optional[Tuple[float, ...]] = None
+    parallel_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.job_id:
@@ -104,6 +109,15 @@ class JobSpec:
             raise ValidationError("timeout_seconds must be positive")
         if self.checkpoint_every is not None and self.checkpoint_every < 1:
             raise ValidationError("checkpoint_every must be >= 1")
+        if self.budgets is not None:
+            budgets = tuple(float(b) for b in self.budgets)
+            if not budgets:
+                raise ValidationError("budgets must be non-empty when given")
+            if any(not (b > 0) for b in budgets):
+                raise ValidationError("every sweep budget must be positive")
+            object.__setattr__(self, "budgets", budgets)
+        if self.parallel_workers is not None and self.parallel_workers < 1:
+            raise ValidationError("parallel_workers must be >= 1")
 
     def solve_payload(self) -> Dict[str, Any]:
         """The equivalent ``POST /solve`` request body."""
@@ -117,6 +131,10 @@ class JobSpec:
         }
         if self.checkpoint_every is not None:
             payload["checkpoint_every"] = self.checkpoint_every
+        if self.budgets is not None:
+            payload["budgets"] = list(self.budgets)
+        if self.parallel_workers is not None:
+            payload["parallel_workers"] = self.parallel_workers
         return payload
 
     def to_dict(self) -> Dict[str, Any]:
@@ -133,6 +151,8 @@ class JobSpec:
             "timeout_seconds": self.timeout_seconds,
             "max_attempts": self.max_attempts,
             "checkpoint_every": self.checkpoint_every,
+            "budgets": None if self.budgets is None else list(self.budgets),
+            "parallel_workers": self.parallel_workers,
         }
 
     @classmethod
@@ -151,6 +171,16 @@ class JobSpec:
                 timeout_seconds=doc.get("timeout_seconds"),
                 max_attempts=int(doc.get("max_attempts", 3)),
                 checkpoint_every=doc.get("checkpoint_every"),
+                budgets=(
+                    None
+                    if doc.get("budgets") is None
+                    else tuple(float(b) for b in doc["budgets"])
+                ),
+                parallel_workers=(
+                    None
+                    if doc.get("parallel_workers") is None
+                    else int(doc["parallel_workers"])
+                ),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ValidationError(f"malformed job spec document: {exc!r}") from exc

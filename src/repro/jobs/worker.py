@@ -41,8 +41,18 @@ def execute_solve_payload(
 
     The payload vocabulary: ``instance`` (wire-format dict, required),
     ``algorithm``, ``tau``, ``sparsify_method``, ``certificate``, ``seed``,
-    ``checkpoint_every``.  The reported ``value`` is always the *true*
-    objective on the original (unsparsified) instance.
+    ``checkpoint_every``, ``budgets``, ``parallel_workers``.  The reported
+    ``value`` is always the *true* objective on the original
+    (unsparsified) instance.
+
+    ``budgets`` turns the request into a *sweep*: the (possibly
+    sparsified) instance is solved once per budget via
+    :func:`repro.core.solver.solve_many` — fanned out over the
+    shared-memory process pool when ``parallel_workers > 1`` — and the
+    response is ``{"sweep": true, "solutions": [...]}`` with one solution
+    document per budget, in budget order.  Sweeps are not checkpointable
+    (each member solve is short; retries re-run the whole sweep), so the
+    crash-safety hooks are ignored for them.
 
     ``checkpoint_sink`` / ``resume_from`` thread the crash-safety hooks
     through to :func:`repro.core.solver.solve`.  Resume is sound even
@@ -73,6 +83,19 @@ def execute_solve_payload(
             "kept_fraction": report.kept_fraction,
             "checked_fraction": report.checked_fraction,
         }
+    budgets = payload.get("budgets")
+    if budgets:
+        return _execute_sweep(
+            instance,
+            solver_instance,
+            sparsify_doc,
+            algorithm=algorithm,
+            budgets=[float(b) for b in budgets],
+            certificate=certificate,
+            seed=seed,
+            workers=payload.get("parallel_workers"),
+        )
+
     # checkpoint_every is meaningless without somewhere to put the
     # snapshots — the synchronous /solve path has no sink, so drop it.
     # The hooks are also best-effort: for algorithms that cannot
@@ -111,6 +134,54 @@ def execute_solve_payload(
     doc = solution_to_dict(solution)
     doc["sparsify"] = sparsify_doc
     return doc
+
+
+def _execute_sweep(
+    instance,
+    solver_instance,
+    sparsify_doc: Optional[Dict[str, Any]],
+    *,
+    algorithm: str,
+    budgets: list,
+    certificate: bool,
+    seed: Optional[int],
+    workers: Optional[int],
+) -> Dict[str, Any]:
+    """Run a budget sweep through :func:`solve_many`; one doc per budget.
+
+    True-value scoring and certificates follow the single-solve semantics
+    exactly: each member's ``value`` is re-scored on the original
+    (unsparsified) instance, and its certificate bound is computed there
+    under the member's budget.
+    """
+    from repro.core.parallel import SolveTask
+    from repro.core.solver import solve_many
+
+    tasks = [
+        SolveTask(algorithm=algorithm, budget=b, seed=seed, label=f"budget={b:g}")
+        for b in budgets
+    ]
+    solutions = solve_many(solver_instance, tasks, workers=workers)
+    docs = []
+    for budget, solution in zip(budgets, solutions):
+        if solver_instance is not instance:
+            solution.value = score(instance, solution.selection)
+        if certificate:
+            from repro.core.bounds import online_bound
+
+            bound = online_bound(instance.with_budget(budget), solution.selection)
+            solution.ratio_certificate = (
+                1.0 if bound <= 0 else min(1.0, solution.value / bound)
+            )
+        docs.append(solution_to_dict(solution))
+    return {
+        "sweep": True,
+        "algorithm": algorithm,
+        "budgets": budgets,
+        "parallel_workers": workers,
+        "solutions": docs,
+        "sparsify": sparsify_doc,
+    }
 
 
 def run_with_timeout(

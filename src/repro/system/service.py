@@ -132,6 +132,16 @@ def _submit_job(
                 if payload.get("checkpoint_every") is not None
                 else None
             ),
+            budgets=(
+                tuple(float(b) for b in payload["budgets"])
+                if payload.get("budgets") is not None
+                else None
+            ),
+            parallel_workers=(
+                int(payload["parallel_workers"])
+                if payload.get("parallel_workers") is not None
+                else None
+            ),
         )
     except (TypeError, ValueError) as exc:
         if isinstance(exc, ValidationError):

@@ -1,0 +1,216 @@
+"""Kernel-vs-reference backend equivalence — exact, not approximate.
+
+The flat-CSR kernel backend of :class:`CoverageState` must be a perfect
+stand-in for the original per-subset reference path: same add order ⇒
+bit-identical ``value``, coverage vectors, marginal gains, and — because
+heap keys flow into checkpoint documents — byte-identical checkpoints.
+These are the properties the PR-2 resume proofs and the CI bench-smoke
+gate rely on, so everything here asserts ``==``, never ``approx``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checkpoint import MemoryCheckpointSink, encode_record
+from repro.core.greedy import CB, UC, lazy_greedy, main_algorithm
+from repro.core.instance import build_incidence
+from repro.core.objective import KERNEL, REFERENCE, CoverageState, score
+from repro.errors import ConfigurationError
+from repro.sparsify.threshold import threshold_sparsify
+from tests.conftest import random_instance
+
+
+def _variants(seed: int, **kwargs):
+    dense = random_instance(seed, **kwargs)
+    sparse, _ = threshold_sparsify(dense, 0.3)
+    return [("dense", dense), ("sparse", sparse)]
+
+
+class TestIncidenceLayout:
+    def test_entry_ranges_partition_the_nnz(self):
+        inst = random_instance(0, n_photos=20, n_subsets=5)
+        inc = inst.incidence
+        assert inc.total_slots == sum(len(q) for q in inst.subsets)
+        assert inc.entry_indptr[0] == 0
+        assert inc.entry_indptr[-1] == inc.nnz
+        assert inc.nnz == sum(q.similarity.nnz() for q in inst.subsets)
+
+    def test_membership_order_matches_instance_membership(self):
+        inst = random_instance(1, n_photos=18, n_subsets=6)
+        inc = inst.incidence
+        off = inc.subset_offsets
+        for p in range(inst.n):
+            ms, me = inc.photo_member_indptr[p], inc.photo_member_indptr[p + 1]
+            assert me - ms == len(inst.membership[p])
+            for k, (qi, local) in zip(range(ms, me), inst.membership[p]):
+                s, e = inc.member_entry_indptr[k], inc.member_entry_indptr[k + 1]
+                idx, sims = inst.subsets[qi].similarity.neighbors(local)
+                assert np.array_equal(inc.slots[s:e] - off[qi], idx)
+                assert np.array_equal(inc.sims[s:e], sims)
+
+    def test_with_budget_shares_the_incidence(self):
+        inst = random_instance(2)
+        assert inst.with_budget(inst.budget * 0.5).incidence is inst.incidence
+
+    def test_build_incidence_empty_subsets(self):
+        inc = build_incidence([], 5)
+        assert inc.total_slots == 0 and inc.nnz == 0
+        assert inc.photo_member_indptr.shape == (6,)
+
+
+class TestBackendEquivalence:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoverageState(random_instance(0), backend="vectorized")
+
+    def test_env_var_selects_default_backend(self, monkeypatch):
+        inst = random_instance(0)
+        monkeypatch.setenv("PHOCUS_COVERAGE_BACKEND", REFERENCE)
+        assert CoverageState(inst).backend == REFERENCE
+        monkeypatch.delenv("PHOCUS_COVERAGE_BACKEND")
+        assert CoverageState(inst).backend == KERNEL
+
+    @settings(max_examples=25)
+    @given(
+        seed=st.integers(0, 50),
+        n_photos=st.integers(6, 28),
+        n_subsets=st.integers(2, 7),
+        order_seed=st.integers(0, 1000),
+    )
+    def test_same_add_order_is_bit_identical(
+        self, seed, n_photos, n_subsets, order_seed
+    ):
+        for _, inst in _variants(seed, n_photos=n_photos, n_subsets=n_subsets):
+            kernel = CoverageState(inst, backend=KERNEL)
+            reference = CoverageState(inst, backend=REFERENCE)
+            rng = np.random.default_rng(order_seed)
+            order = [int(p) for p in rng.permutation(inst.n)[: inst.n // 2 + 1]]
+            for p in order:
+                assert kernel.gain(p) == reference.gain(p)
+                assert kernel.add(p) == reference.add(p)
+                assert kernel.value == reference.value
+            for qi in range(len(inst.subsets)):
+                assert np.array_equal(
+                    kernel.coverage_of(qi), reference.coverage_of(qi)
+                )
+                assert kernel.subset_value(qi) == reference.subset_value(qi)
+
+    @settings(max_examples=10)
+    @given(seed=st.integers(0, 30))
+    def test_value_matches_from_scratch_score(self, seed):
+        for _, inst in _variants(seed, n_photos=16, n_subsets=5):
+            selection = list(range(0, inst.n, 2))
+            for backend in (KERNEL, REFERENCE):
+                state = CoverageState(inst, selection, backend=backend)
+                assert state.value == pytest.approx(
+                    score(inst, selection), rel=1e-12
+                )
+
+    @settings(max_examples=10)
+    @given(seed=st.integers(0, 30), order_seed=st.integers(0, 100))
+    def test_all_gains_matches_per_photo_gain(self, seed, order_seed):
+        for _, inst in _variants(seed, n_photos=14, n_subsets=4):
+            rng = np.random.default_rng(order_seed)
+            selection = [int(p) for p in rng.permutation(inst.n)[: inst.n // 3]]
+            for backend in (KERNEL, REFERENCE):
+                state = CoverageState(inst, selection, backend=backend)
+                gains = state.all_gains()
+                expected = np.array([state.gain(p) for p in range(inst.n)])
+                np.testing.assert_allclose(gains, expected, rtol=1e-12, atol=1e-12)
+
+    def test_gain_cache_add_matches_cold_add(self):
+        # add() right after gain() (the CELF select step) replays the
+        # cached masks; an add with no preceding gain recomputes.  Both
+        # must land in exactly the same state.
+        inst = random_instance(4, n_photos=20, n_subsets=5)
+        for backend in (KERNEL, REFERENCE):
+            warm = CoverageState(inst, backend=backend)
+            cold = CoverageState(inst, backend=backend)
+            for p in range(0, inst.n, 2):
+                g = warm.gain(p)
+                assert warm.add(p) == g
+                cold.add(p)
+            assert warm.value == cold.value
+            for qi in range(len(inst.subsets)):
+                assert np.array_equal(warm.coverage_of(qi), cold.coverage_of(qi))
+
+    def test_stale_gain_cache_is_not_replayed(self):
+        # gain(a); add(b); add(a) — the cached segments for a are stale
+        # (computed before b joined) and must be discarded.
+        inst = random_instance(5, n_photos=20, n_subsets=5)
+        for backend in (KERNEL, REFERENCE):
+            state = CoverageState(inst, backend=backend)
+            state.gain(0)
+            state.add(1)
+            state.add(0)
+            oracle = CoverageState(inst, [1, 0], backend=REFERENCE)
+            assert state.value == oracle.value
+            for qi in range(len(inst.subsets)):
+                assert np.array_equal(state.coverage_of(qi), oracle.coverage_of(qi))
+
+    def test_copy_is_independent_and_exact(self):
+        inst = random_instance(6, n_photos=18, n_subsets=5)
+        for backend in (KERNEL, REFERENCE):
+            state = CoverageState(inst, [0, 3], backend=backend)
+            clone = state.copy()
+            assert clone.value == state.value
+            clone.add(5)
+            assert 5 not in state
+            assert state.value == CoverageState(inst, [0, 3], backend=backend).value
+            for qi in range(len(inst.subsets)):
+                assert np.array_equal(
+                    state.coverage_of(qi),
+                    CoverageState(inst, [0, 3], backend=backend).coverage_of(qi),
+                )
+
+
+class TestSolverBitIdentity:
+    @pytest.mark.parametrize("mode", [UC, CB])
+    def test_lazy_greedy_identical_across_backends(self, mode):
+        for seed in range(4):
+            for _, inst in _variants(seed, n_photos=24, n_subsets=6):
+                runs = {}
+                for backend in (KERNEL, REFERENCE):
+                    state = CoverageState(inst, inst.retained, backend=backend)
+                    runs[backend] = lazy_greedy(inst, mode, state=state)
+                assert runs[KERNEL].selection == runs[REFERENCE].selection
+                assert runs[KERNEL].value == runs[REFERENCE].value
+                assert runs[KERNEL].picks == runs[REFERENCE].picks
+                assert runs[KERNEL].evaluations == runs[REFERENCE].evaluations
+
+    def test_main_algorithm_identical_across_backends(self, monkeypatch):
+        for seed in range(3):
+            for _, inst in _variants(seed, n_photos=22, n_subsets=6):
+                runs = {}
+                for backend in (KERNEL, REFERENCE):
+                    monkeypatch.setenv("PHOCUS_COVERAGE_BACKEND", backend)
+                    runs[backend] = main_algorithm(inst)
+                assert runs[KERNEL].selection == runs[REFERENCE].selection
+                assert runs[KERNEL].value == runs[REFERENCE].value
+                assert runs[KERNEL].picks == runs[REFERENCE].picks
+
+    @pytest.mark.parametrize("mode", [UC, CB])
+    def test_checkpoint_bytes_identical_across_backends(self, mode):
+        # Checkpoints embed heap keys (i.e. gain values) and realised
+        # picks; backend equality must survive all the way into the CRC32
+        # wire encoding or resume proofs would be backend-dependent.
+        for seed in range(3):
+            for _, inst in _variants(seed, n_photos=24, n_subsets=6):
+                encoded = {}
+                for backend in (KERNEL, REFERENCE):
+                    sink = MemoryCheckpointSink()
+                    state = CoverageState(inst, inst.retained, backend=backend)
+                    lazy_greedy(
+                        inst,
+                        mode,
+                        state=state,
+                        checkpoint_every=2,
+                        checkpoint_sink=sink,
+                    )
+                    encoded[backend] = [encode_record(doc) for doc in sink.docs]
+                assert encoded[KERNEL], "expected at least one checkpoint"
+                assert encoded[KERNEL] == encoded[REFERENCE]

@@ -1,0 +1,141 @@
+"""Shared-memory batch solving (:mod:`repro.core.parallel`).
+
+The parallel path must be an invisible optimisation: a worker that
+rebuilds the instance from the shared segment has to produce *exactly*
+the solution the serial path produces, results must come back in task
+order regardless of completion order, and the segment must be gone from
+``/dev/shm`` when ``solve_batch`` returns.
+"""
+
+from __future__ import annotations
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import (
+    SharedInstance,
+    SolveTask,
+    attach_instance,
+    default_workers,
+    solve_batch,
+)
+from repro.core.solver import solve, solve_many
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.sparsify.threshold import threshold_sparsify
+from tests.conftest import random_instance
+
+
+def _instances():
+    dense = random_instance(7, n_photos=18, n_subsets=5)
+    sparse, _ = threshold_sparsify(dense, 0.3)
+    return [("dense", dense), ("sparse", sparse)]
+
+
+def _shm_segments():
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+class TestSolveTask:
+    def test_round_trip(self):
+        task = SolveTask("lazy-uc", budget=3.5, certificate=True, seed=9, label="x")
+        assert SolveTask.from_dict(task.to_dict()) == task
+        assert SolveTask.from_dict({}) == SolveTask()
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestSharedInstance:
+    @pytest.mark.parametrize("kind,inst", _instances())
+    def test_attached_instance_is_equivalent(self, kind, inst):
+        with SharedInstance(inst) as shared:
+            rebuilt = attach_instance(shared.name, shared.spec)
+            assert rebuilt.n == inst.n
+            assert rebuilt.budget == inst.budget
+            assert rebuilt.retained == inst.retained
+            assert np.array_equal(rebuilt.costs, inst.costs)
+            assert len(rebuilt.subsets) == len(inst.subsets)
+            for q, qr in zip(inst.subsets, rebuilt.subsets):
+                assert qr.weight == q.weight
+                assert np.array_equal(qr.members, q.members)
+                assert np.array_equal(qr.relevance, q.relevance)
+                assert qr.similarity.is_sparse == q.similarity.is_sparse
+            # The real proof: solving the rebuilt instance is bit-identical.
+            a = solve(inst, "phocus")
+            b = solve(rebuilt, "phocus")
+            assert a.selection == b.selection
+            assert a.value == b.value
+
+    def test_attached_budget_override(self):
+        inst = random_instance(8)
+        override = inst.budget * 0.5
+        with SharedInstance(inst) as shared:
+            rebuilt = attach_instance(shared.name, shared.spec, budget=override)
+            assert rebuilt.budget == override
+
+    def test_infeasible_budget_override_rejected(self):
+        inst = random_instance(9, retained=2)
+        with SharedInstance(inst) as shared:
+            with pytest.raises(InfeasibleError):
+                attach_instance(shared.name, shared.spec, budget=1e-9)
+
+    def test_close_is_idempotent_and_unlinks(self):
+        before = _shm_segments()
+        shared = SharedInstance(random_instance(10))
+        assert _shm_segments() - before  # segment exists while open
+        shared.close()
+        shared.close()
+        assert _shm_segments() == before
+
+
+class TestSolveBatch:
+    def test_validation_happens_before_any_work(self):
+        inst = random_instance(11)
+        with pytest.raises(ConfigurationError):
+            solve_batch(inst, [SolveTask("no-such-algorithm")])
+        with pytest.raises(ConfigurationError):
+            solve_batch(inst, [SolveTask(budget=-1.0)])
+        with pytest.raises(ConfigurationError):
+            solve_batch(inst, [SolveTask()], workers=0)
+        assert solve_batch(inst, []) == []
+
+    def test_dict_tasks_are_coerced(self):
+        inst = random_instance(11)
+        [solution] = solve_batch(inst, [{"algorithm": "phocus", "label": "d"}])
+        assert solution.extras["task_label"] == "d"
+
+    @pytest.mark.parametrize("kind,inst", _instances())
+    def test_parallel_matches_serial_exactly(self, kind, inst):
+        tasks = [
+            SolveTask("phocus", budget=f * inst.budget, label=f"b={f}")
+            for f in (0.4, 0.7, 1.0)
+        ] + [SolveTask("rand-a", seed=3, label="rand")]
+        before = _shm_segments()
+        serial = solve_batch(inst, tasks, workers=1)
+        parallel = solve_batch(inst, tasks, workers=2)
+        assert _shm_segments() == before  # no leaked segments
+        assert len(parallel) == len(tasks)
+        for s, p, t in zip(serial, parallel, tasks):
+            assert p.extras["task_label"] == t.label  # task order preserved
+            assert p.selection == s.selection
+            assert p.value == s.value
+            assert p.cost == s.cost
+
+    def test_certificate_survives_the_pool(self):
+        inst = random_instance(12)
+        tasks = [SolveTask("phocus", certificate=True) for _ in range(2)]
+        serial = solve_batch(inst, tasks, workers=1)
+        parallel = solve_batch(inst, tasks, workers=2)
+        for s, p in zip(serial, parallel):
+            assert p.ratio_certificate is not None
+            assert p.ratio_certificate == s.ratio_certificate
+
+    def test_solve_many_facade(self):
+        inst = random_instance(13)
+        tasks = [SolveTask("phocus"), SolveTask("lazy-uc")]
+        results = solve_many(inst, tasks, workers=1)
+        direct = solve_batch(inst, tasks, workers=1)
+        assert [r.value for r in results] == [d.value for d in direct]
+        assert [r.selection for r in results] == [d.selection for d in direct]

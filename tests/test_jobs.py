@@ -566,3 +566,85 @@ class TestStats:
         lat = stats["solve_latency_seconds"]
         assert lat["count"] == 4
         assert 0 <= lat["p50"] <= lat["p90"] <= lat["p99"]
+
+
+# ------------------------------------------------------------------- sweeps
+
+
+class TestBudgetSweeps:
+    def test_spec_round_trip_and_validation(self):
+        spec = _real_spec(budgets=[1.5, 3.0], parallel_workers=2)
+        assert spec.budgets == (1.5, 3.0)
+        restored = JobSpec.from_dict(spec.to_dict())
+        assert restored.budgets == spec.budgets
+        assert restored.parallel_workers == 2
+        payload = spec.solve_payload()
+        assert payload["budgets"] == [1.5, 3.0]
+        assert payload["parallel_workers"] == 2
+        with pytest.raises(ValidationError):
+            _real_spec(budgets=[])
+        with pytest.raises(ValidationError):
+            _real_spec(budgets=[2.0, -1.0])
+        with pytest.raises(ValidationError):
+            _real_spec(parallel_workers=0)
+
+    def test_sweep_matches_single_solves(self):
+        instance = random_instance(seed=3)
+        budgets = [instance.budget * f for f in (0.4, 0.7, 1.0)]
+        doc = execute_solve_payload(
+            _real_spec(seed=3, budgets=budgets).solve_payload()
+        )
+        assert doc["sweep"] is True
+        assert doc["budgets"] == budgets
+        assert len(doc["solutions"]) == len(budgets)
+        for budget, member in zip(budgets, doc["solutions"]):
+            single = execute_solve_payload(
+                {"instance": instance_to_dict(instance.with_budget(budget))}
+            )
+            assert member["selection"] == single["selection"]
+            assert member["value"] == single["value"]
+        values = [m["value"] for m in doc["solutions"]]
+        assert values == sorted(values)  # larger budget never hurts
+
+    def test_parallel_sweep_identical_to_serial(self):
+        budgets = [2.0, 3.0, 4.0]
+        serial = execute_solve_payload(
+            _real_spec(seed=5, budgets=budgets).solve_payload()
+        )
+        parallel = execute_solve_payload(
+            _real_spec(seed=5, budgets=budgets, parallel_workers=2).solve_payload()
+        )
+        assert parallel["parallel_workers"] == 2
+        for s, p in zip(serial["solutions"], parallel["solutions"]):
+            assert p["selection"] == s["selection"]
+            assert p["value"] == s["value"]
+
+    def test_sweep_with_sparsify_and_certificate(self):
+        instance = random_instance(seed=7)
+        budgets = [instance.budget * 0.5, instance.budget]
+        doc = execute_solve_payload(
+            _real_spec(seed=7, budgets=budgets, tau=0.3, certificate=True)
+            .solve_payload()
+        )
+        assert doc["sparsify"] is not None
+        assert 0.0 < doc["sparsify"]["kept_fraction"] <= 1.0
+        from repro.core.objective import score
+
+        for member in doc["solutions"]:
+            # True-value scoring: sweep members report the objective of their
+            # selection on the original (unsparsified) instance, not the
+            # sparsified solver instance.
+            assert member["value"] == score(instance, member["selection"])
+            cert = member["ratio_certificate"]
+            assert cert is not None and 0.0 < cert <= 1.0
+
+    def test_sweep_through_job_manager(self):
+        budgets = [2.5, 4.0]
+        spec = _real_spec(job_id="sweep1", budgets=budgets, parallel_workers=1)
+        with JobManager(workers=1) as m:
+            m.submit(spec)
+            status = m.wait("sweep1", timeout=30)
+        assert status["state"] == "SUCCEEDED"
+        result = status["result"]
+        assert result["sweep"] is True
+        assert [s["budget"] for s in result["solutions"]] == budgets
