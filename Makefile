@@ -3,11 +3,15 @@
 # Targets export PYTHONPATH=src so they match the tier-1 verify command
 # and work on a fresh clone without `make install`.
 
-.PHONY: install test bench bench-kernels examples chaos results clean
+.PHONY: install test bench bench-kernels obs-smoke examples chaos results clean
 
 # Instance-size multiplier for the kernel bench (CI smoke uses 0.25).
 KERNEL_BENCH_SCALE ?= 1.0
 KERNEL_BENCH_OUT ?= BENCH_solver_kernels.json
+
+# Instance-size multiplier for the observability overhead gate.
+OBS_BENCH_SCALE ?= 1.0
+OBS_BENCH_OUT ?= BENCH_obs_overhead.json
 
 PYTHONPATH_SRC = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
@@ -23,6 +27,14 @@ bench:
 bench-kernels:
 	$(PYTHONPATH_SRC) python benchmarks/bench_solver_kernels.py \
 		--scale $(KERNEL_BENCH_SCALE) --out $(KERNEL_BENCH_OUT)
+
+# End-to-end observability smoke: the self-asserting example (arm →
+# solve → service → job → /metrics scrape) plus the <1% disarmed
+# overhead gate.
+obs-smoke:
+	$(PYTHONPATH_SRC) python examples/observability.py > /dev/null
+	$(PYTHONPATH_SRC) python benchmarks/bench_obs_overhead.py \
+		--scale $(OBS_BENCH_SCALE) --out $(OBS_BENCH_OUT)
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHONPATH_SRC) python $$f > /dev/null || exit 1; done

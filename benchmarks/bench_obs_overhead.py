@@ -1,0 +1,239 @@
+#!/usr/bin/env python
+"""Observability overhead gate for the solver hot path.
+
+A standalone script (``make obs-smoke``), not a pytest-benchmark target:
+it proves that :mod:`repro.obs` instrumentation costs nothing measurable
+when disarmed and stays cheap when armed, on a full ``main_algorithm``
+run over a Fig 5c-shape synthetic instance.  Results land in
+``BENCH_obs_overhead.json`` at the repo root:
+
+* ``disarmed`` — per-call cost of the ``probes.active()`` fast path (one
+  global load + ``None`` test), the exact number of probe touches one
+  solve executes (counted, not estimated), and the resulting overhead
+  fraction relative to the disarmed solve's wall-clock.  **Gate: this
+  fraction must stay below 1% or the script exits non-zero.**  The
+  analytic form is used because the pre-instrumentation solver no longer
+  exists to A/B against; counting touches and pricing the fast path
+  bounds the disarmed cost from above.
+* ``armed`` — direct A/B of armed vs disarmed solve wall-clock
+  (informational; armed cost is end-of-run aggregation, so it is a
+  per-solve constant, not per-iteration work).
+
+The JSON is validated against the expected schema before it is written;
+a malformed document also exits non-zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.core.greedy import main_algorithm
+from repro.obs import probes
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_obs_overhead.json"
+DISARMED_OVERHEAD_LIMIT = 0.01  # the 1% gate
+
+
+def _best_seconds(fn: Callable[[], None], repeats: int) -> float:
+    """Minimum wall-clock of ``repeats`` runs (noise-robust point estimate)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _active_call_seconds() -> float:
+    """Per-call cost of the disarmed ``probes.active()`` fast path."""
+    import timeit
+
+    loops = 200_000
+    per_loop = min(
+        timeit.repeat("active()", globals={"active": probes.active}, number=loops, repeat=5)
+    ) / loops
+    # Subtract the bare-loop baseline so we price the call, not the harness.
+    baseline = min(
+        timeit.repeat("pass", number=loops, repeat=5)
+    ) / loops
+    return max(per_loop - baseline, 1e-10)
+
+
+def _count_probe_touches(instance) -> int:
+    """Count how many times one disarmed solve consults ``probes.active``.
+
+    Counted by swapping in a tallying wrapper for the duration of a single
+    solve — exact for this instance, so the analytic overhead bound uses
+    the true touch count rather than a guess.
+    """
+    calls = {"n": 0}
+    real_active = probes.active
+
+    def counting_active():
+        calls["n"] += 1
+        return real_active()
+
+    modules = _probe_consumers()
+    try:
+        for mod in modules:
+            mod.active = counting_active  # type: ignore[attr-defined]
+        main_algorithm(instance)
+    finally:
+        for mod in modules:
+            mod.active = real_active  # type: ignore[attr-defined]
+    return calls["n"]
+
+
+def _probe_consumers():
+    """The modules whose ``_obs_probes.active`` reference must be swapped."""
+    # Consumers import the module (`from repro.obs import probes`) and call
+    # `probes.active()` at probe time, so patching the one module object
+    # covers every call site.
+    return [probes]
+
+
+def run(scale: float, repeats: int) -> Dict[str, object]:
+    from repro.datasets.ecommerce import generate_ecommerce_dataset
+
+    n_photos = max(40, int(160 * scale))
+    n_queries = max(8, int(30 * scale))
+    dataset = generate_ecommerce_dataset(
+        "Fashion", n_photos, n_queries=n_queries, name="EC-Fashion", seed=103
+    )
+    instance = dataset.instance(dataset.total_cost() * 0.3)
+
+    probes.disarm()
+    disarmed_seconds = _best_seconds(lambda: main_algorithm(instance), repeats)
+    touches = _count_probe_touches(instance)
+    call_seconds = _active_call_seconds()
+    disarmed_overhead = (touches * call_seconds) / disarmed_seconds
+
+    probes.arm(registry=None)  # fresh registry so armed cost includes recording
+    try:
+        armed_seconds = _best_seconds(lambda: main_algorithm(instance), repeats)
+    finally:
+        probes.disarm()
+    armed_overhead = max(0.0, (armed_seconds - disarmed_seconds) / disarmed_seconds)
+
+    return {
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpus": len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else (os.cpu_count() or 1),
+            "scale": scale,
+            "repeats": repeats,
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        },
+        "instance": {
+            "n_photos": instance.n,
+            "n_subsets": len(instance.subsets),
+            "budget_fraction": 0.3,
+        },
+        "disarmed": {
+            "solve_seconds": disarmed_seconds,
+            "probe_touches_per_solve": touches,
+            "active_call_seconds": call_seconds,
+            "overhead_fraction": disarmed_overhead,
+            "limit_fraction": DISARMED_OVERHEAD_LIMIT,
+        },
+        "armed": {
+            "solve_seconds": armed_seconds,
+            "overhead_fraction": armed_overhead,
+        },
+        "checks": {
+            "disarmed_overhead_ok": bool(disarmed_overhead < DISARMED_OVERHEAD_LIMIT),
+        },
+    }
+
+
+def validate_document(doc: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``doc`` has the expected shape."""
+
+    def need(mapping, key, kind, where):
+        if key not in mapping:
+            raise ValueError(f"missing key {where}.{key}")
+        if not isinstance(mapping[key], kind):
+            raise ValueError(
+                f"{where}.{key} should be {kind}, got {type(mapping[key]).__name__}"
+            )
+        return mapping[key]
+
+    meta = need(doc, "meta", dict, "$")
+    for key in ("python", "numpy", "platform"):
+        need(meta, key, str, "meta")
+    need(meta, "cpus", int, "meta")
+    need(doc, "instance", dict, "$")
+    disarmed = need(doc, "disarmed", dict, "$")
+    for key in ("solve_seconds", "active_call_seconds", "overhead_fraction"):
+        value = need(disarmed, key, (int, float), "disarmed")
+        if not value >= 0:
+            raise ValueError(f"disarmed.{key} must be non-negative")
+    touches = need(disarmed, "probe_touches_per_solve", int, "disarmed")
+    if touches <= 0:
+        raise ValueError("disarmed.probe_touches_per_solve must be positive")
+    armed = need(doc, "armed", dict, "$")
+    for key in ("solve_seconds", "overhead_fraction"):
+        need(armed, key, (int, float), "armed")
+    checks = need(doc, "checks", dict, "$")
+    if not isinstance(checks.get("disarmed_overhead_ok"), bool):
+        raise ValueError("checks.disarmed_overhead_ok must be a bool")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="instance size multiplier (1.0 = Fig 5c bench shape, 160 photos)",
+    )
+    parser.add_argument("--repeats", type=int, default=5, help="timing repeats (min taken)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="output JSON path")
+    args = parser.parse_args(argv)
+
+    doc = run(args.scale, args.repeats)
+    validate_document(doc)
+    args.out.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+    d, a = doc["disarmed"], doc["armed"]
+    print(
+        f"[bench_obs_overhead] n={doc['instance']['n_photos']} "
+        f"subsets={doc['instance']['n_subsets']} cpus={doc['meta']['cpus']}"
+    )
+    print(
+        f"  disarmed: solve {d['solve_seconds'] * 1e3:.2f}ms, "
+        f"{d['probe_touches_per_solve']} probe touches x "
+        f"{d['active_call_seconds'] * 1e9:.0f}ns = "
+        f"{d['overhead_fraction']:.5%} overhead (limit {d['limit_fraction']:.0%})"
+    )
+    print(
+        f"  armed   : solve {a['solve_seconds'] * 1e3:.2f}ms "
+        f"({a['overhead_fraction']:.3%} vs disarmed)"
+    )
+    print(f"  wrote {args.out}")
+
+    if not doc["checks"]["disarmed_overhead_ok"]:
+        print(
+            f"DISARMED OVERHEAD GATE FAILED: {d['overhead_fraction']:.4%} "
+            f">= {d['limit_fraction']:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,8 @@ from typing import Any, Dict, List, Optional, Union
 from repro.core.greedy import GreedyRun, lazy_greedy, main_algorithm
 from repro.core.instance import PARInstance
 from repro.errors import CheckpointError
+from repro.obs import probes as _obs_probes
+from repro.obs import trace as _trace
 
 __all__ = [
     "MAGIC",
@@ -136,7 +138,21 @@ class FileCheckpointSink:
     def __call__(self, doc: Dict[str, Any]) -> None:
         from repro.ioutil import atomic_write_bytes
 
-        atomic_write_bytes(self.path, encode_record(doc), site="checkpoint")
+        record = encode_record(doc)
+        _obs = _obs_probes.active()
+        if _obs is None:
+            atomic_write_bytes(self.path, record, site="checkpoint")
+            return
+        from time import perf_counter
+
+        with _trace.span("checkpoint.write") as sp:
+            start = perf_counter()
+            atomic_write_bytes(self.path, record, site="checkpoint")
+            elapsed = perf_counter() - start
+            sp.annotate(bytes=len(record))
+        _obs.checkpoint_writes.inc()
+        _obs.checkpoint_bytes.inc(len(record))
+        _obs.checkpoint_write_seconds.observe(elapsed)
 
     def load(self) -> Optional[Dict[str, Any]]:
         """The stored document, or ``None`` when no checkpoint exists yet."""

@@ -35,12 +35,14 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass, field
+from time import perf_counter as _perf_counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.instance import PARInstance
 from repro.core.objective import CoverageState
 from repro.errors import CheckpointError, ConfigurationError
 from repro.faults import check as _fault_check
+from repro.obs import probes as _obs_probes
 
 __all__ = [
     "GreedyMode",
@@ -159,6 +161,12 @@ def lazy_greedy(
     if checkpoint_every is not None and checkpoint_sink is None:
         raise ConfigurationError("checkpoint_every needs a checkpoint_sink")
 
+    # Observability: one armed-check per pass, everything else derived from
+    # counters the run already keeps — the hot loop below carries no probes
+    # beyond the standing fault check (see benchmarks/bench_obs_overhead).
+    _obs = _obs_probes.active()
+    _t0 = _perf_counter() if _obs is not None else 0.0
+
     costs = instance.costs
     budget = instance.budget
 
@@ -198,6 +206,14 @@ def lazy_greedy(
             key = gain / costs[p] if mode == CB else gain
             heapq.heappush(heap, (-key, counter, p, stamp))
             counter += 1
+
+    if _obs is not None:
+        # Work already credited to a previous (checkpointed) attempt, and
+        # the seeding evaluations (one per heap entry on a fresh pass).
+        _evals_prior = run.evaluations if resume_from is not None else 0
+        _picks_prior = len(run.picks)
+        _seeded = 0 if resume_from is not None else len(heap)
+        _obs.solver_heap_size.labels(mode=mode).set(len(heap))
 
     # Hot-loop locals: the selection set is read directly (no frozenset
     # copies) and its size tracked inline — state.add is the only writer.
@@ -240,7 +256,46 @@ def lazy_greedy(
                     TraceEvent("refresh", len(run.picks) + 1, p, gain)
                 )
 
+    if _obs is not None:
+        _record_run_metrics(
+            _obs, run, state, mode,
+            elapsed=_perf_counter() - _t0,
+            evals_prior=_evals_prior,
+            picks_prior=_picks_prior,
+            seeded=_seeded,
+        )
     return run
+
+
+def _record_run_metrics(
+    obs, run: GreedyRun, state: CoverageState, mode: str, *,
+    elapsed: float, evals_prior: int, picks_prior: int, seeded: int,
+) -> None:
+    """Flush one finished pass into the armed instruments.
+
+    Evaluations this pass split into initial heap seeding (one per heap
+    entry, ``seeded``) and CELF lazy *refreshes* — stale heap entries
+    recomputed and pushed back.  The re-evaluation ratio is refreshes
+    over productive heap pops (refreshes + selections): 0.0 means every
+    pop was selected on its cached bound (ideal laziness), values near
+    1.0 mean the cached bounds rarely survive a pick.
+    """
+    picks_done = len(run.picks) - picks_prior
+    evals_done = run.evaluations - evals_prior
+    refreshes = max(0, evals_done - seeded)
+    pops = refreshes + picks_done
+    obs.solver_runs.labels(mode=mode, backend=state.backend).inc()
+    if evals_done:
+        obs.solver_evaluations.labels(mode=mode).inc(evals_done)
+    if picks_done:
+        obs.solver_picks.labels(mode=mode).inc(picks_done)
+    if refreshes:
+        obs.solver_refreshes.labels(mode=mode).inc(refreshes)
+    obs.solver_reeval_ratio.labels(mode=mode).set(refreshes / pops if pops else 0.0)
+    obs.solver_picks_per_second.labels(mode=mode).set(
+        picks_done / elapsed if elapsed > 0 else 0.0
+    )
+    obs.solver_seconds.labels(mode=mode).observe(elapsed)
 
 
 def _greedy_checkpoint_doc(

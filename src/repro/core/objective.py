@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.core.instance import PARInstance
 from repro.errors import ConfigurationError
+from repro.obs import probes as _obs_probes
 
 __all__ = [
     "CoverageState",
@@ -107,6 +108,11 @@ class CoverageState:
                 f"unknown coverage backend {backend!r}; expected one of {_BACKENDS}"
             )
         self.backend = backend
+        _obs = _obs_probes.active()
+        if _obs is not None:
+            # Which evaluation backend actually serves the workload —
+            # construction-time only, so gain()/add() stay probe-free.
+            _obs.objective_states.labels(backend=backend).inc()
         self.instance = instance
         self._has_sparse = any(q.similarity.is_sparse for q in instance.subsets)
         self._weighted_rel: List[np.ndarray] = [

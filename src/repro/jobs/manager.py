@@ -42,6 +42,8 @@ from repro.jobs.queue import FairPriorityQueue, QueueFull
 from repro.jobs.spec import JobRecord, JobSpec, JobState, new_job_id
 from repro.jobs.store import InMemoryJobStore, JobStore, JournalJobStore
 from repro.jobs.worker import WorkerPool, execute_solve_payload, run_with_timeout
+from repro.obs import probes as _obs_probes
+from repro.obs import trace as _trace
 
 __all__ = ["JobManager", "QueueFull"]
 
@@ -152,13 +154,18 @@ class JobManager:
                 raise ValueError(f"duplicate job id {spec.job_id!r}")
             self._records[spec.job_id] = record
             self._cancel_events[spec.job_id] = threading.Event()
+        obs = _obs_probes.active()
         try:
             self._queue.put(record, tenant=spec.tenant, priority=spec.priority)
         except QueueFull:
             with self._lock:
                 del self._records[spec.job_id]
                 del self._cancel_events[spec.job_id]
+            if obs is not None:
+                obs.jobs_rejected.inc()
             raise
+        if obs is not None:
+            obs.jobs_submitted.labels(tenant=spec.tenant).inc()
         self._store.save(record)
         return spec.job_id
 
@@ -215,6 +222,7 @@ class JobManager:
                     record.error_kind = "cancelled"
                     record.finished_at = time.time()
                     self._store.save(record)
+                    self._count_cancelled(record)
             return True
 
     def jobs(
@@ -264,6 +272,12 @@ class JobManager:
                 "quarantined": self._store.quarantined_count,
                 "compactions": self._store.compaction_count,
             }
+        obs = _obs_probes.active()
+        if obs is not None:
+            # Failure classification tallies (classify_failure verdicts,
+            # retries, timeouts, 429s) live in the obs registry; surface
+            # them next to the journal gauges when observability is on.
+            stats["failures"] = obs.failure_counts()
         return stats
 
     def start(self) -> "JobManager":
@@ -308,6 +322,15 @@ class JobManager:
             payload, checkpoint_sink=checkpoint_sink, resume_from=resume_from
         )
 
+    @staticmethod
+    def _count_cancelled(record: JobRecord) -> None:
+        obs = _obs_probes.active()
+        if obs is not None:
+            obs.jobs_failures.labels(kind="cancelled").inc()
+            obs.jobs_completed.labels(
+                tenant=record.tenant, state=JobState.CANCELLED.value
+            ).inc()
+
     def _mark_dequeued(self, record: JobRecord) -> None:
         # Runs under the queue lock, atomically with the pop: dequeue_seq
         # is therefore a faithful global dispatch order even with many
@@ -349,10 +372,18 @@ class JobManager:
                 record.error_kind = "cancelled"
                 record.finished_at = time.time()
                 self._store.save(record)
+                self._count_cancelled(record)
                 return
             record.transition(JobState.RUNNING)
             record.attempt += 1
             record.started_at = time.time()
+            obs = _obs_probes.active()
+            if obs is not None and record.attempt == 1:
+                # True queue wait (submission → first dequeue); retry
+                # attempts would fold the backoff delay in and lie.
+                obs.jobs_wait_seconds.observe(
+                    max(0.0, record.started_at - record.submitted_at)
+                )
             resume_doc: Optional[Dict[str, Any]] = None
             if record.checkpoint and self._solve_accepts_checkpoints:
                 try:
@@ -391,11 +422,18 @@ class JobManager:
         else:
             solve_call = lambda: self._solve_fn(record.spec)  # noqa: E731
 
-        outcome, value = run_with_timeout(
-            solve_call,
-            timeout=record.spec.timeout_seconds,
-            cancel_event=event,
-        )
+        with _trace.span("jobs.execute") as sp:
+            sp.annotate(
+                job_id=record.job_id,
+                tenant=record.tenant,
+                attempt=record.attempt,
+            )
+            outcome, value = run_with_timeout(
+                solve_call,
+                timeout=record.spec.timeout_seconds,
+                cancel_event=event,
+            )
+            sp.annotate(outcome=outcome)
 
         if outcome == "error" and isinstance(value, ProcessKilled):
             # Emulated SIGKILL (fault injection): die *without* touching
@@ -404,6 +442,7 @@ class JobManager:
             # the next manager on the same journal resumes it.
             raise value
 
+        obs = _obs_probes.active()
         with self._lock:
             if record.state is not JobState.RUNNING:
                 return  # resolved concurrently; nothing to record
@@ -417,6 +456,8 @@ class JobManager:
                 record.finished_at = now
                 record.solve_seconds = now - (record.started_at or now)
                 self._latencies.append(record.solve_seconds)
+                if obs is not None:
+                    obs.jobs_run_seconds.observe(record.solve_seconds)
             elif outcome == "cancelled":
                 record.transition(JobState.CANCELLED)
                 record.error_kind = "cancelled"
@@ -428,6 +469,8 @@ class JobManager:
                 )
                 record.error_kind = "timeout"
                 record.finished_at = now
+                if obs is not None:
+                    obs.jobs_timeouts.inc()
             else:  # outcome == "error"
                 exc = value
                 kind = classify_failure(exc)
@@ -436,12 +479,24 @@ class JobManager:
                     record.error_kind = TRANSIENT
                     record.transition(JobState.QUEUED)
                     self._schedule_retry(record)
+                    if obs is not None:
+                        obs.jobs_retries.inc()
                 else:
                     record.error_kind = (
                         PERMANENT if kind == PERMANENT else "transient_exhausted"
                     )
                     record.transition(JobState.FAILED)
                     record.finished_at = now
+            if obs is not None:
+                if record.error_kind is not None and outcome != "ok":
+                    # error_kind doubles as the classify_failure verdict:
+                    # transient / transient_exhausted / permanent / timeout
+                    # / cancelled.
+                    obs.jobs_failures.labels(kind=record.error_kind).inc()
+                if record.terminal:
+                    obs.jobs_completed.labels(
+                        tenant=record.tenant, state=record.state.value
+                    ).inc()
         self._store.save(record)
 
     def _schedule_retry(self, record: JobRecord) -> None:

@@ -25,6 +25,7 @@ from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.obs import probes as _obs_probes
 
 __all__ = ["QueueFull", "FairPriorityQueue"]
 
@@ -67,6 +68,13 @@ class FairPriorityQueue:
         with self._lock:
             return self._size
 
+    def _gauge_depth(self) -> None:
+        # Called under the queue lock after every size change; disarmed
+        # cost is one global None test.
+        obs = _obs_probes.active()
+        if obs is not None:
+            obs.jobs_queue_depth.set(self._size)
+
     def depth_by_tenant(self) -> Dict[str, int]:
         with self._lock:
             return {t: len(h) for t, h in self._heaps.items() if h}
@@ -83,6 +91,7 @@ class FairPriorityQueue:
                 self._rotation.append(tenant)
             heapq.heappush(heap, (-int(priority), next(self._seq), item))
             self._size += 1
+            self._gauge_depth()
             self._not_empty.notify()
 
     def get(self, timeout: Optional[float] = None) -> Optional[Any]:
@@ -94,6 +103,7 @@ class FairPriorityQueue:
             heap = self._heaps[tenant]
             _, _, item = heapq.heappop(heap)
             self._size -= 1
+            self._gauge_depth()
             if heap:
                 self._rotation.append(tenant)  # back of the line: round-robin
             if self._on_pop is not None:
@@ -114,6 +124,7 @@ class FairPriorityQueue:
                         heap.pop()
                         heapq.heapify(heap)
                         self._size -= 1
+                        self._gauge_depth()
                         if not heap:
                             try:
                                 self._rotation.remove(tenant)

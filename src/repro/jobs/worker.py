@@ -26,6 +26,8 @@ from repro.core.objective import score
 from repro.core.serialize import instance_from_dict, solution_to_dict
 from repro.core.solver import checkpointable_algorithms, solve
 from repro.errors import ValidationError
+from repro.obs import probes as _obs_probes
+from repro.obs import trace as _trace
 from repro.sparsify.pipeline import sparsify_instance
 
 __all__ = ["execute_solve_payload", "run_with_timeout", "WorkerPool"]
@@ -65,6 +67,9 @@ def execute_solve_payload(
         raise ValidationError("request body needs 'instance' of type dict")
     instance = instance_from_dict(instance_doc)
     algorithm = payload.get("algorithm") or "phocus"
+    _obs = _obs_probes.active()
+    if _obs is not None:
+        _obs.solve_requests.labels(algorithm=str(algorithm)).inc()
     tau = float(payload.get("tau") or 0.0)
     method = payload.get("sparsify_method") or "exact"
     certificate = bool(payload.get("certificate", False))
@@ -107,17 +112,19 @@ def execute_solve_payload(
     checkpoint_every = (
         payload.get("checkpoint_every") if checkpoint_sink is not None else None
     )
-    if checkpoint_every is not None or checkpoint_sink is not None or resume_from is not None:
-        solution = solve(
-            solver_instance,
-            algorithm,
-            rng=rng,
-            checkpoint_every=checkpoint_every,
-            checkpoint_sink=checkpoint_sink,
-            resume_from=resume_from,
-        )
-    else:
-        solution = solve(solver_instance, algorithm, rng=rng)
+    with _trace.span("solve.payload") as sp:
+        sp.annotate(algorithm=str(algorithm), n=instance.n, tau=tau)
+        if checkpoint_every is not None or checkpoint_sink is not None or resume_from is not None:
+            solution = solve(
+                solver_instance,
+                algorithm,
+                rng=rng,
+                checkpoint_every=checkpoint_every,
+                checkpoint_sink=checkpoint_sink,
+                resume_from=resume_from,
+            )
+        else:
+            solution = solve(solver_instance, algorithm, rng=rng)
     true_value = (
         solution.value
         if solver_instance is instance
@@ -285,8 +292,11 @@ class WorkerPool:
             item = self._queue.get(timeout=0.05)
             if item is None:
                 continue
+            obs = _obs_probes.active()
             with self._busy_lock:
                 self._busy += 1
+                if obs is not None:
+                    obs.jobs_workers_busy.set(self._busy)
             try:
                 self._handler(item)
             except Exception:  # noqa: BLE001 - workers must survive anything
@@ -294,6 +304,8 @@ class WorkerPool:
             finally:
                 with self._busy_lock:
                     self._busy -= 1
+                    if obs is not None:
+                        obs.jobs_workers_busy.set(self._busy)
 
     def stop(self, wait: bool = True, timeout: float = 5.0) -> None:
         self._stop.set()

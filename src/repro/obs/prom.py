@@ -1,0 +1,93 @@
+"""Prometheus text exposition format (0.0.4) rendering.
+
+Turns a :meth:`repro.obs.registry.MetricsRegistry.snapshot` into the
+plain-text scrape body a Prometheus server (or ``curl``) expects::
+
+    # HELP phocus_http_requests_total HTTP requests served
+    # TYPE phocus_http_requests_total counter
+    phocus_http_requests_total{method="GET",route="/health",status="200"} 3
+
+Histograms render with the standard cumulative ``le`` buckets plus
+``_sum`` and ``_count`` children.  HELP text escapes ``\\`` and newlines;
+label values additionally escape ``"``.  Series within a family render in
+sorted label order and families in sorted name order, so the output is
+deterministic — the golden test in ``tests/test_obs.py`` depends on it.
+
+The format reference is the "Exposition formats" chapter of the
+Prometheus docs; this module implements the subset our metric types
+need, with no client-library dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.obs.registry import (
+    FamilySnapshot,
+    HistogramValue,
+    MetricsRegistry,
+)
+
+__all__ = ["CONTENT_TYPE", "render", "render_registry"]
+
+#: The scrape response Content-Type mandated by text format 0.0.4.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt_value(value: float) -> str:
+    """Prometheus-friendly number: integral values without the ``.0``."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: Sequence[Tuple[str, str]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in labels
+    )
+    return "{" + inner + "}"
+
+
+def _render_family(family: FamilySnapshot, lines: List[str]) -> None:
+    lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+    lines.append(f"# TYPE {family.name} {family.type}")
+    for series in family.series:
+        if isinstance(series.value, HistogramValue):
+            base = list(series.labels)
+            for bound, cumulative in series.value.cumulative():
+                labels = _labels_text(base + [("le", _fmt_value(bound))])
+                lines.append(f"{family.name}_bucket{labels} {cumulative}")
+            labels = _labels_text(base)
+            lines.append(f"{family.name}_sum{labels} {_fmt_value(series.value.sum)}")
+            lines.append(f"{family.name}_count{labels} {series.value.count}")
+        else:
+            labels = _labels_text(series.labels)
+            lines.append(f"{family.name}{labels} {_fmt_value(series.value)}")
+
+
+def render(snapshot: Iterable[FamilySnapshot]) -> str:
+    """Render a snapshot to exposition text (trailing newline included)."""
+    lines: List[str] = []
+    for family in snapshot:
+        _render_family(family, lines)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_registry(registry: MetricsRegistry) -> str:
+    """Convenience: snapshot + render in one call."""
+    return render(registry.snapshot())

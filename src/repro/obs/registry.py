@@ -1,0 +1,470 @@
+"""Process-wide, thread-safe metrics registry (counters, gauges, histograms).
+
+A production archive service needs numbers, not anecdotes: how many
+solves ran, how long requests took, how deep the job queue is.  This
+module is the in-process store those numbers live in — deliberately
+small, dependency-free, and modelled on the Prometheus client-library
+data model so :mod:`repro.obs.prom` can render a snapshot in the
+standard text exposition format.
+
+Three metric types cover every signal the stack emits:
+
+:class:`Counter`
+    A monotonically increasing total (requests served, retries fired).
+:class:`Gauge`
+    A value that goes both ways (queue depth, busy workers).
+:class:`Histogram`
+    A distribution accumulated into *fixed log-scale buckets*
+    (:data:`DEFAULT_BUCKETS`, powers of two from 1 ms to ~65 s) with the
+    Prometheus cumulative-``le`` semantics plus ``_sum``/``_count``.
+
+Metrics are created through a :class:`MetricsRegistry` and addressed by
+name; re-registering the same name returns the existing family (so
+instrumentation sites stay decoupled), while re-registering under a
+different type raises — a silent type clash would corrupt the scrape.
+
+Labels and the cardinality cap
+------------------------------
+
+Families may declare label names (``labelnames=("tenant",)``); concrete
+series are materialised on first use via ``family.labels(tenant="a")``.
+Label values arrive from untrusted places (tenant ids, HTTP paths), so
+every family enforces a **hard cardinality cap** (``max_series``,
+default :data:`DEFAULT_MAX_SERIES`): once a family holds that many
+distinct children, further new label combinations collapse into a single
+overflow series whose label values are all ``"__overflow__"``, and the
+registry's self-metric ``phocus_obs_series_dropped_total`` counts the
+collapses.  Totals stay correct; memory stays bounded; a label-cardinality
+bug becomes a visible counter instead of an OOM.
+
+Snapshots
+---------
+
+:meth:`MetricsRegistry.snapshot` returns an immutable, point-in-time
+list of :class:`FamilySnapshot` (plain data, safe to render or assert
+on), and :meth:`MetricsRegistry.reset` zeroes every series for test
+isolation.  All mutation paths take the registry lock, so concurrent
+increments from worker threads never lose updates.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "COUNTER",
+    "GAUGE",
+    "HISTOGRAM",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_MAX_SERIES",
+    "OVERFLOW_LABEL_VALUE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramValue",
+    "SeriesSnapshot",
+    "FamilySnapshot",
+    "MetricsRegistry",
+]
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+#: Fixed log-scale (base-2) latency buckets: 1 ms, 2 ms, ... ~65.5 s.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(0.001 * (2.0 ** i) for i in range(17))
+
+#: Hard per-family cap on distinct label combinations.
+DEFAULT_MAX_SERIES = 64
+
+#: Label value of the sink series absorbing over-cap combinations.
+OVERFLOW_LABEL_VALUE = "__overflow__"
+
+#: Name of the registry self-metric counting collapsed series.
+DROPPED_SERIES_METRIC = "phocus_obs_series_dropped_total"
+
+LabelValues = Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class HistogramValue:
+    """Immutable histogram state: cumulative counts are derived on render."""
+
+    buckets: Tuple[float, ...]
+    counts: Tuple[int, ...]  # per-bucket (non-cumulative), len == len(buckets) + 1
+    sum: float
+    count: int
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+
+@dataclass(frozen=True)
+class SeriesSnapshot:
+    """One labelled series at snapshot time."""
+
+    labels: Tuple[Tuple[str, str], ...]  # sorted (name, value) pairs
+    value: Union[float, HistogramValue]
+
+
+@dataclass(frozen=True)
+class FamilySnapshot:
+    """One metric family (name + type + help) with all its series."""
+
+    name: str
+    type: str
+    help: str
+    series: Tuple[SeriesSnapshot, ...]
+
+
+class _Series:
+    """Mutable state of one label combination (guarded by the family lock)."""
+
+    __slots__ = ("value", "bucket_counts", "sum", "count")
+
+    def __init__(self, buckets: Optional[Sequence[float]] = None) -> None:
+        self.value = 0.0
+        if buckets is not None:
+            self.bucket_counts = [0] * (len(buckets) + 1)
+            self.sum = 0.0
+            self.count = 0
+
+
+class _Family:
+    """Common machinery: label validation, child cache, cardinality cap."""
+
+    type: str = ""
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        max_series: int,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._max_series = max_series
+        self._buckets = tuple(buckets) if buckets is not None else None
+        self._lock = registry._lock
+        self._children: Dict[LabelValues, _Series] = {}
+        if not self.labelnames:
+            # Unlabelled family: materialise the single series eagerly so a
+            # never-touched counter still renders as 0.
+            self._children[()] = _Series(self._buckets)
+
+    # ------------------------------------------------------------- children
+
+    def labels(self, **labels: str) -> "_Bound":
+        """The child series for this label combination (created on demand)."""
+        if set(labels) != set(self.labelnames):
+            raise ConfigurationError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[ln]) for ln in self.labelnames)
+        return _Bound(self, self._series(key))
+
+    def _series(self, key: LabelValues) -> _Series:
+        with self._lock:
+            series = self._children.get(key)
+            if series is None:
+                if len(self._children) >= self._max_series:
+                    key = tuple(OVERFLOW_LABEL_VALUE for _ in self.labelnames)
+                    series = self._children.get(key)
+                    self._registry._count_dropped_locked()
+                    if series is None:
+                        series = self._children[key] = _Series(self._buckets)
+                else:
+                    series = self._children[key] = _Series(self._buckets)
+            return series
+
+    # ----------------------------------------------- unlabelled conveniences
+
+    def _solo(self) -> _Series:
+        if self.labelnames:
+            raise ConfigurationError(
+                f"metric {self.name!r} is labelled {self.labelnames}; "
+                "use .labels(...)"
+            )
+        return self._children[()]
+
+    # ------------------------------------------------------------- snapshot
+
+    def _snapshot_locked(self) -> FamilySnapshot:
+        series = []
+        for key in sorted(self._children):
+            child = self._children[key]
+            labels = tuple(zip(self.labelnames, key))
+            if self._buckets is not None:
+                value: Union[float, HistogramValue] = HistogramValue(
+                    buckets=self._buckets,
+                    counts=tuple(child.bucket_counts),
+                    sum=child.sum,
+                    count=child.count,
+                )
+            else:
+                value = child.value
+            series.append(SeriesSnapshot(labels=labels, value=value))
+        return FamilySnapshot(
+            name=self.name, type=self.type, help=self.help, series=tuple(series)
+        )
+
+    def _reset_locked(self) -> None:
+        for child in self._children.values():
+            child.value = 0.0
+            if self._buckets is not None:
+                child.bucket_counts = [0] * (len(self._buckets) + 1)
+                child.sum = 0.0
+                child.count = 0
+
+
+class _Bound:
+    """A family bound to one concrete series — what call sites mutate."""
+
+    __slots__ = ("_family", "_series")
+
+    def __init__(self, family: _Family, series: _Series) -> None:
+        self._family = family
+        self._series = series
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError("counters only go up; use a gauge")
+        with self._family._lock:
+            self._series.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._add(-amount)
+
+    def _add(self, amount: float) -> None:
+        with self._family._lock:
+            self._series.value += amount
+
+    def set(self, value: float) -> None:
+        with self._family._lock:
+            self._series.value = float(value)
+
+    def observe(self, value: float) -> None:
+        family = self._family
+        buckets = family._buckets
+        if buckets is None:
+            raise ConfigurationError(
+                f"metric {family.name!r} is not a histogram"
+            )
+        value = float(value)
+        idx = _bucket_index(buckets, value)
+        with family._lock:
+            series = self._series
+            series.bucket_counts[idx] += 1
+            series.sum += value
+            series.count += 1
+
+
+def _bucket_index(buckets: Tuple[float, ...], value: float) -> int:
+    """Index of the first bucket with ``value <= bound`` (len == overflow)."""
+    lo, hi = 0, len(buckets)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if value <= buckets[mid]:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+class Counter(_Family):
+    """Monotonically increasing total."""
+
+    type = COUNTER
+
+    def inc(self, amount: float = 1.0) -> None:
+        _Bound(self, self._solo()).inc(amount)
+
+
+class Gauge(_Family):
+    """A value that can go up and down (or be set outright)."""
+
+    type = GAUGE
+
+    def inc(self, amount: float = 1.0) -> None:
+        _Bound(self, self._solo())._add(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        _Bound(self, self._solo())._add(-amount)
+
+    def set(self, value: float) -> None:
+        _Bound(self, self._solo()).set(value)
+
+
+class Histogram(_Family):
+    """Distribution over fixed log-scale buckets."""
+
+    type = HISTOGRAM
+
+    def observe(self, value: float) -> None:
+        _Bound(self, self._solo()).observe(value)
+
+
+class MetricsRegistry:
+    """Thread-safe home of every metric family in one process.
+
+    One lock guards the whole registry: metric mutation is a few
+    arithmetic ops per call and never contended for long, and a single
+    lock makes :meth:`snapshot` trivially consistent (no torn reads of a
+    histogram's ``sum`` vs ``count``).
+    """
+
+    def __init__(self, *, max_series: int = DEFAULT_MAX_SERIES) -> None:
+        if max_series < 1:
+            raise ConfigurationError("max_series must be >= 1")
+        self._lock = threading.RLock()
+        self._families: Dict[str, _Family] = {}
+        self._default_max_series = max_series
+        # Self-metric: series collapsed into overflow sinks by the cap.
+        self._dropped = self._register(
+            Counter, DROPPED_SERIES_METRIC,
+            "label combinations collapsed into __overflow__ by the cardinality cap",
+            (), None, None,
+        )
+
+    # ---------------------------------------------------------- registration
+
+    def counter(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        *,
+        max_series: Optional[int] = None,
+    ) -> Counter:
+        return self._register(Counter, name, help, labelnames, max_series, None)
+
+    def gauge(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        *,
+        max_series: Optional[int] = None,
+    ) -> Gauge:
+        return self._register(Gauge, name, help, labelnames, max_series, None)
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        *,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        max_series: Optional[int] = None,
+    ) -> Histogram:
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise ConfigurationError("histogram buckets must be sorted and unique")
+        return self._register(Histogram, name, help, labelnames, max_series, buckets)
+
+    def _register(
+        self,
+        cls,
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        max_series: Optional[int],
+        buckets: Optional[Sequence[float]],
+    ):
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ConfigurationError(
+                        f"metric {name!r} already registered as {existing.type}, "
+                        f"cannot re-register as {cls.type}"
+                    )
+                if tuple(labelnames) != existing.labelnames:
+                    raise ConfigurationError(
+                        f"metric {name!r} already registered with labels "
+                        f"{existing.labelnames}, got {tuple(labelnames)}"
+                    )
+                return existing
+            family = cls(
+                self,
+                name,
+                help,
+                labelnames,
+                max_series if max_series is not None else self._default_max_series,
+                buckets,
+            )
+            self._families[name] = family
+            return family
+
+    # -------------------------------------------------------------- reading
+
+    def snapshot(self) -> List[FamilySnapshot]:
+        """Point-in-time, immutable view of every family (sorted by name)."""
+        with self._lock:
+            return [
+                self._families[name]._snapshot_locked()
+                for name in sorted(self._families)
+            ]
+
+    def get_sample(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Optional[Union[float, HistogramValue]]:
+        """The current value of one series (``None`` when absent) — test helper."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return None
+            key = tuple(str((labels or {}).get(ln, "")) for ln in family.labelnames)
+            child = family._children.get(key)
+            if child is None:
+                return None
+            if family._buckets is not None:
+                return HistogramValue(
+                    buckets=family._buckets,
+                    counts=tuple(child.bucket_counts),
+                    sum=child.sum,
+                    count=child.count,
+                )
+            return child.value
+
+    def sum_by_label(self, name: str, label: str) -> Dict[str, float]:
+        """Aggregate a family's series values per value of one label."""
+        out: Dict[str, float] = {}
+        with self._lock:
+            family = self._families.get(name)
+            if family is None or family._buckets is not None:
+                return out
+            if label not in family.labelnames:
+                return out
+            pos = family.labelnames.index(label)
+            for key, child in family._children.items():
+                out[key[pos]] = out.get(key[pos], 0.0) + child.value
+        return out
+
+    def reset(self) -> None:
+        """Zero every series (keeps registrations) — test isolation."""
+        with self._lock:
+            for family in self._families.values():
+                family._reset_locked()
+
+    # ------------------------------------------------------------ internals
+
+    def _count_dropped_locked(self) -> None:
+        # Called under self._lock (RLock, so the nested inc is fine).
+        self._dropped._children[()].value += 1.0

@@ -1,0 +1,214 @@
+"""Lightweight in-process tracing: nested spans with a ring of history.
+
+A *span* is one timed region of work — a solve pass, a checkpoint write,
+a job execution — with monotonic start/duration, free-form annotations,
+and parent/child nesting tracked per thread::
+
+    from repro.obs import trace
+
+    with trace.span("solve.uc") as sp:
+        sp.annotate(picks=len(run.picks))
+        with trace.span("solve.uc.checkpoint"):
+            ...
+
+Completed spans land in a bounded ring buffer (:class:`Tracer`,
+default :data:`DEFAULT_CAPACITY` most recent spans); ``phocus obs dump
+--local`` and tests read it via :func:`recent_spans`.  The ring evicts
+oldest-first, so a long-running service keeps a rolling window of its
+latest work at fixed memory cost.
+
+Like :mod:`repro.faults` and :mod:`repro.obs.probes`, tracing follows
+the single-global-``None``-check pattern: with no tracer installed,
+:func:`span` hands back a shared no-op span and records nothing, so the
+hooks can stay in production code.  :func:`repro.obs.probes.arm`
+installs a tracer alongside the metrics registry; :func:`install` does
+it directly for tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "span",
+    "install",
+    "uninstall",
+    "active_tracer",
+    "recent_spans",
+]
+
+DEFAULT_CAPACITY = 256
+
+_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span, as kept in the ring buffer."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start: float  # time.monotonic() at entry
+    duration_s: float
+    annotations: Tuple[Tuple[str, Any], ...]
+    thread: str
+    error: Optional[str] = None  # exception type name when the block raised
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "duration_ms": self.duration_s * 1000.0,
+            "annotations": dict(self.annotations),
+            "thread": self.thread,
+            "error": self.error,
+        }
+
+
+class Span:
+    """A live span; annotate freely, closed by the context manager."""
+
+    __slots__ = ("name", "span_id", "parent_id", "_start", "_annotations")
+
+    def __init__(self, name: str, span_id: int, parent_id: Optional[int]) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self._start = time.monotonic()
+        self._annotations: Dict[str, Any] = {}
+
+    def annotate(self, **kv: Any) -> "Span":
+        """Attach key/value context to the span; returns ``self``."""
+        self._annotations.update(kv)
+        return self
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out when no tracer is installed."""
+
+    __slots__ = ()
+    name = ""
+    span_id = 0
+    parent_id = None
+
+    def annotate(self, **kv: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Per-thread span stacks feeding one shared bounded ring buffer."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------- spanning
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        sp = Span(name, next(_ids), parent_id)
+        stack.append(sp)
+        error: Optional[str] = None
+        try:
+            yield sp
+        except BaseException as exc:
+            error = type(exc).__name__
+            raise
+        finally:
+            duration = time.monotonic() - sp._start
+            stack.pop()
+            record = SpanRecord(
+                name=sp.name,
+                span_id=sp.span_id,
+                parent_id=sp.parent_id,
+                start=sp._start,
+                duration_s=duration,
+                annotations=tuple(sorted(sp._annotations.items())),
+                thread=threading.current_thread().name,
+                error=error,
+            )
+            with self._lock:
+                self._ring.append(record)
+
+    # -------------------------------------------------------------- reading
+
+    def recent(self, limit: Optional[int] = None) -> List[SpanRecord]:
+        """Most recent completed spans, oldest first (up to ``limit``)."""
+        with self._lock:
+            records = list(self._ring)
+        return records[-limit:] if limit is not None else records
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+
+_tracer: Optional[Tracer] = None
+
+
+def install(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install a process-wide tracer (a fresh default one when omitted)."""
+    global _tracer
+    tracer = tracer or Tracer()
+    _tracer = tracer
+    return tracer
+
+
+def uninstall() -> None:
+    """Remove the tracer; :func:`span` becomes a no-op again."""
+    global _tracer
+    _tracer = None
+
+
+def active_tracer() -> Optional[Tracer]:
+    return _tracer
+
+
+@contextmanager
+def span(name: str) -> Iterator[Any]:
+    """Open a span on the installed tracer (no-op without one).
+
+    The disarmed path is one global load and ``None`` test plus a shared
+    inert span object — cheap enough to leave at every call site.
+    """
+    tracer = _tracer
+    if tracer is None:
+        yield _NULL_SPAN
+        return
+    with tracer.span(name) as sp:
+        yield sp
+
+
+def recent_spans(limit: Optional[int] = None) -> List[SpanRecord]:
+    """Completed spans from the installed tracer (empty without one)."""
+    tracer = _tracer
+    if tracer is None:
+        return []
+    return tracer.recent(limit)

@@ -116,6 +116,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint running solves every N greedy picks so replayed "
         "jobs resume mid-solve instead of restarting",
     )
+    serve_p.add_argument(
+        "--metrics",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="arm the metrics registry and serve GET /metrics "
+        "(--no-metrics disables both)",
+    )
+    serve_p.add_argument(
+        "--access-log",
+        action="store_true",
+        help="emit one structured JSON line per request on stderr",
+    )
 
     jobs_p = sub.add_parser(
         "jobs", help="submit and track background solve jobs on a running service"
@@ -171,6 +183,29 @@ def build_parser() -> argparse.ArgumentParser:
     list_p.add_argument("--tenant")
 
     jobs_sub.add_parser("stats", help="queue / worker / latency statistics")
+
+    obs_p = sub.add_parser(
+        "obs", help="observability: dump metrics from a service or this process"
+    )
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+    dump_p = obs_sub.add_parser(
+        "dump", help="print the Prometheus text exposition of the metrics registry"
+    )
+    dump_group = dump_p.add_mutually_exclusive_group()
+    dump_group.add_argument(
+        "--server",
+        help="base URL of a running 'phocus serve' instance to scrape",
+    )
+    dump_group.add_argument(
+        "--local",
+        action="store_true",
+        help="dump this process's registry (arms the probes if needed)",
+    )
+    dump_p.add_argument(
+        "--spans",
+        action="store_true",
+        help="also print recently completed trace spans (local mode only)",
+    )
     return parser
 
 
@@ -413,6 +448,49 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """``phocus obs dump``: print a Prometheus exposition to stdout.
+
+    ``--server URL`` scrapes a running service's ``GET /metrics``;
+    ``--local`` (the default) renders this process's own registry —
+    mostly useful after library calls in the same interpreter, or as a
+    quick way to eyeball the metric catalog.
+    """
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    if args.server:
+        url = args.server.rstrip("/") + "/metrics"
+        try:
+            with urllib.request.urlopen(url) as resp:
+                sys.stdout.write(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                doc = _json.loads(exc.read())
+                message = doc.get("error", str(exc))
+            except Exception:  # noqa: BLE001 - non-JSON error body
+                message = str(exc)
+            print(f"error: {message}", file=sys.stderr)
+            return 1
+        except OSError as exc:
+            print(f"error: cannot reach {url}: {exc}", file=sys.stderr)
+            return 1
+        return 0
+
+    from repro.obs import probes, recent_spans
+    from repro.obs.prom import render_registry
+
+    instruments = probes.arm()  # reuses the registry when already armed
+    sys.stdout.write(render_registry(instruments.registry))
+    if args.spans:
+        spans = recent_spans()
+        print(f"# {len(spans)} recent span(s)", file=sys.stderr)
+        for record in spans:
+            print(_json.dumps(record.to_dict()), file=sys.stderr)
+    return 0
+
+
 def _cmd_demo() -> int:
     instance = figure1_instance(budget_mb=4.0)
     print("Figure 1 instance: 7 photos, 4 subsets (Bikes/Cats/Bookshelf/Books), 4 Mb budget")
@@ -454,6 +532,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "jobs":
         return _cmd_jobs(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "serve":
         from repro.system.service import PhocusService
 
@@ -464,12 +544,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             queue_depth=args.queue_depth,
             journal_path=args.journal,
             checkpoint_every=args.checkpoint_every,
+            metrics=args.metrics,
+            access_log=args.access_log,
         ).start()
         print(f"PHOcus solver service listening on http://{service.address}")
         print(
             "endpoints: GET /health, GET /algorithms, POST /solve, POST /score,\n"
             "           POST /jobs, GET /jobs, GET /jobs/<id>, DELETE /jobs/<id>,\n"
             "           GET /stats"
+            + (", GET /metrics" if args.metrics else "")
         )
         try:
             import signal

@@ -25,13 +25,27 @@ endpoint          method   behaviour
                            and ``checkpoint_progress`` while running
 ``/jobs/<id>``    DELETE   cancel a queued or running job
 ``/stats``        GET      queue depth, per-state counts, worker
-                           utilisation, solve-latency percentiles
+                           utilisation, solve-latency percentiles,
+                           failure-classification tallies
+``/metrics``      GET      Prometheus text exposition (format 0.0.4) of
+                           the process metrics registry — solver, jobs,
+                           checkpoint, and HTTP series; 404 when the
+                           service runs with metrics disabled
 ================  =======  ================================================
 
 Instances travel in the :mod:`repro.core.serialize` wire format.  Errors
 return ``4xx`` with ``{"error": message}``; a wrong method on a known
 path yields ``405`` with the allowed methods in the body's ``allow``
 field; unexpected failures ``500``.
+
+Observability: constructing a service with ``metrics=True`` (the
+default) arms :mod:`repro.obs.probes` process-wide, so solver and job
+telemetry flows into the registry ``GET /metrics`` serves.  Every
+request is also counted/timed per route
+(:func:`repro.obs.middleware.observe_request`), and ``access_log=True``
+replaces the historically silent ``log_message`` with one structured
+JSON line per request on stderr (off by default — the service stays
+quiet unless asked).
 
 Use :class:`PhocusService` as a context manager for an ephemeral server::
 
@@ -43,6 +57,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
@@ -53,8 +68,17 @@ from repro.core.solver import available_algorithms
 from repro.errors import ReproError, ValidationError
 from repro.jobs import JobManager, JobState, QueueFull, execute_solve_payload
 from repro.jobs.spec import JobSpec, new_job_id
+from repro.obs import probes as obs_probes
+from repro.obs.middleware import AccessLog, observe_request
+from repro.obs.prom import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from repro.obs.prom import render_registry
 
 __all__ = ["PhocusService", "handle_request"]
+
+# Sentinel keys in a dispatcher payload marking a non-JSON (raw text)
+# response; the transport handler honours them, tests can assert on them.
+RAW_BODY = "__raw__"
+RAW_CONTENT_TYPE = "__content_type__"
 
 _MAX_BODY = 64 * 1024 * 1024  # 64 MiB — generous for serialised instances
 
@@ -68,6 +92,7 @@ _ALLOWED_METHODS: Dict[str, Tuple[str, ...]] = {
     "/jobs": ("GET", "POST"),
     "/jobs/<id>": ("DELETE", "GET"),
     "/stats": ("GET",),
+    "/metrics": ("GET",),
 }
 
 
@@ -206,12 +231,17 @@ def handle_request(
     path: str,
     body: Optional[bytes],
     jobs: Optional[JobManager] = None,
+    instruments: Optional["obs_probes.Instruments"] = None,
 ) -> Tuple[int, Dict[str, Any]]:
     """Pure request dispatcher (transport-independent, directly testable).
 
     ``jobs`` is the service's :class:`~repro.jobs.JobManager`; without
-    one, the ``/jobs`` and ``/stats`` routes answer 503.  Returns
-    ``(http_status, json_payload)``.
+    one, the ``/jobs`` and ``/stats`` routes answer 503.  ``instruments``
+    backs ``GET /metrics``; without them the route answers 404 (metrics
+    disabled).  Returns ``(http_status, json_payload)`` — for
+    ``/metrics`` the payload carries the exposition text under the
+    ``RAW_BODY`` key, which the transport serves verbatim with the
+    ``RAW_CONTENT_TYPE`` content type instead of JSON-encoding it.
     """
     parts = urlsplit(path)
     path = parts.path.rstrip("/") or "/"
@@ -228,6 +258,13 @@ def handle_request(
         }
 
     try:
+        if path == "/metrics":
+            if instruments is None:
+                return 404, {"error": "metrics are disabled on this service"}
+            return 200, {
+                RAW_BODY: render_registry(instruments.registry),
+                RAW_CONTENT_TYPE: _PROM_CONTENT_TYPE,
+            }
         if path == "/health":
             from repro import __version__
 
@@ -259,22 +296,46 @@ class _Handler(BaseHTTPRequestHandler):
         return getattr(self.server, "phocus_jobs", None)
 
     def _reply(self, status: int, payload: Dict[str, Any]) -> None:
-        data = json.dumps(payload).encode("utf-8")
+        if RAW_BODY in payload:
+            data = str(payload[RAW_BODY]).encode("utf-8")
+            content_type = str(
+                payload.get(RAW_CONTENT_TYPE) or "text/plain; charset=utf-8"
+            )
+        else:
+            data = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         if status == 405 and isinstance(payload.get("allow"), list):
             self.send_header("Allow", ", ".join(payload["allow"]))
         self.end_headers()
         self.wfile.write(data)
 
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
-        status, payload = handle_request("GET", self.path, None, self._jobs())
+    def _dispatch(self, method: str, body: Optional[bytes]) -> None:
+        start = time.perf_counter()
+        status, payload = handle_request(
+            method,
+            self.path,
+            body,
+            self._jobs(),
+            instruments=getattr(self.server, "phocus_obs", None),
+        )
         self._reply(status, payload)
+        observe_request(
+            getattr(self.server, "phocus_obs", None),
+            getattr(self.server, "phocus_access_log", None),
+            method,
+            self.path,
+            status,
+            time.perf_counter() - start,
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET", None)
 
     def do_DELETE(self) -> None:  # noqa: N802 - http.server API
-        status, payload = handle_request("DELETE", self.path, None, self._jobs())
-        self._reply(status, payload)
+        self._dispatch("DELETE", None)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         length = int(self.headers.get("Content-Length") or 0)
@@ -282,10 +343,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(413, {"error": "request body too large"})
             return
         body = self.rfile.read(length) if length else b""
-        status, payload = handle_request("POST", self.path, body, self._jobs())
-        self._reply(status, payload)
+        self._dispatch("POST", body)
 
-    def log_message(self, *args) -> None:  # silence per-request stderr noise
+    def log_message(self, *args) -> None:
+        # http.server's default per-request stderr line is replaced by the
+        # structured access log in repro.obs.middleware (opt-in via the
+        # service's access_log flag); keep the built-in channel silent.
         return
 
 
@@ -298,6 +361,11 @@ class PhocusService:
     ``journal_path`` for crash recovery) — pass ``job_manager`` to share
     an external one, or ``workers=0`` to serve only the synchronous API.
     Use as a context manager or call :meth:`start` / :meth:`stop`.
+
+    ``metrics=True`` (default) arms :mod:`repro.obs.probes` process-wide
+    and serves the registry at ``GET /metrics``; ``metrics=False`` leaves
+    the probes untouched and the route answers 404.  ``access_log=True``
+    emits one structured JSON line per request on stderr.
     """
 
     def __init__(
@@ -310,6 +378,8 @@ class PhocusService:
         journal_path: Optional[str] = None,
         job_manager: Optional[JobManager] = None,
         checkpoint_every: Optional[int] = None,
+        metrics: bool = True,
+        access_log: bool = False,
     ) -> None:
         self._server = ThreadingHTTPServer((host, port), _Handler)
         self._thread: Optional[threading.Thread] = None
@@ -321,6 +391,12 @@ class PhocusService:
             default_checkpoint_every=checkpoint_every,
         )
         self._server.phocus_jobs = self.jobs
+        # Arm (or reuse already-armed) process instruments; re-arming with
+        # no arguments keeps an existing registry so multiple services in
+        # one process share a single exposition.
+        self.instruments = obs_probes.arm() if metrics else None
+        self._server.phocus_obs = self.instruments
+        self._server.phocus_access_log = AccessLog() if access_log else None
 
     @property
     def address(self) -> str:
