@@ -3,7 +3,7 @@
 # Targets export PYTHONPATH=src so they match the tier-1 verify command
 # and work on a fresh clone without `make install`.
 
-.PHONY: install test bench bench-kernels obs-smoke examples chaos results clean
+.PHONY: install test bench bench-kernels obs-smoke load-smoke examples chaos results clean
 
 # Instance-size multiplier for the kernel bench (CI smoke uses 0.25).
 KERNEL_BENCH_SCALE ?= 1.0
@@ -12,6 +12,10 @@ KERNEL_BENCH_OUT ?= BENCH_solver_kernels.json
 # Instance-size multiplier for the observability overhead gate.
 OBS_BENCH_SCALE ?= 1.0
 OBS_BENCH_OUT ?= BENCH_obs_overhead.json
+
+# Output path for the multi-tenant service load benchmark.
+LOAD_BENCH_OUT ?= BENCH_service_load.json
+LOAD_BENCH_FLAGS ?=
 
 PYTHONPATH_SRC = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
@@ -36,6 +40,15 @@ obs-smoke:
 	$(PYTHONPATH_SRC) python benchmarks/bench_obs_overhead.py \
 		--scale $(OBS_BENCH_SCALE) --out $(OBS_BENCH_OUT)
 
+# Multi-tenant service load smoke: 16 concurrent tenants solving by_ref
+# over real HTTP, cold (cache off) vs warm (cache on) phases.  The bench
+# exits non-zero when an SLO gate fails: warm steady-state p95 must beat
+# cold p95, the warm hit rate must be exactly (rounds-1)/rounds, results
+# must be bit-identical across phases, and no shm segment may leak.
+load-smoke:
+	$(PYTHONPATH_SRC) python benchmarks/bench_service_load.py \
+		--quick --out $(LOAD_BENCH_OUT) $(LOAD_BENCH_FLAGS)
+
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHONPATH_SRC) python $$f > /dev/null || exit 1; done
 	@echo "all examples ran cleanly"
@@ -44,7 +57,8 @@ chaos:
 	@for seed in 0 1 2; do \
 		echo "== PHOCUS_CHAOS_SEED=$$seed"; \
 		PHOCUS_CHAOS_SEED=$$seed $(PYTHONPATH_SRC) python -m pytest -q \
-			tests/test_faults.py tests/core/test_checkpoint.py || exit 1; \
+			tests/test_faults.py tests/core/test_checkpoint.py \
+			tests/test_tenants_chaos.py || exit 1; \
 	done
 
 results:

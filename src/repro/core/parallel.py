@@ -52,6 +52,8 @@ from repro.errors import ConfigurationError, InfeasibleError
 __all__ = [
     "SolveTask",
     "SharedInstance",
+    "attach_instance",
+    "build_view_instance",
     "solve_batch",
     "default_workers",
 ]
@@ -146,9 +148,20 @@ class SharedInstance:
     context manager — exit closes *and unlinks* the segment.  Workers that
     attached keep their mapping until process exit (POSIX keeps unlinked
     segments alive while mapped), so unlinking early is safe.
+
+    ``name`` requests an explicit segment name — the tenant warm cache
+    (:mod:`repro.tenants.cache`) names its segments with a recognisable,
+    pid-stamped prefix so a crash-recovery sweep can find and reclaim
+    segments leaked by dead processes.
+
+    :meth:`materialize` rebuilds the instance *in this process* as
+    zero-copy numpy views over the owned mapping — the same construction
+    workers perform via :func:`attach_instance`, minus the extra
+    attachment.  This is how a warm-cached instance is served to the
+    threaded service without deserialising or re-packing anything.
     """
 
-    def __init__(self, instance: PARInstance) -> None:
+    def __init__(self, instance: PARInstance, *, name: Optional[str] = None) -> None:
         packer = _Packer()
         subset_specs: List[Dict[str, object]] = []
         for q in instance.subsets:
@@ -190,7 +203,9 @@ class SharedInstance:
                 "wrel": packer.add(inc.wrel),
             },
         }
-        self._shm = shared_memory.SharedMemory(create=True, size=max(packer.size, 1))
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(packer.size, 1), name=name
+        )
         packer.write_into(self._shm)
 
     @property
@@ -201,15 +216,27 @@ class SharedInstance:
     def nbytes(self) -> int:
         return self._shm.size
 
+    def materialize(self, *, budget: Optional[float] = None) -> PARInstance:
+        """This process's zero-copy view instance (see class docstring)."""
+        return build_view_instance(self._shm, self.spec, budget=budget)
+
     def close(self) -> None:
-        """Unmap and remove the segment (idempotent)."""
+        """Remove the segment and unmap it (idempotent).
+
+        The unlink happens *first* and unconditionally: POSIX keeps the
+        memory alive while any mapping exists, so removing the name early
+        is safe, and it guarantees no segment outlives its owner even
+        when live numpy views (a :meth:`materialize` instance still held
+        by a caller) make the unmap itself fail with ``BufferError``.
+        The mapping is then released when the last view dies.
+        """
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass  # already unlinked (idempotent close)
         try:
             self._shm.close()
         except BufferError:  # pragma: no cover - live views in this process
-            return
-        try:
-            self._shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - already unlinked
             pass
 
     def __enter__(self) -> "SharedInstance":
@@ -247,15 +274,24 @@ def _attach(name: str) -> shared_memory.SharedMemory:
 def attach_instance(
     name: str, spec: Dict[str, object], *, budget: Optional[float] = None
 ) -> PARInstance:
-    """Rebuild the shared instance as zero-copy views (worker side).
+    """Rebuild the shared instance as zero-copy views (worker side)."""
+    return build_view_instance(_attach(name), spec, budget=budget)
 
-    Bypasses :class:`PARInstance` validation — the parent validated the
+
+def build_view_instance(
+    shm: shared_memory.SharedMemory,
+    spec: Dict[str, object],
+    *,
+    budget: Optional[float] = None,
+) -> PARInstance:
+    """Rebuild a packed instance as zero-copy views over ``shm``.
+
+    Bypasses :class:`PARInstance` validation — the packer validated the
     instance before packing, and re-validating would force copies.  Photo
     labels/metadata and embeddings are not shipped (no solver reads them);
     the budget override re-checks retention-set feasibility so a sweep
     budget below ``C(S0)`` fails exactly like a normal construction.
     """
-    shm = _attach(name)
     n = int(spec["n"])
     costs = _view(shm, spec["costs"])
 

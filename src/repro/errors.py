@@ -50,6 +50,47 @@ class CheckpointError(ReproError):
     """
 
 
+class QuotaExceeded(ReproError):
+    """A tenant's storage quota refuses the write (HTTP 413).
+
+    ``kind`` names the exhausted resource (``"bytes"`` or
+    ``"instances"``); ``used``/``limit`` quantify it so the service can
+    return a structured error body instead of prose.
+    """
+
+    def __init__(self, tenant: str, kind: str, used: float, limit: float) -> None:
+        super().__init__(
+            f"tenant {tenant!r} over {kind} quota ({used:g} of {limit:g})"
+        )
+        self.tenant = tenant
+        self.kind = kind
+        self.used = used
+        self.limit = limit
+
+
+class RateLimited(ReproError):
+    """A tenant's token bucket is empty — back off (HTTP 429).
+
+    ``retry_after`` is the seconds until one token refills, surfaced in
+    the structured error body (and usable as a ``Retry-After`` header).
+    """
+
+    def __init__(self, tenant: str, retry_after: float) -> None:
+        super().__init__(
+            f"tenant {tenant!r} is over its request rate; retry in "
+            f"{retry_after:.2f}s"
+        )
+        self.tenant = tenant
+        self.retry_after = retry_after
+
+
+class InstanceNotFound(ReproError, KeyError):
+    """A ``by_ref`` reference names no stored tenant instance (HTTP 404)."""
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0] if self.args else ""
+
+
 class TransientSolveError(ReproError):
     """A solve failed for a reason that may succeed on retry.
 

@@ -61,6 +61,11 @@ KNOWN_SITES: Dict[str, str] = {
     "dataset.write": "before a dataset file write (check/corrupt)",
     "dataset.fsync": "fsync of a dataset temp file (drop)",
     "dataset.replace": "atomic rename publishing a dataset (check)",
+    "tenantstore.write": "before a tenant instance blob write (check/corrupt)",
+    "tenantstore.fsync": "fsync of a tenant instance temp file (drop)",
+    "tenantstore.replace": "atomic rename publishing a tenant instance (check)",
+    "tenantstore.load": "read of a stored tenant instance blob (check)",
+    "tenantcache.evict": "warm-cache segment reclaim during eviction (check)",
 }
 
 # Which probe kinds a rule action responds to.

@@ -36,7 +36,7 @@ from repro.core.checkpoint import (
     encode_record_b64,
 )
 from repro.core.solver import PERMANENT, TRANSIENT, classify_failure
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, ValidationError
 from repro.faults.plan import ProcessKilled
 from repro.jobs.queue import FairPriorityQueue, QueueFull
 from repro.jobs.spec import JobRecord, JobSpec, JobState, new_job_id
@@ -113,6 +113,7 @@ class JobManager:
         autostart: bool = True,
         rng_seed: Optional[int] = None,
         default_checkpoint_every: Optional[int] = None,
+        by_ref_resolver: Optional[Callable[[Dict[str, Any]], Any]] = None,
     ) -> None:
         if store is not None and journal_path is not None:
             raise ValueError("give either store or journal_path, not both")
@@ -124,6 +125,7 @@ class JobManager:
             else (JournalJobStore(journal_path) if journal_path else InMemoryJobStore())
         )
         self._default_checkpoint_every = default_checkpoint_every
+        self._by_ref_resolver = by_ref_resolver
         self._solve_fn = solve_fn or self._default_solve
         self._solve_accepts_checkpoints = _supports_checkpoints(self._solve_fn)
         self._retry_base_delay = retry_base_delay
@@ -318,6 +320,21 @@ class JobManager:
         payload = spec.solve_payload()
         if "checkpoint_every" not in payload and self._default_checkpoint_every:
             payload["checkpoint_every"] = self._default_checkpoint_every
+        if spec.by_ref is not None:
+            if self._by_ref_resolver is None:
+                raise ValidationError(
+                    "this job manager has no tenant store to resolve 'by_ref'"
+                )
+            # The resolver is a context manager factory (the service wires
+            # Tenants.lease_for_solve): the cache lease spans the solve, so
+            # the packed segment cannot be evicted mid-run.
+            with self._by_ref_resolver(spec.by_ref) as instance:
+                return execute_solve_payload(
+                    payload,
+                    instance=instance,
+                    checkpoint_sink=checkpoint_sink,
+                    resume_from=resume_from,
+                )
         return execute_solve_payload(
             payload, checkpoint_sink=checkpoint_sink, resume_from=resume_from
         )

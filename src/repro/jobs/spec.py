@@ -81,7 +81,11 @@ class JobSpec:
     """
 
     job_id: str
-    instance: Dict[str, Any]
+    # Exactly one of the two instance sources: an inline wire-format
+    # document, or a tenant-store reference ({"tenant", "instance_id",
+    # "version"?}) resolved at execution time through the warm cache.
+    instance: Optional[Dict[str, Any]] = None
+    by_ref: Optional[Dict[str, Any]] = None
     tenant: str = "default"
     algorithm: str = "phocus"
     tau: float = 0.0
@@ -101,6 +105,13 @@ class JobSpec:
     def __post_init__(self) -> None:
         if not self.job_id:
             raise ValidationError("job_id must be non-empty")
+        if (self.instance is None) == (self.by_ref is None):
+            raise ValidationError(
+                "a job needs exactly one of 'instance' (inline document) or "
+                "'by_ref' (tenant store reference)"
+            )
+        if self.by_ref is not None and not isinstance(self.by_ref, dict):
+            raise ValidationError("'by_ref' must be an object")
         if not self.tenant:
             raise ValidationError("tenant must be non-empty")
         if self.max_attempts < 1:
@@ -122,13 +133,16 @@ class JobSpec:
     def solve_payload(self) -> Dict[str, Any]:
         """The equivalent ``POST /solve`` request body."""
         payload = {
-            "instance": self.instance,
             "algorithm": self.algorithm,
             "tau": self.tau,
             "sparsify_method": self.sparsify_method,
             "certificate": self.certificate,
             "seed": self.seed,
         }
+        if self.instance is not None:
+            payload["instance"] = self.instance
+        else:
+            payload["by_ref"] = self.by_ref
         if self.checkpoint_every is not None:
             payload["checkpoint_every"] = self.checkpoint_every
         if self.budgets is not None:
@@ -142,6 +156,7 @@ class JobSpec:
             "job_id": self.job_id,
             "tenant": self.tenant,
             "instance": self.instance,
+            "by_ref": self.by_ref,
             "algorithm": self.algorithm,
             "tau": self.tau,
             "sparsify_method": self.sparsify_method,
@@ -161,7 +176,8 @@ class JobSpec:
             return cls(
                 job_id=str(doc["job_id"]),
                 tenant=str(doc.get("tenant", "default")),
-                instance=doc["instance"],
+                instance=doc.get("instance"),
+                by_ref=doc.get("by_ref"),
                 algorithm=str(doc.get("algorithm", "phocus")),
                 tau=float(doc.get("tau", 0.0)),
                 sparsify_method=str(doc.get("sparsify_method", "exact")),

@@ -36,6 +36,7 @@ __all__ = ["execute_solve_payload", "run_with_timeout", "WorkerPool"]
 def execute_solve_payload(
     payload: Dict[str, Any],
     *,
+    instance: Optional[Any] = None,
     checkpoint_sink: Optional[Callable[[Dict[str, Any]], None]] = None,
     resume_from: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
@@ -46,6 +47,12 @@ def execute_solve_payload(
     ``checkpoint_every``, ``budgets``, ``parallel_workers``.  The reported
     ``value`` is always the *true* objective on the original
     (unsparsified) instance.
+
+    ``instance`` (keyword) bypasses the payload's ``instance`` document
+    with an already-built :class:`~repro.core.instance.PARInstance` —
+    the ``by_ref`` path resolves references through the tenant store and
+    warm cache and hands the live instance in here, so by-reference and
+    inline solves share every line below and can never drift.
 
     ``budgets`` turns the request into a *sweep*: the (possibly
     sparsified) instance is solved once per budget via
@@ -62,10 +69,11 @@ def execute_solve_payload(
     deterministic in ``seed``, so the resumed run sees the identical
     sparsified instance the checkpoint was taken against.
     """
-    instance_doc = payload.get("instance")
-    if not isinstance(instance_doc, dict):
-        raise ValidationError("request body needs 'instance' of type dict")
-    instance = instance_from_dict(instance_doc)
+    if instance is None:
+        instance_doc = payload.get("instance")
+        if not isinstance(instance_doc, dict):
+            raise ValidationError("request body needs 'instance' of type dict")
+        instance = instance_from_dict(instance_doc)
     algorithm = payload.get("algorithm") or "phocus"
     _obs = _obs_probes.active()
     if _obs is not None:

@@ -1,0 +1,166 @@
+"""A generic byte-capacity LRU — the one eviction loop in the codebase.
+
+Two very different layers need "hold items under a byte budget, evict
+the least interesting one when full": the access-driven cache policies
+of :mod:`repro.storage.caching` (the Section 2 related-work experiment)
+and the tenant warm cache of :mod:`repro.tenants.cache` (packed
+shared-memory instances for hot archives).  Before this module each
+would have grown its own subtly different accounting; now both delegate
+residency, byte bookkeeping, pinning, and the eviction loop to
+:class:`ByteBudgetLRU` and only customise the two genuinely different
+decisions:
+
+* *who to evict* — the default is strict recency (the front of the
+  ordered dict); a ``victim_of`` hook lets LFU (or any other policy)
+  pick among the evictable residents instead;
+* *what eviction means* — an ``on_evict`` hook receives each evicted
+  ``(key, value)`` so owners of real resources (shared-memory segments)
+  can release them; for the plain replay experiment it is a no-op.
+
+The class is deliberately not thread-safe: both call sites wrap it in
+their own lock (the replay harness is single-threaded, the warm cache
+needs its lock to cover more state than residency anyway).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, TypeVar
+
+from repro.errors import ValidationError
+
+__all__ = ["ByteBudgetLRU"]
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class ByteBudgetLRU:
+    """Byte-bounded mapping with LRU (or policy-hook) eviction.
+
+    ``capacity_bytes`` must be positive.  Items larger than the whole
+    capacity are refused by :meth:`put` (returns ``False``).  ``pinned``
+    keys are never evicted — :meth:`put` fails when only pinned items
+    stand in the way, mirroring the original cache's behaviour.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: float,
+        *,
+        on_evict: Optional[Callable[[K, V], None]] = None,
+        victim_of: Optional[Callable[[Iterable[K]], Optional[K]]] = None,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValidationError("capacity must be positive")
+        self.capacity = float(capacity_bytes)
+        self._on_evict = on_evict
+        self._victim_of = victim_of
+        self._entries: "OrderedDict[K, Tuple[V, float]]" = OrderedDict()
+        self._pinned: set = set()
+        self._bytes = 0.0
+        self.evictions = 0
+
+    # -------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    @property
+    def used_bytes(self) -> float:
+        return self._bytes
+
+    def keys(self) -> List[K]:
+        """Resident keys, least recently used first."""
+        return list(self._entries)
+
+    def sizes(self) -> Dict[K, float]:
+        return {k: size for k, (_, size) in self._entries.items()}
+
+    def get(self, key: K) -> Optional[V]:
+        """The value for ``key`` (touching its recency), or ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        return entry[0]
+
+    def peek(self, key: K) -> Optional[V]:
+        """The value for ``key`` without touching recency."""
+        entry = self._entries.get(key)
+        return entry[0] if entry is not None else None
+
+    # ------------------------------------------------------------ mutation
+
+    def touch(self, key: K) -> bool:
+        """Mark ``key`` most recently used; ``False`` if absent."""
+        if key not in self._entries:
+            return False
+        self._entries.move_to_end(key)
+        return True
+
+    def put(self, key: K, value: V, nbytes: float, *, pin: bool = False) -> bool:
+        """Admit (or replace) ``key``; evict as needed.  ``True`` on success.
+
+        Replacing an existing key fires ``on_evict`` for the old value
+        first.  Returns ``False`` — with nothing admitted — when the item
+        cannot fit even after evicting every unpinned resident.
+        """
+        nbytes = float(nbytes)
+        if nbytes < 0:
+            raise ValidationError("item size must be non-negative")
+        if key in self._entries:
+            # Replacement releases the old value like an eviction would —
+            # owners of real resources (shm segments) must see it go.
+            old = self.pop(key)
+            if self._on_evict is not None:
+                self._on_evict(key, old)
+        if nbytes > self.capacity:
+            return False
+        while self._bytes + nbytes > self.capacity * (1 + 1e-12):
+            if self._evict_one() is None:
+                return False  # only pinned items remain; cannot admit
+        self._entries[key] = (value, nbytes)
+        self._bytes += nbytes
+        if pin:
+            self._pinned.add(key)
+        return True
+
+    def pop(self, key: K) -> Optional[V]:
+        """Remove ``key`` *without* firing ``on_evict``; returns its value."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return None
+        self._pinned.discard(key)
+        self._bytes -= entry[1]
+        return entry[0]
+
+    def clear(self) -> None:
+        """Evict everything (pinned included), firing ``on_evict`` per item."""
+        while self._entries:
+            key = next(iter(self._entries))
+            value = self.pop(key)
+            self.evictions += 1
+            if self._on_evict is not None:
+                self._on_evict(key, value)
+
+    # ------------------------------------------------------------ internals
+
+    def _evict_one(self) -> Optional[K]:
+        victim = self._pick_victim()
+        if victim is None:
+            return None
+        value = self.pop(victim)
+        self.evictions += 1
+        if self._on_evict is not None:
+            self._on_evict(victim, value)
+        return victim
+
+    def _pick_victim(self) -> Optional[K]:
+        evictable = (k for k in self._entries if k not in self._pinned)
+        if self._victim_of is not None:
+            return self._victim_of(evictable)
+        return next(evictable, None)

@@ -32,7 +32,17 @@ __all__ = ["AccessLog", "observe_request", "route_label"]
 # /jobs/<id> family) is normalised so unknown paths cannot explode the
 # route label space.
 _EXACT_ROUTES = frozenset(
-    {"/health", "/algorithms", "/solve", "/score", "/jobs", "/stats", "/metrics"}
+    {
+        "/health",
+        "/healthz",
+        "/version",
+        "/algorithms",
+        "/solve",
+        "/score",
+        "/jobs",
+        "/stats",
+        "/metrics",
+    }
 )
 
 
@@ -43,6 +53,19 @@ def route_label(path: str) -> str:
         return path
     if path.startswith("/jobs/"):
         return "/jobs/<id>"
+    if path.startswith("/tenants/"):
+        # /tenants/<tid>[/instances[/<iid>]] and /tenants/<tid>/stats —
+        # tenant and instance ids never become route labels.
+        tail = path.split("/")[3:]
+        if tail[:1] == ["stats"]:
+            return "/tenants/<id>/stats"
+        if tail[:1] == ["instances"]:
+            return (
+                "/tenants/<id>/instances/<iid>"
+                if len(tail) > 1
+                else "/tenants/<id>/instances"
+            )
+        return "/tenants/<id>"
     return "<other>"
 
 

@@ -179,6 +179,48 @@ class Instruments:
             "execution time of successful job attempts",
         )
 
+        # ---------------------------------------------------------- tenants
+        self.tenants_store_bytes = reg.gauge(
+            "phocus_tenants_store_bytes",
+            "bytes of stored instance envelopes per tenant",
+            ("tenant",),
+            max_series=128,
+        )
+        self.tenants_store_instances = reg.gauge(
+            "phocus_tenants_store_instances",
+            "stored instances per tenant",
+            ("tenant",),
+            max_series=128,
+        )
+        self.tenants_cache_hits = reg.counter(
+            "phocus_tenants_cache_hits_total",
+            "warm-cache leases served from a resident packed instance",
+            ("tenant",),
+            max_series=128,
+        )
+        self.tenants_cache_misses = reg.counter(
+            "phocus_tenants_cache_misses_total",
+            "warm-cache leases that had to load + pack",
+            ("tenant",),
+            max_series=128,
+        )
+        self.tenants_cache_evictions = reg.counter(
+            "phocus_tenants_cache_evictions_total",
+            "packed instances evicted from the warm cache",
+            ("tenant",),
+            max_series=128,
+        )
+        self.tenants_cache_bytes = reg.gauge(
+            "phocus_tenants_cache_bytes",
+            "bytes of packed instances resident in the warm cache",
+        )
+        self.tenants_quota_rejections = reg.counter(
+            "phocus_tenants_quota_rejections_total",
+            "requests refused by quota (413: bytes/instances) or rate (429)",
+            ("tenant", "kind"),
+            max_series=256,
+        )
+
         # ------------------------------------------------------------- http
         self.http_requests = reg.counter(
             "phocus_http_requests_total",

@@ -14,7 +14,6 @@ photo set resident in the cache (where redundancy-blindness costs).
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -22,6 +21,7 @@ import numpy as np
 
 from repro.core.instance import PARInstance
 from repro.errors import ValidationError
+from repro.lru import ByteBudgetLRU
 
 __all__ = ["ByteCapacityCache", "replay_accesses", "CacheReplayResult"]
 
@@ -32,6 +32,10 @@ class ByteCapacityCache:
     Items are admitted on access (miss-fill).  Items larger than the
     capacity are never admitted.  Pinned items (a retention set) are
     admitted up front and never evicted.
+
+    Residency, byte accounting, and the eviction loop live in the shared
+    :class:`repro.lru.ByteBudgetLRU`; this class contributes only the
+    access-driven admission protocol and the LFU victim policy.
     """
 
     def __init__(
@@ -41,45 +45,36 @@ class ByteCapacityCache:
         policy: str = "lru",
         pinned: Sequence[int] = (),
     ) -> None:
-        if capacity_bytes <= 0:
-            raise ValidationError("capacity must be positive")
         if policy not in ("lru", "lfu"):
             raise ValidationError(f"unknown policy {policy!r}; use 'lru' or 'lfu'")
-        self.capacity = float(capacity_bytes)
         self.policy = policy
         self._sizes = dict(sizes)
-        self._pinned = set(int(p) for p in pinned)
-        # LRU: OrderedDict as recency list.  LFU: frequency counts.
-        self._resident: "OrderedDict[int, float]" = OrderedDict()
-        self._bytes = 0.0
         self._freq: Dict[int, int] = {}
-        pinned_bytes = sum(self._sizes[p] for p in self._pinned)
-        if pinned_bytes > self.capacity * (1 + 1e-12):
+        victim = self._lfu_victim if policy == "lfu" else None
+        self._lru: ByteBudgetLRU = ByteBudgetLRU(capacity_bytes, victim_of=victim)
+        pinned_ids = sorted(set(int(p) for p in pinned))
+        if sum(self._sizes[p] for p in pinned_ids) > self.capacity * (1 + 1e-12):
             raise ValidationError("pinned items exceed cache capacity")
-        for p in sorted(self._pinned):
-            self._resident[p] = self._sizes[p]
-            self._bytes += self._sizes[p]
+        for p in pinned_ids:
+            self._lru.put(p, p, self._sizes[p], pin=True)
+
+    @property
+    def capacity(self) -> float:
+        return self._lru.capacity
 
     @property
     def resident(self) -> List[int]:
         """Currently cached photo ids."""
-        return list(self._resident)
+        return self._lru.keys()
 
     @property
     def used_bytes(self) -> float:
-        return self._bytes
+        return self._lru.used_bytes
 
-    def _evict_victim(self) -> Optional[int]:
-        if self.policy == "lru":
-            for candidate in self._resident:  # oldest first
-                if candidate not in self._pinned:
-                    return candidate
-            return None
-        # LFU: least frequently used non-pinned resident; FIFO tie-break.
+    def _lfu_victim(self, evictable) -> Optional[int]:
+        # Least frequently used non-pinned resident; FIFO tie-break.
         best, best_freq = None, None
-        for candidate in self._resident:
-            if candidate in self._pinned:
-                continue
+        for candidate in evictable:
             freq = self._freq.get(candidate, 0)
             if best_freq is None or freq < best_freq:
                 best, best_freq = candidate, freq
@@ -94,21 +89,11 @@ class ByteCapacityCache:
             raise ValidationError(f"unknown photo id {photo_id}") from None
         self._freq[photo_id] = self._freq.get(photo_id, 0) + 1
 
-        if photo_id in self._resident:
+        if photo_id in self._lru:
             if self.policy == "lru":
-                self._resident.move_to_end(photo_id)
+                self._lru.touch(photo_id)
             return True
-
-        if size > self.capacity:
-            return False
-        # Admit, evicting as needed.
-        while self._bytes + size > self.capacity * (1 + 1e-12):
-            victim = self._evict_victim()
-            if victim is None:
-                return False  # only pinned items remain; cannot admit
-            self._bytes -= self._resident.pop(victim)
-        self._resident[photo_id] = size
-        self._bytes += size
+        self._lru.put(photo_id, photo_id, size)
         return False
 
 

@@ -128,6 +128,40 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit one structured JSON line per request on stderr",
     )
+    serve_p.add_argument(
+        "--tenants-root",
+        metavar="DIR",
+        help="directory for the multi-tenant instance store; enables the "
+        "/tenants API and by_ref solves",
+    )
+    serve_p.add_argument(
+        "--tenants-cache-mb",
+        type=float,
+        default=256.0,
+        help="shared-memory warm cache capacity in MiB (0 disables caching)",
+    )
+    serve_p.add_argument(
+        "--tenant-max-bytes",
+        type=float,
+        help="per-tenant storage quota in bytes (default: unlimited)",
+    )
+    serve_p.add_argument(
+        "--tenant-max-instances",
+        type=int,
+        help="per-tenant stored instance count quota (default: unlimited)",
+    )
+    serve_p.add_argument(
+        "--tenant-rate",
+        type=float,
+        help="per-tenant request rate limit in requests/second "
+        "(default: unlimited)",
+    )
+    serve_p.add_argument(
+        "--tenant-burst",
+        type=int,
+        default=10,
+        help="token-bucket burst size for --tenant-rate",
+    )
 
     jobs_p = sub.add_parser(
         "jobs", help="submit and track background solve jobs on a running service"
@@ -183,6 +217,39 @@ def build_parser() -> argparse.ArgumentParser:
     list_p.add_argument("--tenant")
 
     jobs_sub.add_parser("stats", help="queue / worker / latency statistics")
+
+    tenants_p = sub.add_parser(
+        "tenants", help="manage stored instances on a running service"
+    )
+    tenants_p.add_argument(
+        "--server",
+        default="http://127.0.0.1:8471",
+        help="base URL of a running 'phocus serve' instance",
+    )
+    tenants_sub = tenants_p.add_subparsers(dest="tenants_command", required=True)
+
+    upload_p = tenants_sub.add_parser(
+        "upload", help="upload a serialised instance for by_ref solving"
+    )
+    upload_p.add_argument("--tenant", required=True)
+    upload_p.add_argument("--id", required=True, dest="instance_id")
+    upload_p.add_argument(
+        "--instance-file",
+        required=True,
+        help="JSON file in the repro.core.serialize instance wire format",
+    )
+
+    tlist_p = tenants_sub.add_parser("list", help="list a tenant's stored instances")
+    tlist_p.add_argument("--tenant", required=True)
+
+    rm_p = tenants_sub.add_parser("rm", help="delete a stored instance")
+    rm_p.add_argument("--tenant", required=True)
+    rm_p.add_argument("--id", required=True, dest="instance_id")
+
+    tstats_p = tenants_sub.add_parser(
+        "stats", help="store / warm-cache / quota view for one tenant"
+    )
+    tstats_p.add_argument("--tenant", required=True)
 
     obs_p = sub.add_parser(
         "obs", help="observability: dump metrics from a service or this process"
@@ -448,6 +515,58 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tenants(args: argparse.Namespace) -> int:
+    import json
+
+    server = args.server
+    base = f"/tenants/{args.tenant}"
+    if args.tenants_command == "upload":
+        with open(args.instance_file, "r", encoding="utf-8") as fh:
+            instance_doc = json.load(fh)
+        status, doc = _http(
+            server,
+            "PUT",
+            f"{base}/instances/{args.instance_id}",
+            {"instance": instance_doc},
+        )
+        if status not in (200, 201):
+            print(f"error: {doc.get('error', status)}", file=sys.stderr)
+            return 1
+        meta = doc["stored"]
+        verb = "created" if status == 201 else "updated"
+        print(
+            f"{verb} {args.tenant}/{args.instance_id} "
+            f"(version {meta['version']}, {meta['nbytes']} bytes)"
+        )
+        return 0
+    if args.tenants_command == "list":
+        status, doc = _http(server, "GET", f"{base}/instances")
+        if status != 200:
+            print(f"error: {doc.get('error', status)}", file=sys.stderr)
+            return 1
+        print(f"{'instance id':<32} {'version':>7} {'bytes':>12}")
+        for meta in doc["instances"]:
+            print(
+                f"{meta['instance_id']:<32} {meta['version']:>7} "
+                f"{meta['nbytes']:>12}"
+            )
+        return 0
+    if args.tenants_command == "rm":
+        status, doc = _http(server, "DELETE", f"{base}/instances/{args.instance_id}")
+        if status != 200:
+            print(f"error: {doc.get('error', status)}", file=sys.stderr)
+            return 1
+        print(f"deleted {args.tenant}/{args.instance_id}")
+        return 0
+    # stats
+    status, doc = _http(server, "GET", f"{base}/stats")
+    if status != 200:
+        print(f"error: {doc.get('error', status)}", file=sys.stderr)
+        return 1
+    print(json.dumps(doc, indent=2))
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     """``phocus obs dump``: print a Prometheus exposition to stdout.
 
@@ -532,11 +651,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "jobs":
         return _cmd_jobs(args)
+    if args.command == "tenants":
+        return _cmd_tenants(args)
     if args.command == "obs":
         return _cmd_obs(args)
     if args.command == "serve":
         from repro.system.service import PhocusService
 
+        tenant_quota = None
+        if (
+            args.tenant_max_bytes is not None
+            or args.tenant_max_instances is not None
+            or args.tenant_rate is not None
+        ):
+            from repro.tenants import TenantQuota
+
+            tenant_quota = TenantQuota(
+                max_bytes=args.tenant_max_bytes,
+                max_instances=args.tenant_max_instances,
+                rate_per_second=args.tenant_rate,
+                burst=args.tenant_burst,
+            )
         service = PhocusService(
             host=args.host,
             port=args.port,
@@ -546,13 +681,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             checkpoint_every=args.checkpoint_every,
             metrics=args.metrics,
             access_log=args.access_log,
+            tenants_root=args.tenants_root,
+            tenants_cache_bytes=args.tenants_cache_mb * 1024 * 1024,
+            tenant_quota=tenant_quota,
         ).start()
         print(f"PHOcus solver service listening on http://{service.address}")
         print(
-            "endpoints: GET /health, GET /algorithms, POST /solve, POST /score,\n"
-            "           POST /jobs, GET /jobs, GET /jobs/<id>, DELETE /jobs/<id>,\n"
-            "           GET /stats"
+            "endpoints: GET /health(z), GET /version, GET /algorithms,\n"
+            "           POST /solve, POST /score, POST /jobs, GET /jobs,\n"
+            "           GET /jobs/<id>, DELETE /jobs/<id>, GET /stats"
             + (", GET /metrics" if args.metrics else "")
+            + (
+                ",\n           PUT/GET/DELETE /tenants/<t>/instances/<i>, "
+                "GET /tenants/<t>/stats"
+                if args.tenants_root
+                else ""
+            )
         )
         try:
             import signal

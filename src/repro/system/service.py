@@ -9,6 +9,8 @@ tiny JSON API a Flask app would expose:
 endpoint          method   behaviour
 ================  =======  ================================================
 ``/health``       GET      liveness + library version
+``/healthz``      GET      bare liveness (no locks, no subsystems)
+``/version``      GET      library version only
 ``/algorithms``   GET      the registered solver names
 ``/solve``        POST     synchronous fast path: body ``{"instance": …,
                            "algorithm"?, "tau"?, "sparsify_method"?,
@@ -29,14 +31,38 @@ endpoint          method   behaviour
                            failure-classification tallies
 ``/metrics``      GET      Prometheus text exposition (format 0.0.4) of
                            the process metrics registry — solver, jobs,
-                           checkpoint, and HTTP series; 404 when the
-                           service runs with metrics disabled
+                           checkpoint, tenants, and HTTP series; 404 when
+                           the service runs with metrics disabled
 ================  =======  ================================================
 
+With a tenant store configured (``tenants_root=...``), the multi-tenant
+archive API is also served:
+
+=================================  ==========  ===========================
+``/tenants/<t>/instances/<i>``     PUT         upload/overwrite a stored
+                                               instance (201 on create);
+                                               413 over quota, 429 over
+                                               rate
+``/tenants/<t>/instances/<i>``     GET/DELETE  fetch / remove the stored
+                                               envelope
+``/tenants/<t>/instances``         GET         list stored instance
+                                               metadata
+``/tenants/<t>/stats``             GET         store + warm-cache + quota
+                                               view for one tenant
+=================================  ==========  ===========================
+
+and ``POST /solve``, ``/score``, and ``/jobs`` accept ``{"by_ref":
+{"tenant", "instance_id", "version"?}}`` in place of ``"instance"`` —
+the instance is resolved from the store through the shared-memory warm
+cache, so repeated solves of the same stored instance skip both
+deserialisation and packing (``/solve`` responses report
+``warm_cache_hit``).
+
 Instances travel in the :mod:`repro.core.serialize` wire format.  Errors
-return ``4xx`` with ``{"error": message}``; a wrong method on a known
-path yields ``405`` with the allowed methods in the body's ``allow``
-field; unexpected failures ``500``.
+return ``4xx`` with ``{"error": message}`` (plus structured fields for
+404/413/429); a wrong method on a known path yields ``405`` with the
+allowed methods in the body's ``allow`` field; unexpected failures
+``500``.
 
 Observability: constructing a service with ``metrics=True`` (the
 default) arms :mod:`repro.obs.probes` process-wide, so solver and job
@@ -62,16 +88,25 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from contextlib import contextmanager
+
 from repro.core.objective import score, score_breakdown
 from repro.core.serialize import instance_from_dict
 from repro.core.solver import available_algorithms
-from repro.errors import ReproError, ValidationError
+from repro.errors import (
+    InstanceNotFound,
+    QuotaExceeded,
+    RateLimited,
+    ReproError,
+    ValidationError,
+)
 from repro.jobs import JobManager, JobState, QueueFull, execute_solve_payload
 from repro.jobs.spec import JobSpec, new_job_id
 from repro.obs import probes as obs_probes
 from repro.obs.middleware import AccessLog, observe_request
 from repro.obs.prom import CONTENT_TYPE as _PROM_CONTENT_TYPE
 from repro.obs.prom import render_registry
+from repro.tenants import TenantQuota, Tenants, parse_ref
 
 __all__ = ["PhocusService", "handle_request"]
 
@@ -86,6 +121,8 @@ _MAX_BODY = 64 * 1024 * 1024  # 64 MiB — generous for serialised instances
 # Wrong method on a known path is a 405 with these in the "allow" field.
 _ALLOWED_METHODS: Dict[str, Tuple[str, ...]] = {
     "/health": ("GET",),
+    "/healthz": ("GET",),
+    "/version": ("GET",),
     "/algorithms": ("GET",),
     "/solve": ("POST",),
     "/score": ("POST",),
@@ -93,24 +130,78 @@ _ALLOWED_METHODS: Dict[str, Tuple[str, ...]] = {
     "/jobs/<id>": ("DELETE", "GET"),
     "/stats": ("GET",),
     "/metrics": ("GET",),
+    "/tenants/<id>/instances": ("GET",),
+    "/tenants/<id>/instances/<iid>": ("DELETE", "GET", "PUT"),
+    "/tenants/<id>/stats": ("GET",),
 }
 
 
-def _solve_endpoint(payload: Dict[str, Any]) -> Dict[str, Any]:
+def _tenants_route_key(path: str) -> Optional[str]:
+    """Map a ``/tenants/...`` path to its route-table key (None = no route)."""
+    tail = path.split("/")[2:]  # ["<tid>", ...]
+    if len(tail) == 2 and tail[1] == "stats":
+        return "/tenants/<id>/stats"
+    if len(tail) == 2 and tail[1] == "instances":
+        return "/tenants/<id>/instances"
+    if len(tail) == 3 and tail[1] == "instances":
+        return "/tenants/<id>/instances/<iid>"
+    return None
+
+
+@contextmanager
+def _resolved_instance(payload: Dict[str, Any], tenants: Optional[Tenants]):
+    """Yield ``(PARInstance-or-None, warm_hit-or-None)`` for a request body.
+
+    ``None`` instance means the body carries an inline ``instance``
+    document — the caller's existing path handles it.  A ``by_ref`` body
+    is rate-checked and resolved through the tenant store + warm cache;
+    the yielded instance stays valid (cache lease held) for the whole
+    ``with`` block, i.e. across the solve.
+    """
+    by_ref = payload.get("by_ref")
+    if by_ref is None:
+        yield None, None
+        return
+    if "instance" in payload:
+        raise ValidationError("give either 'instance' or 'by_ref', not both")
+    if tenants is None:
+        raise ValidationError("no tenant store configured on this service")
+    budget = payload.get("budget")
+    if budget is not None:
+        budget = float(budget)
+        if not budget > 0:
+            raise ValidationError("'budget' override must be positive")
+    tenant, _, _ = parse_ref(by_ref)
+    tenants.check_rate(tenant)
+    with tenants.lease_for_solve(by_ref, budget=budget) as (instance, hit):
+        yield instance, hit
+
+
+def _solve_endpoint(
+    payload: Dict[str, Any], tenants: Optional[Tenants]
+) -> Dict[str, Any]:
     # The synchronous fast path and background jobs share one executor
     # (repro.jobs.worker.execute_solve_payload) so they can never drift.
-    return execute_solve_payload(payload)
+    with _resolved_instance(payload, tenants) as (instance, hit):
+        doc = execute_solve_payload(payload, instance=instance)
+    if hit is not None:
+        doc["warm_cache_hit"] = hit
+    return doc
 
 
-def _score_endpoint(payload: Dict[str, Any]) -> Dict[str, Any]:
-    instance = instance_from_dict(_require(payload, "instance", dict))
+def _score_endpoint(
+    payload: Dict[str, Any], tenants: Optional[Tenants]
+) -> Dict[str, Any]:
     selection = _require(payload, "selection", list)
-    return {
-        "value": score(instance, selection),
-        "cost": instance.cost_of(selection),
-        "feasible": instance.feasible(selection),
-        "breakdown": score_breakdown(instance, selection),
-    }
+    with _resolved_instance(payload, tenants) as (instance, _hit):
+        if instance is None:
+            instance = instance_from_dict(_require(payload, "instance", dict))
+        return {
+            "value": score(instance, selection),
+            "cost": instance.cost_of(selection),
+            "feasible": instance.feasible(selection),
+            "breakdown": score_breakdown(instance, selection),
+        }
 
 
 def _require(payload: Dict[str, Any], key: str, kind) -> Any:
@@ -133,15 +224,37 @@ def _parse_body(body: Optional[bytes]) -> Tuple[Optional[Dict[str, Any]], Option
 
 
 def _submit_job(
-    payload: Dict[str, Any], jobs: JobManager
+    payload: Dict[str, Any], jobs: JobManager, tenants: Optional[Tenants]
 ) -> Tuple[int, Dict[str, Any]]:
-    instance_doc = _require(payload, "instance", dict)
+    by_ref_doc = payload.get("by_ref")
+    if by_ref_doc is not None:
+        if "instance" in payload:
+            raise ValidationError("give either 'instance' or 'by_ref', not both")
+        if tenants is None:
+            raise ValidationError("no tenant store configured on this service")
+        instance_doc = None
+        ref_tenant, instance_id, version = parse_ref(by_ref_doc)
+        tenants.check_rate(ref_tenant)
+        # Validate existence now (404 beats a failed job later) and pin
+        # the version so retries and journal replays are deterministic
+        # even if the instance is overwritten while the job waits.
+        meta = tenants.store.meta(ref_tenant, instance_id)
+        by_ref_doc = {
+            "tenant": ref_tenant,
+            "instance_id": instance_id,
+            "version": version if version is not None else meta.version,
+        }
+        default_tenant = ref_tenant
+    else:
+        instance_doc = _require(payload, "instance", dict)
+        default_tenant = "default"
     timeout_seconds = payload.get("timeout_seconds")
     try:
         spec = JobSpec(
             job_id=new_job_id(),
             instance=instance_doc,
-            tenant=str(payload.get("tenant") or "default"),
+            by_ref=by_ref_doc,
+            tenant=str(payload.get("tenant") or default_tenant),
             algorithm=str(payload.get("algorithm") or "phocus"),
             tau=float(payload.get("tau") or 0.0),
             sparsify_method=str(payload.get("sparsify_method") or "exact"),
@@ -183,12 +296,46 @@ def _submit_job(
     return 202, {"job_id": job_id, "state": JobState.QUEUED.value}
 
 
+def _tenants_routes(
+    method: str,
+    path: str,
+    body: Optional[bytes],
+    tenants: Optional[Tenants],
+) -> Tuple[int, Dict[str, Any]]:
+    if tenants is None:
+        return 503, {"error": "no tenant store configured on this service"}
+    tail = path.split("/")[2:]
+    tenant = tail[0]
+    if tail[1] == "stats":
+        return 200, tenants.stats(tenant)
+    if len(tail) == 2:  # GET /tenants/<id>/instances
+        return 200, {
+            "tenant": tenant,
+            "instances": [m.to_dict() for m in tenants.list_instances(tenant)],
+        }
+    instance_id = tail[2]
+    tenants.check_rate(tenant)
+    if method == "PUT":
+        payload, err = _parse_body(body)
+        if err is not None:
+            return err
+        instance_doc = _require(payload, "instance", dict)
+        meta = tenants.put_instance(tenant, instance_id, instance_doc)
+        return (201 if meta.version == 1 else 200), {"stored": meta.to_dict()}
+    if method == "GET":
+        return 200, tenants.get_instance(tenant, instance_id)
+    # DELETE
+    meta = tenants.delete_instance(tenant, instance_id)
+    return 200, {"deleted": meta.to_dict()}
+
+
 def _jobs_routes(
     method: str,
     path: str,
     query: Dict[str, Any],
     body: Optional[bytes],
     jobs: Optional[JobManager],
+    tenants: Optional[Tenants],
 ) -> Tuple[int, Dict[str, Any]]:
     if jobs is None:
         return 503, {"error": "job manager not running on this service"}
@@ -196,7 +343,7 @@ def _jobs_routes(
         payload, err = _parse_body(body)
         if err is not None:
             return err
-        return _submit_job(payload, jobs)
+        return _submit_job(payload, jobs, tenants)
     if path == "/jobs" and method == "GET":
         state = query.get("state")
         tenant = query.get("tenant")
@@ -232,23 +379,31 @@ def handle_request(
     body: Optional[bytes],
     jobs: Optional[JobManager] = None,
     instruments: Optional["obs_probes.Instruments"] = None,
+    tenants: Optional[Tenants] = None,
 ) -> Tuple[int, Dict[str, Any]]:
     """Pure request dispatcher (transport-independent, directly testable).
 
     ``jobs`` is the service's :class:`~repro.jobs.JobManager`; without
     one, the ``/jobs`` and ``/stats`` routes answer 503.  ``instruments``
     backs ``GET /metrics``; without them the route answers 404 (metrics
-    disabled).  Returns ``(http_status, json_payload)`` — for
-    ``/metrics`` the payload carries the exposition text under the
-    ``RAW_BODY`` key, which the transport serves verbatim with the
-    ``RAW_CONTENT_TYPE`` content type instead of JSON-encoding it.
+    disabled).  ``tenants`` backs the ``/tenants/...`` family and the
+    ``by_ref`` solve path; without it those answer 503 / 422.  Returns
+    ``(http_status, json_payload)`` — for ``/metrics`` the payload
+    carries the exposition text under the ``RAW_BODY`` key, which the
+    transport serves verbatim with the ``RAW_CONTENT_TYPE`` content type
+    instead of JSON-encoding it.
     """
     parts = urlsplit(path)
     path = parts.path.rstrip("/") or "/"
     query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
 
-    route_key = "/jobs/<id>" if path.startswith("/jobs/") else path
-    allowed = _ALLOWED_METHODS.get(route_key)
+    if path.startswith("/jobs/"):
+        route_key: Optional[str] = "/jobs/<id>"
+    elif path.startswith("/tenants/"):
+        route_key = _tenants_route_key(path)
+    else:
+        route_key = path
+    allowed = _ALLOWED_METHODS.get(route_key) if route_key else None
     if allowed is None:
         return 404, {"error": f"no route for {method} {path}"}
     if method not in allowed:
@@ -269,20 +424,47 @@ def handle_request(
             from repro import __version__
 
             return 200, {"status": "ok", "version": __version__}
+        if path == "/healthz":
+            # Pure liveness: no locks, no subsystem calls — safe for tight
+            # orchestrator probe loops even while the service is degraded.
+            return 200, {"status": "ok"}
+        if path == "/version":
+            from repro import __version__
+
+            return 200, {"version": __version__}
         if path == "/algorithms":
             return 200, {"algorithms": available_algorithms()}
         if path in ("/solve", "/score"):
             payload, err = _parse_body(body)
             if err is not None:
                 return err
-            endpoint = _solve_endpoint if path == "/solve" else _score_endpoint
-            return 200, endpoint(payload)
+            if path == "/solve":
+                return 200, _solve_endpoint(payload, tenants)
+            return 200, _score_endpoint(payload, tenants)
         if path == "/stats":
             if jobs is None:
                 return 503, {"error": "job manager not running on this service"}
             return 200, jobs.stats()
+        if path.startswith("/tenants/"):
+            return _tenants_routes(method, path, body, tenants)
         # /jobs and /jobs/<id>
-        return _jobs_routes(method, path, query, body, jobs)
+        return _jobs_routes(method, path, query, body, jobs, tenants)
+    except RateLimited as exc:
+        return 429, {
+            "error": str(exc),
+            "tenant": exc.tenant,
+            "retry_after": exc.retry_after,
+        }
+    except QuotaExceeded as exc:
+        return 413, {
+            "error": str(exc),
+            "tenant": exc.tenant,
+            "kind": exc.kind,
+            "used": exc.used,
+            "limit": exc.limit,
+        }
+    except InstanceNotFound as exc:
+        return 404, {"error": str(exc)}
     except ReproError as exc:
         return 422, {"error": str(exc)}
     except Exception as exc:  # noqa: BLE001 - service boundary
@@ -320,6 +502,7 @@ class _Handler(BaseHTTPRequestHandler):
             body,
             self._jobs(),
             instruments=getattr(self.server, "phocus_obs", None),
+            tenants=getattr(self.server, "phocus_tenants", None),
         )
         self._reply(status, payload)
         observe_request(
@@ -338,18 +521,30 @@ class _Handler(BaseHTTPRequestHandler):
         self._dispatch("DELETE", None)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch_with_body("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch_with_body("PUT")
+
+    def _dispatch_with_body(self, method: str) -> None:
         length = int(self.headers.get("Content-Length") or 0)
         if length > _MAX_BODY:
             self._reply(413, {"error": "request body too large"})
             return
         body = self.rfile.read(length) if length else b""
-        self._dispatch("POST", body)
+        self._dispatch(method, body)
 
     def log_message(self, *args) -> None:
         # http.server's default per-request stderr line is replaced by the
         # structured access log in repro.obs.middleware (opt-in via the
         # service's access_log flag); keep the built-in channel silent.
         return
+
+
+class _Server(ThreadingHTTPServer):
+    # socketserver's default listen backlog (5) drops simultaneous
+    # connects with RST under tenant fan-out; size it for a load burst.
+    request_queue_size = 128
 
 
 class PhocusService:
@@ -380,23 +575,46 @@ class PhocusService:
         checkpoint_every: Optional[int] = None,
         metrics: bool = True,
         access_log: bool = False,
+        tenants_root: Optional[str] = None,
+        tenants: Optional[Tenants] = None,
+        tenants_cache_bytes: float = 256 * 1024 * 1024,
+        tenant_quota: Optional[TenantQuota] = None,
     ) -> None:
-        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server = _Server((host, port), _Handler)
         self._thread: Optional[threading.Thread] = None
+        self._owns_tenants = tenants is None and tenants_root is not None
+        if tenants is None and tenants_root is not None:
+            tenants = Tenants(
+                tenants_root,
+                cache_bytes=tenants_cache_bytes,
+                quota=tenant_quota,
+            )
+        self.tenants = tenants
         self._owns_jobs = job_manager is None
         self.jobs = job_manager or JobManager(
             workers=workers,
             queue_depth=queue_depth,
             journal_path=journal_path,
             default_checkpoint_every=checkpoint_every,
+            by_ref_resolver=(
+                self._lease_by_ref if tenants is not None else None
+            ),
         )
         self._server.phocus_jobs = self.jobs
+        self._server.phocus_tenants = self.tenants
         # Arm (or reuse already-armed) process instruments; re-arming with
         # no arguments keeps an existing registry so multiple services in
         # one process share a single exposition.
         self.instruments = obs_probes.arm() if metrics else None
         self._server.phocus_obs = self.instruments
         self._server.phocus_access_log = AccessLog() if access_log else None
+
+    @contextmanager
+    def _lease_by_ref(self, by_ref: Dict[str, Any]):
+        # Background jobs resolve references exactly like /solve does; the
+        # lease spans the job's solve so eviction cannot unmap it mid-run.
+        with self.tenants.lease_for_solve(by_ref) as (instance, _hit):
+            yield instance
 
     @property
     def address(self) -> str:
@@ -421,6 +639,8 @@ class PhocusService:
         self._thread = None
         if self._owns_jobs:
             self.jobs.shutdown()
+        if self._owns_tenants and self.tenants is not None:
+            self.tenants.close()
 
     def __enter__(self) -> "PhocusService":
         return self.start()

@@ -1,0 +1,314 @@
+"""Shared-memory warm cache: hot tenants skip deserialise + pack entirely.
+
+A ``by_ref`` solve has two expensive prefixes before any greedy work:
+parsing the stored JSON document into a :class:`PARInstance`, and (for
+process-pool solves) packing its arrays into a shared-memory segment.
+Both are pure functions of ``(tenant, instance_id, version)`` — so this
+cache keys exactly on that triple and keeps the *packed*
+:class:`~repro.core.parallel.SharedInstance` resident:
+
+* the threaded service serves a warm solve as zero-copy numpy views over
+  the owned segment (:meth:`SharedInstance.materialize` — microseconds);
+* worker processes attach the same segment by name
+  (:func:`repro.core.parallel.attach_instance`) with nothing but a small
+  spec dict crossing the pickle boundary.
+
+Residency and eviction are delegated to the shared
+:class:`repro.lru.ByteBudgetLRU`; this module adds the parts unique to
+shared memory:
+
+**Leases.**  Entries are refcounted.  :meth:`lease` yields a view
+instance and holds a reference for the duration; eviction of a leased
+entry is deferred — the segment is closed *and unlinked* when the last
+lease releases, so a solve mid-flight can never have its arrays unmapped
+underneath it.  Evicted-but-stuck entries (a destroy interrupted by an
+injected fault) park on a zombie list that every subsequent operation
+retries, so a transient failure delays reclamation but never leaks.
+
+**Crash-safety sweep.**  Segments are named
+``<prefix>-<pid>-<seq>``.  If a process dies hard, its eviction code
+never runs and the kernel keeps the segment alive indefinitely.  On
+startup, :func:`sweep_leaked_segments` scans ``/dev/shm`` for
+same-prefix segments whose creator pid is gone and unlinks them — the
+same recovery stance the job journal takes for half-finished jobs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import os
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro import faults
+from repro.core.instance import PARInstance
+from repro.core.parallel import SharedInstance
+from repro.lru import ByteBudgetLRU
+from repro.obs import probes as _obs_probes
+
+__all__ = ["WarmCache", "CacheKey", "sweep_leaked_segments", "DEFAULT_PREFIX"]
+
+logger = logging.getLogger(__name__)
+
+#: (tenant, instance_id, version) — the cache key; version makes stale
+#: packings of an overwritten upload unreachable rather than invalidated.
+CacheKey = Tuple[str, str, int]
+
+DEFAULT_PREFIX = "phocus-tenants"
+_SHM_DIR = "/dev/shm"
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True
+    return True
+
+
+def sweep_leaked_segments(prefix: str = DEFAULT_PREFIX) -> List[str]:
+    """Unlink warm-cache segments whose creating process is dead.
+
+    Returns the reclaimed names.  Linux-only by construction (POSIX
+    shared memory appears under ``/dev/shm``; unlinking the file *is*
+    ``shm_unlink``); elsewhere this is a no-op.  Segments created by
+    *live* processes — including this one — are left alone.
+    """
+    if not os.path.isdir(_SHM_DIR):  # pragma: no cover - non-Linux
+        return []
+    reclaimed: List[str] = []
+    marker = prefix + "-"
+    for name in sorted(os.listdir(_SHM_DIR)):
+        if not name.startswith(marker):
+            continue
+        pid_str = name[len(marker) :].split("-", 1)[0]
+        if not pid_str.isdigit():
+            continue
+        pid = int(pid_str)
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(_SHM_DIR, name))
+        except OSError:  # pragma: no cover - raced with another sweeper
+            continue
+        logger.warning(
+            "tenant cache: reclaimed shared-memory segment %s leaked by dead "
+            "process %d",
+            name,
+            pid,
+        )
+        reclaimed.append(name)
+    return reclaimed
+
+
+class _Entry:
+    """One cached packing plus its lease state (guarded by the cache lock)."""
+
+    __slots__ = ("key", "shared", "refs", "evicted")
+
+    def __init__(self, key: CacheKey, shared: SharedInstance) -> None:
+        self.key = key
+        self.shared = shared
+        self.refs = 0
+        self.evicted = False
+
+
+class WarmCache:
+    """Byte-capacity LRU of packed shared-memory instances.
+
+    ``capacity_bytes=0`` disables caching: every lease packs a transient
+    segment and destroys it on release (the cold path, always).  The
+    constructor runs the leak sweep unless ``sweep=False`` (tests that
+    stage fake leaked segments drive it explicitly).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: float = 256 * 1024 * 1024,
+        *,
+        name_prefix: str = DEFAULT_PREFIX,
+        sweep: bool = True,
+    ) -> None:
+        self._prefix = name_prefix
+        self._lock = threading.RLock()
+        self._lru: Optional[ByteBudgetLRU] = (
+            ByteBudgetLRU(capacity_bytes, on_evict=self._on_evict)
+            if capacity_bytes > 0
+            else None
+        )
+        self._building: Dict[CacheKey, threading.Event] = {}
+        self._zombies: List[_Entry] = []
+        self._seq = itertools.count()
+        self.hits = 0
+        self.misses = 0
+        self.swept = sweep_leaked_segments(name_prefix) if sweep else []
+
+    # -------------------------------------------------------------- leasing
+
+    @contextmanager
+    def lease(
+        self,
+        key: CacheKey,
+        loader: Callable[[], PARInstance],
+        *,
+        budget: Optional[float] = None,
+    ) -> Iterator[Tuple[PARInstance, bool]]:
+        """Yield ``(view_instance, was_hit)`` for ``key``.
+
+        On a miss, ``loader()`` produces the deserialised instance (the
+        expensive part, run outside the cache lock) which is packed,
+        admitted, and leased in one step.  The entry cannot be evicted
+        out from under the lease; release-time eviction closes and
+        unlinks its segment.
+        """
+        entry, hit = self._acquire(key, loader)
+        try:
+            yield entry.shared.materialize(budget=budget), hit
+        finally:
+            self._release(entry)
+
+    def _acquire(
+        self, key: CacheKey, loader: Callable[[], PARInstance]
+    ) -> Tuple[_Entry, bool]:
+        tenant = key[0]
+        while True:
+            with self._lock:
+                self._reap_zombies_locked()
+                entry = self._lru.get(key) if self._lru is not None else None
+                if entry is not None:
+                    entry.refs += 1
+                    self.hits += 1
+                    self._count(tenant, hit=True)
+                    return entry, True
+                pending = self._building.get(key)
+                if pending is None:
+                    self._building[key] = threading.Event()
+                    break
+            # Another thread is packing this key; wait and retry the lookup.
+            pending.wait(timeout=30.0)
+
+        try:
+            instance = loader()
+            shared = SharedInstance(instance, name=self._segment_name())
+            entry = _Entry(key, shared)
+            entry.refs = 1
+            with self._lock:
+                self.misses += 1
+                self._count(tenant, hit=False)
+                admitted = self._lru is not None and self._lru.put(
+                    key, entry, shared.nbytes
+                )
+                if not admitted:
+                    # Too big for the cache (or caching disabled): serve it
+                    # as a transient segment, destroyed on release.
+                    entry.evicted = True
+                self._gauge()
+            return entry, False
+        finally:
+            with self._lock:
+                self._building.pop(key).set()
+
+    def _release(self, entry: _Entry) -> None:
+        with self._lock:
+            entry.refs -= 1
+            if entry.evicted and entry.refs == 0:
+                self._destroy_locked(entry)
+            self._reap_zombies_locked()
+
+    # ------------------------------------------------------------- eviction
+
+    def _on_evict(self, key: CacheKey, entry: _Entry) -> None:
+        # Runs under the cache lock (every LRU mutation happens there).
+        entry.evicted = True
+        obs = _obs_probes.active()
+        if obs is not None:
+            obs.tenants_cache_evictions.labels(tenant=key[0]).inc()
+        if entry.refs == 0:
+            self._destroy_locked(entry)
+
+    def _destroy_locked(self, entry: _Entry) -> None:
+        """Close + unlink an entry's segment; park it on failure, never leak."""
+        try:
+            faults.check("tenantcache.evict")
+            entry.shared.close()
+        except Exception as exc:  # noqa: BLE001 - reclamation must not raise
+            logger.warning(
+                "tenant cache: deferred segment reclaim for %s (%s); will retry",
+                entry.key,
+                exc,
+            )
+            self._zombies.append(entry)
+
+    def _reap_zombies_locked(self) -> None:
+        still_stuck: List[_Entry] = []
+        for entry in self._zombies:
+            if entry.refs > 0:
+                still_stuck.append(entry)
+                continue
+            try:
+                entry.shared.close()
+            except Exception:  # noqa: BLE001 - keep retrying next time
+                still_stuck.append(entry)
+        self._zombies = still_stuck
+
+    # ----------------------------------------------------------- management
+
+    def invalidate(self, tenant: str, instance_id: Optional[str] = None) -> int:
+        """Evict every cached version for a tenant (or one instance of it)."""
+        if self._lru is None:
+            return 0
+        with self._lock:
+            victims = [
+                key
+                for key in self._lru.keys()
+                if key[0] == tenant
+                and (instance_id is None or key[1] == instance_id)
+            ]
+            for key in victims:
+                entry = self._lru.pop(key)
+                self._on_evict(key, entry)
+            self._gauge()
+            return len(victims)
+
+    def close(self) -> None:
+        """Evict and reclaim everything (service shutdown)."""
+        with self._lock:
+            if self._lru is not None:
+                self._lru.clear()
+            self._reap_zombies_locked()
+            self._gauge()
+
+    def stats(self) -> Dict[str, Any]:
+        lru = self._lru  # NB: an empty ByteBudgetLRU is falsy (len == 0)
+        with self._lock:
+            return {
+                "capacity_bytes": lru.capacity if lru is not None else 0,
+                "used_bytes": lru.used_bytes if lru is not None else 0,
+                "entries": len(lru) if lru is not None else 0,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": lru.evictions if lru is not None else 0,
+                "zombie_segments": len(self._zombies),
+                "swept_on_startup": list(self.swept),
+            }
+
+    # ------------------------------------------------------------ internals
+
+    def _segment_name(self) -> str:
+        return f"{self._prefix}-{os.getpid()}-{next(self._seq)}"
+
+    @staticmethod
+    def _count(tenant: str, *, hit: bool) -> None:
+        obs = _obs_probes.active()
+        if obs is not None:
+            family = obs.tenants_cache_hits if hit else obs.tenants_cache_misses
+            family.labels(tenant=tenant).inc()
+
+    def _gauge(self) -> None:
+        obs = _obs_probes.active()
+        if obs is not None and self._lru is not None:
+            obs.tenants_cache_bytes.set(self._lru.used_bytes)

@@ -1,0 +1,141 @@
+"""Per-tenant quotas and rate limits for the archive store.
+
+Two independent guards, both enforced *before* any expensive work:
+
+* **Storage quotas** — a hard cap on bytes stored and instances held per
+  tenant.  Checked by the store on every ``PUT``; violations raise
+  :class:`~repro.errors.QuotaExceeded`, which the service maps to HTTP
+  413 with a structured body (``kind`` / ``used`` / ``limit``).
+* **Request rate** — a classic token bucket per tenant (``rate`` tokens
+  per second, ``burst`` capacity, continuous refill).  Checked on every
+  tenant-scoped request; an empty bucket raises
+  :class:`~repro.errors.RateLimited` carrying ``retry_after``, mapped to
+  HTTP 429.  This layers *admission* control on top of the fair queue's
+  *scheduling* fairness: the queue keeps an admitted backfill from
+  starving other tenants, the bucket keeps a chatty tenant from being
+  admitted faster than their contract allows in the first place.
+
+Buckets are created lazily per tenant and share one lock — the arithmetic
+per check is a subtraction and two comparisons, so contention is nil at
+the request rates a threaded service sustains.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigurationError, QuotaExceeded, RateLimited
+from repro.obs import probes as _obs_probes
+
+__all__ = ["TenantQuota", "TokenBucket", "QuotaPolicy"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """The per-tenant resource contract (``None`` / ``0`` = unlimited)."""
+
+    max_bytes: Optional[float] = None
+    max_instances: Optional[int] = None
+    rate_per_second: Optional[float] = None
+    burst: int = 10
+
+    def __post_init__(self) -> None:
+        if self.max_bytes is not None and self.max_bytes <= 0:
+            raise ConfigurationError("max_bytes must be positive (or None)")
+        if self.max_instances is not None and self.max_instances < 1:
+            raise ConfigurationError("max_instances must be >= 1 (or None)")
+        if self.rate_per_second is not None and self.rate_per_second <= 0:
+            raise ConfigurationError("rate_per_second must be positive (or None)")
+        if self.burst < 1:
+            raise ConfigurationError("burst must be >= 1")
+
+
+class TokenBucket:
+    """Continuous-refill token bucket (not thread-safe; owner locks)."""
+
+    def __init__(
+        self,
+        rate_per_second: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = float(rate_per_second)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def try_acquire(self) -> Optional[float]:
+        """Take one token; ``None`` on success, else seconds until one refills."""
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return None
+        return (1.0 - self._tokens) / self.rate
+
+
+class QuotaPolicy:
+    """Applies one :class:`TenantQuota` contract across all tenants.
+
+    (A future variant could hold per-tenant overrides; the service only
+    needs the uniform case today, and the check sites won't change.)
+    """
+
+    def __init__(
+        self,
+        quota: Optional[TenantQuota] = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.quota = quota or TenantQuota()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    # ------------------------------------------------------------- storage
+
+    def check_storage(
+        self, tenant: str, *, new_bytes: float, new_instances: int
+    ) -> None:
+        """Raise :class:`QuotaExceeded` if the post-write totals violate quota.
+
+        Callers pass the totals *as they would be after the write* — the
+        store computes them under its own lock, so check-then-act races
+        cannot overshoot.
+        """
+        q = self.quota
+        if q.max_bytes is not None and new_bytes > q.max_bytes:
+            self._count_rejection(tenant, "bytes")
+            raise QuotaExceeded(tenant, "bytes", new_bytes, q.max_bytes)
+        if q.max_instances is not None and new_instances > q.max_instances:
+            self._count_rejection(tenant, "instances")
+            raise QuotaExceeded(tenant, "instances", new_instances, q.max_instances)
+
+    # ---------------------------------------------------------------- rate
+
+    def check_rate(self, tenant: str) -> None:
+        """Take one request token for ``tenant``; raise :class:`RateLimited`."""
+        q = self.quota
+        if q.rate_per_second is None:
+            return
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    q.rate_per_second, q.burst, clock=self._clock
+                )
+            retry_after = bucket.try_acquire()
+        if retry_after is not None:
+            self._count_rejection(tenant, "rate")
+            raise RateLimited(tenant, retry_after)
+
+    @staticmethod
+    def _count_rejection(tenant: str, kind: str) -> None:
+        obs = _obs_probes.active()
+        if obs is not None:
+            obs.tenants_quota_rejections.labels(tenant=tenant, kind=kind).inc()

@@ -1,0 +1,316 @@
+"""Persistent per-tenant instance store: upload once, solve by reference.
+
+The store holds serialised :class:`~repro.core.instance.PARInstance`
+documents on disk, one file per ``(tenant, instance)``::
+
+    <root>/
+      <tenant_id>/
+        <instance_id>.inst                  # CRC-framed JSON envelope
+        <instance_id>.inst.quarantine       # corrupt blob moved aside
+
+Every write goes through :func:`repro.ioutil.atomic_write_bytes` (site
+``tenantstore`` — chaos tests can crash the write, the fsync, or the
+rename), so a crash leaves either the previous version or the new one,
+never a torn file.  The on-disk format reuses the job journal's framing:
+one line of ``crc32-hex SP json``, where the JSON envelope carries the
+instance document plus its metadata (version, timestamps, byte size).
+
+Loads verify the CRC.  A corrupt blob — bit rot, a torn legacy write, an
+editor accident — is *quarantined*: renamed aside (never deleted; the
+bytes may still be partially salvageable by hand), logged, counted, and
+reported to callers as :class:`~repro.errors.InstanceNotFound` so the
+service answers 404 rather than 500.
+
+``put`` is versioned: each overwrite bumps a monotonically increasing
+``version``, which the warm cache uses as part of its key, so a stale
+cached packing can never serve a newer upload.  Storage quotas
+(:class:`~repro.tenants.quota.QuotaPolicy`) are enforced under the store
+lock using post-write totals, so concurrent uploads cannot overshoot.
+
+Identifiers (tenant and instance ids) are restricted to
+``[A-Za-z0-9._-]``, max 64 chars, not starting with a dot — they become
+path components, and this closes traversal at the validation layer.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import re
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro import faults
+from repro.errors import InstanceNotFound, ValidationError
+from repro.ioutil import atomic_write_bytes
+from repro.obs import probes as _obs_probes
+from repro.tenants.quota import QuotaPolicy
+
+__all__ = ["TenantStore", "StoredInstance", "validate_id"]
+
+logger = logging.getLogger(__name__)
+
+_FORMAT = 1
+_SUFFIX = ".inst"
+_ID_RE = re.compile(r"^[A-Za-z0-9_-][A-Za-z0-9._-]{0,63}$")
+
+
+def validate_id(value: str, what: str) -> str:
+    """Path-safe tenant / instance identifier, or :class:`ValidationError`."""
+    if not isinstance(value, str) or not _ID_RE.match(value):
+        raise ValidationError(
+            f"{what} must match [A-Za-z0-9._-]{{1,64}} (not starting with '.'), "
+            f"got {value!r}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class StoredInstance:
+    """Metadata of one stored instance (the index entry; no payload)."""
+
+    tenant: str
+    instance_id: str
+    version: int
+    nbytes: int  # on-disk envelope size
+    created_at: float
+    updated_at: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "instance_id": self.instance_id,
+            "version": self.version,
+            "nbytes": self.nbytes,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+        }
+
+
+def _encode_envelope(doc: Dict[str, Any]) -> bytes:
+    payload = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return f"{crc:08x} ".encode("ascii") + payload + b"\n"
+
+
+def _decode_envelope(blob: bytes) -> Dict[str, Any]:
+    """Parse a CRC-framed envelope; ``ValueError`` on any defect."""
+    if len(blob) < 10 or blob[8:9] != b" ":
+        raise ValueError("missing CRC frame")
+    try:
+        expected = int(blob[:8].decode("ascii"), 16)
+    except (UnicodeDecodeError, ValueError):
+        raise ValueError("malformed CRC prefix") from None
+    payload = blob[9:].rstrip(b"\n")
+    if zlib.crc32(payload) & 0xFFFFFFFF != expected:
+        raise ValueError("envelope CRC32 mismatch")
+    doc = json.loads(payload.decode("utf-8"))
+    if not isinstance(doc, dict) or doc.get("format") != _FORMAT:
+        raise ValueError(f"unsupported envelope format {doc.get('format')!r}")
+    return doc
+
+
+class TenantStore:
+    """Durable tenant-scoped instance blobs with a scanned in-memory index."""
+
+    def __init__(
+        self, root: str, *, quota_policy: Optional[QuotaPolicy] = None
+    ) -> None:
+        self.root = os.fspath(root)
+        self.quotas = quota_policy or QuotaPolicy()
+        self._lock = threading.RLock()
+        # tenant -> instance_id -> StoredInstance
+        self._index: Dict[str, Dict[str, StoredInstance]] = {}
+        self.quarantined_count = 0
+        os.makedirs(self.root, exist_ok=True)
+        self._scan()
+
+    # ------------------------------------------------------------ index scan
+
+    def _path(self, tenant: str, instance_id: str) -> str:
+        return os.path.join(self.root, tenant, instance_id + _SUFFIX)
+
+    def _scan(self) -> None:
+        """Build the index from disk; quarantine anything unreadable."""
+        for tenant in sorted(os.listdir(self.root)):
+            tenant_dir = os.path.join(self.root, tenant)
+            if not os.path.isdir(tenant_dir) or not _ID_RE.match(tenant):
+                continue
+            for entry in sorted(os.listdir(tenant_dir)):
+                if not entry.endswith(_SUFFIX):
+                    continue
+                instance_id = entry[: -len(_SUFFIX)]
+                path = os.path.join(tenant_dir, entry)
+                try:
+                    envelope = self._read_envelope(path)
+                except (OSError, ValueError) as exc:
+                    self._quarantine(path, exc)
+                    continue
+                meta = StoredInstance(
+                    tenant=tenant,
+                    instance_id=instance_id,
+                    version=int(envelope.get("version", 1)),
+                    nbytes=os.path.getsize(path),
+                    created_at=float(envelope.get("created_at", 0.0)),
+                    updated_at=float(envelope.get("updated_at", 0.0)),
+                )
+                self._index.setdefault(tenant, {})[instance_id] = meta
+
+    @staticmethod
+    def _read_envelope(path: str) -> Dict[str, Any]:
+        faults.check("tenantstore.load")
+        with open(path, "rb") as fh:
+            return _decode_envelope(fh.read())
+
+    def _quarantine(self, path: str, exc: Exception) -> None:
+        """Move a corrupt blob aside (never delete); count + log it."""
+        quarantine_path = path + ".quarantine"
+        try:
+            os.replace(path, quarantine_path)
+        except OSError:
+            quarantine_path = "<unmovable>"
+        self.quarantined_count += 1
+        logger.warning(
+            "tenant store: quarantined corrupt blob %s -> %s (%s)",
+            path,
+            quarantine_path,
+            exc,
+        )
+
+    # ----------------------------------------------------------------- CRUD
+
+    def put(
+        self, tenant: str, instance_id: str, instance_doc: Dict[str, Any]
+    ) -> StoredInstance:
+        """Store (or overwrite) an instance document; returns its metadata.
+
+        The caller is expected to have validated ``instance_doc`` (the
+        service deserialises it first so garbage is rejected with 422
+        before any disk write).  Raises
+        :class:`~repro.errors.QuotaExceeded` without writing when the
+        post-write totals would violate the tenant's quota.
+        """
+        validate_id(tenant, "tenant id")
+        validate_id(instance_id, "instance id")
+        if not isinstance(instance_doc, dict):
+            raise ValidationError("instance document must be an object")
+        now = time.time()
+        with self._lock:
+            existing = self._index.get(tenant, {}).get(instance_id)
+            envelope = {
+                "format": _FORMAT,
+                "tenant": tenant,
+                "instance_id": instance_id,
+                "version": (existing.version + 1) if existing else 1,
+                "created_at": existing.created_at if existing else now,
+                "updated_at": now,
+                "instance": instance_doc,
+            }
+            blob = _encode_envelope(envelope)
+            used = self.tenant_bytes(tenant) - (existing.nbytes if existing else 0)
+            count = len(self._index.get(tenant, {})) - (1 if existing else 0)
+            self.quotas.check_storage(
+                tenant, new_bytes=used + len(blob), new_instances=count + 1
+            )
+            path = self._path(tenant, instance_id)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            atomic_write_bytes(path, blob, site="tenantstore")
+            meta = StoredInstance(
+                tenant=tenant,
+                instance_id=instance_id,
+                version=envelope["version"],
+                nbytes=len(blob),
+                created_at=envelope["created_at"],
+                updated_at=now,
+            )
+            self._index.setdefault(tenant, {})[instance_id] = meta
+            self._gauge(tenant)
+            return meta
+
+    def get(self, tenant: str, instance_id: str) -> Dict[str, Any]:
+        """The full stored envelope (metadata + ``instance`` document).
+
+        A CRC/parse failure quarantines the blob, drops it from the
+        index, and raises :class:`InstanceNotFound` — a corrupt blob is
+        indistinguishable from a missing one to callers, by design.
+        """
+        with self._lock:
+            meta = self._meta(tenant, instance_id)
+            path = self._path(tenant, instance_id)
+            try:
+                envelope = self._read_envelope(path)
+            except (OSError, ValueError) as exc:
+                self._quarantine(path, exc)
+                self._index[tenant].pop(instance_id, None)
+                self._gauge(tenant)
+                raise InstanceNotFound(
+                    f"instance {instance_id!r} of tenant {tenant!r} is corrupt "
+                    "and was quarantined"
+                ) from exc
+            return envelope
+
+    def meta(self, tenant: str, instance_id: str) -> StoredInstance:
+        with self._lock:
+            return self._meta(tenant, instance_id)
+
+    def _meta(self, tenant: str, instance_id: str) -> StoredInstance:
+        meta = self._index.get(tenant, {}).get(instance_id)
+        if meta is None:
+            raise InstanceNotFound(
+                f"no instance {instance_id!r} stored for tenant {tenant!r}"
+            )
+        return meta
+
+    def delete(self, tenant: str, instance_id: str) -> StoredInstance:
+        """Remove an instance; returns the metadata it had."""
+        with self._lock:
+            meta = self._meta(tenant, instance_id)
+            try:
+                os.unlink(self._path(tenant, instance_id))
+            except FileNotFoundError:  # pragma: no cover - index ahead of disk
+                pass
+            del self._index[tenant][instance_id]
+            if not self._index[tenant]:
+                del self._index[tenant]
+            self._gauge(tenant)
+            return meta
+
+    # ------------------------------------------------------------- listings
+
+    def list_instances(self, tenant: str) -> List[StoredInstance]:
+        with self._lock:
+            return sorted(
+                self._index.get(tenant, {}).values(),
+                key=lambda m: m.instance_id,
+            )
+
+    def tenants(self) -> List[str]:
+        with self._lock:
+            return sorted(self._index)
+
+    def tenant_bytes(self, tenant: str) -> int:
+        with self._lock:
+            return sum(m.nbytes for m in self._index.get(tenant, {}).values())
+
+    def stats(self, tenant: str) -> Dict[str, Any]:
+        with self._lock:
+            instances = self._index.get(tenant, {})
+            return {
+                "instances": len(instances),
+                "bytes": sum(m.nbytes for m in instances.values()),
+                "quarantined_total": self.quarantined_count,
+            }
+
+    def _gauge(self, tenant: str) -> None:
+        # Called under the store lock after every mutation.
+        obs = _obs_probes.active()
+        if obs is not None:
+            instances = self._index.get(tenant, {})
+            obs.tenants_store_bytes.labels(tenant=tenant).set(
+                sum(m.nbytes for m in instances.values())
+            )
+            obs.tenants_store_instances.labels(tenant=tenant).set(len(instances))

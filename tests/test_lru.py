@@ -1,0 +1,116 @@
+"""Unit tests for the generic byte-capacity LRU (repro.lru)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.lru import ByteBudgetLRU
+
+
+def test_put_get_and_recency_eviction():
+    evicted = []
+    lru = ByteBudgetLRU(100, on_evict=lambda k, v: evicted.append(k))
+    assert lru.put("a", "A", 40)
+    assert lru.put("b", "B", 40)
+    assert lru.get("a") == "A"  # touches a: b is now the LRU victim
+    assert lru.put("c", "C", 40)
+    assert evicted == ["b"]
+    assert "b" not in lru
+    assert lru.used_bytes == 80
+    assert lru.evictions == 1
+
+
+def test_peek_does_not_touch_recency():
+    lru = ByteBudgetLRU(100)
+    lru.put("a", "A", 40)
+    lru.put("b", "B", 40)
+    assert lru.peek("a") == "A"
+    lru.put("c", "C", 40)  # a stays LRU despite the peek
+    assert "a" not in lru and "b" in lru and "c" in lru
+
+
+def test_oversize_item_is_refused():
+    evicted = []
+    lru = ByteBudgetLRU(100, on_evict=lambda k, v: evicted.append(k))
+    lru.put("a", "A", 60)
+    assert not lru.put("big", "X", 101)
+    assert "big" not in lru
+    assert "a" in lru  # nothing was evicted for a doomed admit
+    assert evicted == []
+
+
+def test_replace_existing_key_fires_on_evict_for_old_value():
+    evicted = []
+    lru = ByteBudgetLRU(100, on_evict=lambda k, v: evicted.append((k, v)))
+    lru.put("a", "old", 30)
+    lru.put("a", "new", 50)
+    assert evicted == [("a", "old")]
+    assert lru.get("a") == "new"
+    assert lru.used_bytes == 50
+
+
+def test_pinned_items_never_evicted():
+    lru = ByteBudgetLRU(100)
+    lru.put("pin", "P", 60, pin=True)
+    lru.put("a", "A", 40)
+    lru.put("b", "B", 40)  # must evict a, not the pinned entry
+    assert "pin" in lru and "b" in lru and "a" not in lru
+    # Only pinned entries remain and the newcomer cannot fit: refuse it.
+    assert not lru.put("huge", "H", 50)
+    assert "huge" not in lru
+
+
+def test_pop_removes_without_on_evict():
+    evicted = []
+    lru = ByteBudgetLRU(100, on_evict=lambda k, v: evicted.append(k))
+    lru.put("a", "A", 40)
+    assert lru.pop("a") == "A"
+    assert evicted == []
+    assert lru.used_bytes == 0
+    assert lru.pop("a") is None
+
+
+def test_clear_evicts_everything_including_pinned():
+    evicted = []
+    lru = ByteBudgetLRU(100, on_evict=lambda k, v: evicted.append(k))
+    lru.put("a", "A", 30)
+    lru.put("p", "P", 30, pin=True)
+    lru.clear()
+    assert sorted(evicted) == ["a", "p"]
+    assert len(lru) == 0 and lru.used_bytes == 0
+
+
+def test_victim_of_hook_overrides_lru_order():
+    # Evict the *largest* evictable entry instead of the least recent.
+    def biggest(evictable):
+        keys = list(evictable)
+        if not keys:
+            return None
+        sizes = lru.sizes()
+        return max(keys, key=lambda k: sizes[k])
+
+    lru = ByteBudgetLRU(100, victim_of=biggest)
+    lru.put("small", "s", 10)
+    lru.put("large", "l", 80)
+    lru.get("small")
+    lru.get("large")  # plain LRU would now evict "small"; the hook flips it
+    lru.put("c", "C", 30)
+    assert "large" not in lru and "small" in lru
+
+
+def test_keys_are_lru_first_and_sizes_tracked():
+    lru = ByteBudgetLRU(100)
+    lru.put("a", "A", 10)
+    lru.put("b", "B", 20)
+    lru.get("a")
+    assert lru.keys() == ["b", "a"]
+    assert lru.sizes() == {"a": 10, "b": 20}
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValidationError):
+        ByteBudgetLRU(0)
+    lru = ByteBudgetLRU(10)
+    with pytest.raises(ValidationError):
+        lru.put("a", "A", -1)

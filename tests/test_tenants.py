@@ -1,0 +1,482 @@
+"""Tests for the multi-tenant archive store (repro.tenants).
+
+Covers the persistent store (CRUD, versioning, CRC quarantine, quotas),
+the token-bucket rate limiter, the shared-memory warm cache (hit/miss,
+leases vs eviction, leak-free unlinking, the startup sweep), and the
+:class:`Tenants` facade the service wires in.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import threading
+
+import pytest
+
+from repro.core.serialize import instance_from_dict, instance_to_dict
+from repro.core.solver import solve
+from repro.errors import (
+    InstanceNotFound,
+    QuotaExceeded,
+    RateLimited,
+    ValidationError,
+)
+from repro.tenants import Tenants, TenantQuota, parse_ref, validate_id
+from repro.tenants.cache import WarmCache, sweep_leaked_segments
+from repro.tenants.quota import QuotaPolicy, TokenBucket
+from repro.tenants.store import TenantStore
+
+from tests.conftest import random_instance
+
+
+def _doc(seed=0, **kw):
+    return instance_to_dict(random_instance(seed, **kw))
+
+
+def _shm_segments(prefix):
+    return glob.glob(f"/dev/shm/{prefix}-*")
+
+
+# ----------------------------------------------------------------- identifiers
+
+
+def test_validate_id_accepts_sane_names():
+    for good in ("acme", "a", "A-1_b.2", "x" * 64):
+        assert validate_id(good, "id") == good
+
+
+@pytest.mark.parametrize(
+    "bad",
+    ["", ".", "..", ".hidden", "a/b", "../x", "a b", "x" * 65, None, 7],
+)
+def test_validate_id_rejects_path_hazards(bad):
+    with pytest.raises(ValidationError):
+        validate_id(bad, "id")
+
+
+def test_parse_ref_shapes():
+    assert parse_ref({"tenant": "t", "instance_id": "i"}) == ("t", "i", None)
+    assert parse_ref({"tenant": "t", "instance_id": "i", "version": 3}) == (
+        "t",
+        "i",
+        3,
+    )
+    for bad in (
+        None,
+        [],
+        {"tenant": "t"},
+        {"tenant": "t", "instance_id": "i", "version": 0},
+        {"tenant": "t", "instance_id": "i", "version": True},
+        {"tenant": "t", "instance_id": "i", "extra": 1},
+    ):
+        with pytest.raises(ValidationError):
+            parse_ref(bad)
+
+
+# ----------------------------------------------------------------------- store
+
+
+def test_store_put_get_roundtrip_and_versioning(tmp_path):
+    store = TenantStore(str(tmp_path))
+    doc = _doc(1)
+    meta1 = store.put("acme", "p", doc)
+    assert (meta1.version, meta1.tenant, meta1.instance_id) == (1, "acme", "p")
+    envelope = store.get("acme", "p")
+    assert envelope["instance"] == doc
+    assert envelope["version"] == 1
+
+    meta2 = store.put("acme", "p", _doc(2))
+    assert meta2.version == 2
+    assert meta2.created_at == meta1.created_at
+    assert store.get("acme", "p")["version"] == 2
+
+
+def test_store_index_survives_restart(tmp_path):
+    store = TenantStore(str(tmp_path))
+    store.put("acme", "a", _doc(1))
+    store.put("acme", "b", _doc(2))
+    store.put("globex", "a", _doc(3))
+    store.put("acme", "a", _doc(4))  # bump to v2
+
+    reopened = TenantStore(str(tmp_path))
+    assert reopened.tenants() == ["acme", "globex"]
+    assert [m.instance_id for m in reopened.list_instances("acme")] == ["a", "b"]
+    assert reopened.meta("acme", "a").version == 2
+    assert reopened.quarantined_count == 0
+
+
+def test_store_missing_instance_raises_not_found(tmp_path):
+    store = TenantStore(str(tmp_path))
+    with pytest.raises(InstanceNotFound):
+        store.get("acme", "nope")
+    with pytest.raises(InstanceNotFound):
+        store.delete("acme", "nope")
+
+
+def test_store_corrupt_blob_is_quarantined_not_deleted(tmp_path):
+    store = TenantStore(str(tmp_path))
+    store.put("acme", "p", _doc(1))
+    path = tmp_path / "acme" / "p.inst"
+    blob = bytearray(path.read_bytes())
+    blob[15] ^= 0xFF  # flip a payload bit: CRC must catch it
+    path.write_bytes(bytes(blob))
+
+    with pytest.raises(InstanceNotFound):
+        store.get("acme", "p")
+    assert not path.exists()
+    assert (tmp_path / "acme" / "p.inst.quarantine").exists()
+    assert store.quarantined_count == 1
+    assert store.list_instances("acme") == []  # dropped from the index
+
+
+def test_store_scan_quarantines_corrupt_files(tmp_path):
+    store = TenantStore(str(tmp_path))
+    store.put("acme", "good", _doc(1))
+    (tmp_path / "acme" / "bad.inst").write_bytes(b"not an envelope at all\n")
+
+    reopened = TenantStore(str(tmp_path))
+    assert [m.instance_id for m in reopened.list_instances("acme")] == ["good"]
+    assert reopened.quarantined_count == 1
+    assert (tmp_path / "acme" / "bad.inst.quarantine").exists()
+
+
+def test_store_delete_removes_file_and_index(tmp_path):
+    store = TenantStore(str(tmp_path))
+    store.put("acme", "p", _doc(1))
+    meta = store.delete("acme", "p")
+    assert meta.version == 1
+    assert not (tmp_path / "acme" / "p.inst").exists()
+    assert store.tenants() == []
+
+
+def test_store_byte_quota_rejects_before_writing(tmp_path):
+    small = _doc(1, n_photos=8)
+    store = TenantStore(str(tmp_path))
+    nbytes = store.put("probe", "p", small).nbytes
+
+    quota = QuotaPolicy(TenantQuota(max_bytes=nbytes * 2 + 64))
+    limited = TenantStore(str(tmp_path / "q"), quota_policy=quota)
+    limited.put("acme", "a", small)
+    limited.put("acme", "b", small)
+    with pytest.raises(QuotaExceeded) as exc:
+        limited.put("acme", "c", small)
+    assert exc.value.kind == "bytes"
+    assert not (tmp_path / "q" / "acme" / "c.inst").exists()
+    # Overwriting an existing instance only counts the delta: still allowed.
+    assert limited.put("acme", "a", small).version == 2
+    # Other tenants are unaffected.
+    limited.put("globex", "a", small)
+
+
+def test_store_instance_count_quota(tmp_path):
+    quota = QuotaPolicy(TenantQuota(max_instances=2))
+    store = TenantStore(str(tmp_path), quota_policy=quota)
+    store.put("acme", "a", _doc(1))
+    store.put("acme", "b", _doc(2))
+    with pytest.raises(QuotaExceeded) as exc:
+        store.put("acme", "c", _doc(3))
+    assert exc.value.kind == "instances"
+    store.put("acme", "a", _doc(4))  # overwrite is not a new instance
+    store.delete("acme", "b")
+    store.put("acme", "c", _doc(3))  # freed slot is reusable
+
+
+# ------------------------------------------------------------------ rate limit
+
+
+def test_token_bucket_refills_continuously():
+    clock = [0.0]
+    bucket = TokenBucket(rate_per_second=2.0, burst=2, clock=lambda: clock[0])
+    assert bucket.try_acquire() is None
+    assert bucket.try_acquire() is None
+    retry = bucket.try_acquire()
+    assert retry == pytest.approx(0.5)
+    clock[0] += 0.5  # one token refilled
+    assert bucket.try_acquire() is None
+    assert bucket.try_acquire() is not None
+
+
+def test_quota_policy_rate_limits_per_tenant():
+    clock = [0.0]
+    policy = QuotaPolicy(
+        TenantQuota(rate_per_second=1.0, burst=1), clock=lambda: clock[0]
+    )
+    policy.check_rate("acme")
+    with pytest.raises(RateLimited) as exc:
+        policy.check_rate("acme")
+    assert exc.value.tenant == "acme"
+    assert exc.value.retry_after > 0
+    policy.check_rate("globex")  # separate bucket
+    clock[0] += 1.0
+    policy.check_rate("acme")  # refilled
+
+
+# ------------------------------------------------------------------ warm cache
+
+
+def test_warm_cache_hit_skips_loader_and_unlinks_on_close():
+    prefix = f"phtest-{os.getpid()}-a"
+    cache = WarmCache(64 * 1024 * 1024, name_prefix=prefix, sweep=False)
+    inst = random_instance(3, n_photos=30)
+    loads = []
+
+    def loader():
+        loads.append(1)
+        return inst
+
+    with cache.lease(("t", "i", 1), loader) as (view, hit):
+        assert not hit
+        assert _shm_segments(prefix)  # segment exists while resident
+        first = solve(view)
+    with cache.lease(("t", "i", 1), loader) as (view, hit):
+        assert hit
+        second = solve(view)
+    assert len(loads) == 1  # warm lease never re-loaded
+    assert first.selection == second.selection
+    assert cache.stats()["hits"] == 1 and cache.stats()["misses"] == 1
+    cache.close()
+    assert _shm_segments(prefix) == []
+
+
+def test_warm_cache_eviction_closes_segment():
+    prefix = f"phtest-{os.getpid()}-b"
+    inst = random_instance(3, n_photos=30)
+    probe = WarmCache(64 * 1024 * 1024, name_prefix=prefix, sweep=False)
+    with probe.lease(("t", "i", 1), lambda: inst) as (view, _):
+        pass
+    nbytes = probe.stats()["used_bytes"]
+    probe.close()
+
+    # Capacity for exactly one packed instance: the second admit evicts.
+    cache = WarmCache(nbytes * 1.5, name_prefix=prefix, sweep=False)
+    with cache.lease(("t", "a", 1), lambda: inst) as (view, _):
+        pass
+    with cache.lease(("t", "b", 1), lambda: inst) as (view, _):
+        pass
+    assert cache.stats()["entries"] == 1
+    assert cache.stats()["evictions"] == 1
+    assert len(_shm_segments(prefix)) == 1  # the evicted segment is gone
+    cache.close()
+    assert _shm_segments(prefix) == []
+
+
+def test_warm_cache_eviction_deferred_while_leased():
+    prefix = f"phtest-{os.getpid()}-c"
+    inst = random_instance(3, n_photos=30)
+    probe = WarmCache(64 * 1024 * 1024, name_prefix=prefix, sweep=False)
+    with probe.lease(("t", "i", 1), lambda: inst) as (view, _):
+        pass
+    nbytes = probe.stats()["used_bytes"]
+    probe.close()
+
+    cache = WarmCache(nbytes * 1.5, name_prefix=prefix, sweep=False)
+    with cache.lease(("t", "a", 1), lambda: inst) as (view_a, _):
+        # Evict ("t","a",1) while its lease is held: the solve must still
+        # read valid arrays, and the segment must survive until release.
+        with cache.lease(("t", "b", 1), lambda: inst) as (view_b, _):
+            pass
+        assert ("t", "a", 1) not in cache._lru
+        solution = solve(view_a)  # arrays still mapped
+        assert solution.selection
+    cache.close()
+    assert _shm_segments(prefix) == []
+
+
+def test_warm_cache_oversize_instance_served_transiently():
+    prefix = f"phtest-{os.getpid()}-d"
+    inst = random_instance(3, n_photos=30)
+    cache = WarmCache(16, name_prefix=prefix, sweep=False)  # nothing fits
+    with cache.lease(("t", "i", 1), lambda: inst) as (view, hit):
+        assert not hit
+        assert _shm_segments(prefix)  # transient segment while leased
+        solve(view)
+    assert _shm_segments(prefix) == []  # destroyed on release
+    assert cache.stats()["entries"] == 0
+    cache.close()
+
+
+def test_warm_cache_disabled_packs_transiently():
+    prefix = f"phtest-{os.getpid()}-e"
+    inst = random_instance(3, n_photos=30)
+    cache = WarmCache(0, name_prefix=prefix, sweep=False)
+    for _ in range(2):
+        with cache.lease(("t", "i", 1), lambda: inst) as (view, hit):
+            assert not hit
+    assert cache.stats()["capacity_bytes"] == 0
+    assert _shm_segments(prefix) == []
+    cache.close()
+
+
+def test_warm_cache_invalidate_evicts_tenant_entries():
+    prefix = f"phtest-{os.getpid()}-f"
+    inst = random_instance(3, n_photos=30)
+    cache = WarmCache(64 * 1024 * 1024, name_prefix=prefix, sweep=False)
+    for key in (("t", "a", 1), ("t", "b", 1), ("u", "a", 1)):
+        with cache.lease(key, lambda: inst):
+            pass
+    assert cache.invalidate("t", "a") == 1
+    assert cache.invalidate("t") == 1  # remaining t entry
+    assert cache.stats()["entries"] == 1  # u's survives
+    assert len(_shm_segments(prefix)) == 1
+    cache.close()
+    assert _shm_segments(prefix) == []
+
+
+def test_warm_cache_concurrent_misses_pack_once():
+    prefix = f"phtest-{os.getpid()}-g"
+    inst = random_instance(3, n_photos=30)
+    cache = WarmCache(64 * 1024 * 1024, name_prefix=prefix, sweep=False)
+    loads = []
+    barrier = threading.Barrier(4)
+    errors = []
+
+    def loader():
+        loads.append(1)
+        return inst
+
+    def worker():
+        try:
+            barrier.wait(timeout=10)
+            with cache.lease(("t", "i", 1), loader) as (view, _):
+                assert view.n == inst.n
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert errors == []
+    assert len(loads) == 1  # one pack, three waiters reused it
+    assert cache.stats()["hits"] == 3 and cache.stats()["misses"] == 1
+    cache.close()
+    assert _shm_segments(prefix) == []
+
+
+def test_sweep_reclaims_dead_pid_segments_only():
+    prefix = f"phtest-{os.getpid()}-h"
+    # A "leaked" segment from a pid that cannot exist, plus one from us.
+    dead = f"/dev/shm/{prefix}-99999999-0"
+    ours = f"/dev/shm/{prefix}-{os.getpid()}-0"
+    with open(dead, "wb") as fh:
+        fh.write(b"x" * 64)
+    with open(ours, "wb") as fh:
+        fh.write(b"x" * 64)
+    try:
+        reclaimed = sweep_leaked_segments(prefix)
+        assert reclaimed == [os.path.basename(dead)]
+        assert not os.path.exists(dead)
+        assert os.path.exists(ours)  # never touch live-pid segments
+    finally:
+        for path in (dead, ours):
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+
+
+# --------------------------------------------------------------------- facade
+
+
+def test_facade_by_ref_solve_matches_inline_and_hits_cache(tmp_path):
+    tenants = Tenants(str(tmp_path), sweep=False)
+    inst = random_instance(9, n_photos=80)
+    tenants.put_instance("acme", "p", instance_to_dict(inst))
+
+    direct = solve(inst)
+    ref = {"tenant": "acme", "instance_id": "p"}
+    with tenants.lease_for_solve(ref) as (view, hit1):
+        first = solve(view)
+    with tenants.lease_for_solve(ref) as (view, hit2):
+        second = solve(view)
+    assert (hit1, hit2) == (False, True)
+    assert direct.selection == first.selection == second.selection
+    assert direct.value == first.value == second.value
+    tenants.close()
+
+
+def test_facade_put_validates_before_writing(tmp_path):
+    tenants = Tenants(str(tmp_path), sweep=False)
+    with pytest.raises(ValidationError):
+        tenants.put_instance("acme", "p", {"format": 1, "garbage": True})
+    assert tenants.list_instances("acme") == []
+    assert not (tmp_path / "acme").exists()
+    tenants.close()
+
+
+def test_facade_overwrite_invalidates_stale_packing(tmp_path):
+    tenants = Tenants(str(tmp_path), sweep=False)
+    inst_v1 = random_instance(1, n_photos=40)
+    inst_v2 = random_instance(2, n_photos=40)
+    tenants.put_instance("acme", "p", instance_to_dict(inst_v1))
+    ref = {"tenant": "acme", "instance_id": "p"}
+    with tenants.lease_for_solve(ref) as (view, _):
+        v1_solution = solve(view)
+    tenants.put_instance("acme", "p", instance_to_dict(inst_v2))
+    assert tenants.cache.stats()["entries"] == 0  # stale packing evicted
+    with tenants.lease_for_solve(ref) as (view, hit):
+        assert not hit  # new version is a fresh key
+        v2_solution = solve(view)
+    assert v2_solution.selection == solve(inst_v2).selection
+    assert v1_solution.selection == solve(inst_v1).selection
+    tenants.close()
+
+
+def test_facade_pinned_version_rejected_after_overwrite(tmp_path):
+    tenants = Tenants(str(tmp_path), sweep=False)
+    tenants.put_instance("acme", "p", _doc(1))
+    tenants.put_instance("acme", "p", _doc(2))
+    with pytest.raises(ValidationError):
+        with tenants.lease_for_solve(
+            {"tenant": "acme", "instance_id": "p", "version": 1}
+        ):
+            pass  # pragma: no cover - lease must not be entered
+    tenants.close()
+
+
+def test_facade_budget_override(tmp_path):
+    tenants = Tenants(str(tmp_path), sweep=False)
+    inst = random_instance(9, n_photos=60)
+    tenants.put_instance("acme", "p", instance_to_dict(inst))
+    tight = inst.budget * 0.5
+    ref = {"tenant": "acme", "instance_id": "p"}
+    with tenants.lease_for_solve(ref, budget=tight) as (view, _):
+        assert view.budget == pytest.approx(tight)
+        constrained = solve(view)
+    assert constrained.cost <= tight
+    assert constrained.selection == solve(inst.with_budget(tight)).selection
+    tenants.close()
+
+
+def test_facade_stats_shape(tmp_path):
+    tenants = Tenants(
+        str(tmp_path), quota=TenantQuota(max_bytes=1e9, rate_per_second=100.0),
+        sweep=False,
+    )
+    tenants.put_instance("acme", "p", _doc(1))
+    stats = tenants.stats("acme")
+    assert stats["store"]["instances"] == 1
+    assert stats["store"]["bytes"] > 0
+    assert stats["quota"]["max_bytes"] == 1e9
+    assert set(stats["cache"]) == {
+        "entries",
+        "used_bytes",
+        "capacity_bytes",
+        "hits",
+        "misses",
+        "evictions",
+    }
+    tenants.close()
+
+
+def test_facade_roundtrip_document_identical(tmp_path):
+    tenants = Tenants(str(tmp_path), sweep=False)
+    doc = _doc(5)
+    tenants.put_instance("acme", "p", doc)
+    envelope = tenants.get_instance("acme", "p")
+    assert envelope["instance"] == doc
+    # And it deserialises to a solvable instance.
+    assert solve(instance_from_dict(envelope["instance"])).selection
+    tenants.close()
