@@ -3,7 +3,7 @@
 # Targets export PYTHONPATH=src so they match the tier-1 verify command
 # and work on a fresh clone without `make install`.
 
-.PHONY: install test bench bench-kernels obs-smoke load-smoke examples chaos results clean
+.PHONY: install test bench bench-kernels obs-smoke load-smoke overload-smoke examples chaos results clean
 
 # Instance-size multiplier for the kernel bench (CI smoke uses 0.25).
 KERNEL_BENCH_SCALE ?= 1.0
@@ -16,6 +16,10 @@ OBS_BENCH_OUT ?= BENCH_obs_overhead.json
 # Output path for the multi-tenant service load benchmark.
 LOAD_BENCH_OUT ?= BENCH_service_load.json
 LOAD_BENCH_FLAGS ?=
+
+# Output path for the overload resilience benchmark.
+OVERLOAD_BENCH_OUT ?= BENCH_overload.json
+OVERLOAD_BENCH_FLAGS ?=
 
 PYTHONPATH_SRC = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
@@ -49,6 +53,17 @@ load-smoke:
 	$(PYTHONPATH_SRC) python benchmarks/bench_service_load.py \
 		--quick --out $(LOAD_BENCH_OUT) $(LOAD_BENCH_FLAGS)
 
+# Overload resilience smoke: 12 clients at ~3x admitted capacity over
+# real HTTP, baseline (admit everything) vs resilient (admission control
+# + brownout + graceful drain).  The bench exits non-zero when an SLO
+# gate fails: every shed must be a structured 503 with Retry-After,
+# admitted p99 must stay bounded, in-flight must never exceed the
+# configured cap, goodput must not collapse, non-degraded answers must
+# be bit-identical to baseline, and the drain must leave no shm segment.
+overload-smoke:
+	$(PYTHONPATH_SRC) python benchmarks/bench_overload.py \
+		--quick --out $(OVERLOAD_BENCH_OUT) $(OVERLOAD_BENCH_FLAGS)
+
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHONPATH_SRC) python $$f > /dev/null || exit 1; done
 	@echo "all examples ran cleanly"
@@ -58,7 +73,7 @@ chaos:
 		echo "== PHOCUS_CHAOS_SEED=$$seed"; \
 		PHOCUS_CHAOS_SEED=$$seed $(PYTHONPATH_SRC) python -m pytest -q \
 			tests/test_faults.py tests/core/test_checkpoint.py \
-			tests/test_tenants_chaos.py || exit 1; \
+			tests/test_tenants_chaos.py tests/test_resilience_chaos.py || exit 1; \
 	done
 
 results:

@@ -1,0 +1,457 @@
+#!/usr/bin/env python
+"""Overload resilience benchmark with SLO gates.
+
+A standalone script (``make overload-smoke``), not a pytest-benchmark
+target: it drives the HTTP service's ``by_ref`` solve path at roughly
+3x its admitted capacity and proves the load-shedding story end to end.
+Results land in ``BENCH_overload.json`` at the repo root.
+
+Two sequential phases run the *same* workload — N client threads, each
+solving its own stored instance R times over real HTTP, with no client
+retries — against the same persistent store root:
+
+* **baseline** — no resilience bundle: every request is admitted and
+  solved no matter how many arrive at once.  Under overload each solve
+  pays full CPU contention; latency is whatever it is.
+* **resilient** — an :class:`~repro.resilience.AdmissionController`
+  bounds in-flight solves (``max_inflight``) and a
+  :class:`~repro.resilience.BrownoutPolicy` serves opted-in clients
+  cheaper answers under pressure.  Excess requests shed *fast* with a
+  structured 503 and a ``Retry-After`` header instead of queueing.
+  After the load, the service drains gracefully.
+
+Gates (non-zero exit on violation):
+
+1. ``sheds_structured`` — every 503 carries a positive ``Retry-After``
+   header and a known body ``reason``; under ~3x overload at least one
+   request must actually shed.
+2. ``admitted_p99_bounded`` — p99 latency of *admitted* resilient
+   requests must not exceed 1.25x the baseline p99 (shedding exists to
+   keep admitted work fast; admitted requests run at bounded
+   concurrency and must never queue behind the whole burst).
+3. ``bounded_inflight`` — the controller's peak in-flight count never
+   exceeds ``max_inflight``.
+4. ``goodput_ok`` — successful solves per wall-second in the resilient
+   phase stay within 2x of baseline goodput (shedding trades a bounded
+   amount of completed work for bounded latency, not a collapse).
+5. ``results_bit_identical`` — every non-degraded 200 matches the
+   baseline answer for its tenant exactly; degraded answers are always
+   labeled.
+6. ``drained_clean`` — the post-load drain reports ``drained`` and no
+   ``/dev/shm`` segment survives it.
+
+The JSON document is validated against the expected schema before it is
+written; a malformed document also exits non-zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.serialize import instance_to_dict
+from repro.datasets.ecommerce import generate_ecommerce_dataset
+from repro.obs import probes
+from repro.resilience import AdmissionController, BrownoutPolicy, Resilience
+from repro.system.service import PhocusService
+from repro.tenants import Tenants
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_overload.json"
+
+_KNOWN_SHED_REASONS = {
+    "capacity",
+    "tenant_fairness",
+    "deadline_unmeetable",
+    "queue_full_soon",
+    "draining",
+}
+
+
+def _make_instance(seed: int, n_photos: int):
+    dataset = generate_ecommerce_dataset(
+        "Fashion",
+        n_photos,
+        n_queries=max(6, n_photos // 12),
+        name=f"overload-{seed}",
+        seed=seed,
+    )
+    return dataset.instance(dataset.total_cost() * 0.35)
+
+
+def _put_instance(address: str, tenant: str, instance_id: str, doc: Dict) -> None:
+    req = urllib.request.Request(
+        f"http://{address}/tenants/{tenant}/instances/{instance_id}",
+        data=json.dumps({"instance": doc}).encode("utf-8"),
+        method="PUT",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=120) as resp:
+        if resp.status not in (200, 201):
+            raise RuntimeError(f"PUT answered {resp.status}")
+
+
+def _post_solve(address: str, payload: Dict, timeout: float = 300.0) -> Dict:
+    """One timed request; 503s are data here, not failures."""
+    req = urllib.request.Request(
+        f"http://{address}/solve",
+        data=json.dumps(payload).encode("utf-8"),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    start = time.perf_counter()
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            elapsed = time.perf_counter() - start
+            return {
+                "status": resp.status,
+                "seconds": elapsed,
+                "retry_after": resp.headers.get("Retry-After"),
+                "body": json.loads(resp.read().decode("utf-8")),
+            }
+    except urllib.error.HTTPError as exc:
+        elapsed = time.perf_counter() - start
+        return {
+            "status": exc.code,
+            "seconds": elapsed,
+            "retry_after": exc.headers.get("Retry-After"),
+            "body": json.loads(exc.read().decode("utf-8")),
+        }
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    if not samples:
+        return float("nan")
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))]
+
+
+def _run_phase(
+    *,
+    root: str,
+    prefix: str,
+    n_clients: int,
+    rounds: int,
+    resilience: Optional[Resilience],
+    upload_docs: Optional[Dict[str, Dict]] = None,
+) -> Dict[str, object]:
+    """One service lifetime: optional uploads, overload burst, drain."""
+    probes.disarm()  # fresh per-phase metrics registry
+    tenants = Tenants(root, cache_bytes=1024 * 1024 * 1024, name_prefix=prefix)
+    outcomes: Dict[str, List[Dict]] = {}
+    transport_errors: List[str] = []
+
+    with PhocusService(workers=0, tenants=tenants, resilience=resilience) as service:
+        address = service.address
+        if upload_docs:
+            for tenant, doc in upload_docs.items():
+                _put_instance(address, tenant, "archive", doc)
+
+        barrier = threading.Barrier(n_clients + 1)
+
+        def client(index: int, tenant: str) -> None:
+            mine: List[Dict] = []
+            payload = {"by_ref": {"tenant": tenant, "instance_id": "archive"}}
+            if resilience is not None and index % 2 == 1:
+                payload["degraded_ok"] = True  # half the fleet opts in
+            try:
+                barrier.wait(timeout=60)
+                for _ in range(rounds):
+                    mine.append(_post_solve(address, payload))
+            except Exception as exc:  # noqa: BLE001 - reported in the doc
+                transport_errors.append(f"{tenant}: {exc!r}")
+            finally:
+                outcomes[tenant] = mine
+
+        threads = [
+            threading.Thread(target=client, args=(i, f"tenant{i:02d}"))
+            for i in range(n_clients)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait(timeout=60)
+        wall_start = time.perf_counter()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - wall_start
+
+        admission_snapshot = (
+            resilience.admission.snapshot()
+            if resilience is not None and resilience.admission is not None
+            else None
+        )
+        drain_summary = service.drain(grace_seconds=10.0) if resilience else None
+
+    tenants.close()
+    probes.disarm()
+    leaked = glob.glob(f"/dev/shm/{prefix}-*")
+
+    flat = [r for results in outcomes.values() for r in results]
+    ok = [r for r in flat if r["status"] == 200]
+    shed = [r for r in flat if r["status"] == 503]
+    degraded = [r for r in ok if "degraded" in r["body"]]
+    ok_lat = [r["seconds"] for r in ok]
+    selections = {
+        tenant: [
+            r["body"]["selection"]
+            for r in results
+            if r["status"] == 200 and "degraded" not in r["body"]
+        ]
+        for tenant, results in outcomes.items()
+    }
+    return {
+        "requests": len(flat),
+        "ok": len(ok),
+        "shed": len(shed),
+        "degraded": len(degraded),
+        "other_status": sorted(
+            {r["status"] for r in flat} - {200, 503}
+        ),
+        "transport_errors": transport_errors,
+        "wall_seconds": wall,
+        "goodput_rps": (len(ok) / wall) if wall > 0 else float("nan"),
+        "ok_p50_ms": _percentile(ok_lat, 0.50) * 1e3,
+        "ok_p95_ms": _percentile(ok_lat, 0.95) * 1e3,
+        "ok_p99_ms": _percentile(ok_lat, 0.99) * 1e3,
+        "shed_p99_ms": _percentile([r["seconds"] for r in shed], 0.99) * 1e3,
+        "shed_reasons": sorted({r["body"].get("reason") for r in shed}),
+        "bad_sheds": [
+            {"retry_after": r["retry_after"], "reason": r["body"].get("reason")}
+            for r in shed
+            if not (
+                r["retry_after"]
+                and r["retry_after"].isdigit()
+                and int(r["retry_after"]) >= 1
+                and r["body"].get("reason") in _KNOWN_SHED_REASONS
+            )
+        ],
+        "admission": admission_snapshot,
+        "drain": drain_summary,
+        "leaked_segments": leaked,
+        "selections": selections,
+    }
+
+
+def run(n_clients: int, rounds: int, n_photos: int, max_inflight: int) -> Dict[str, object]:
+    prefix = f"phocus-overload-{os.getpid()}"
+    root = tempfile.mkdtemp(prefix="phocus-overload-store-")
+    try:
+        docs = {
+            f"tenant{i:02d}": instance_to_dict(_make_instance(2000 + i, n_photos))
+            for i in range(n_clients)
+        }
+        baseline = _run_phase(
+            root=root,
+            prefix=prefix,
+            n_clients=n_clients,
+            rounds=rounds,
+            resilience=None,
+            upload_docs=docs,
+        )
+        resilient = _run_phase(
+            root=root,
+            prefix=prefix,
+            n_clients=n_clients,
+            rounds=rounds,
+            resilience=Resilience(
+                admission=AdmissionController(
+                    max_inflight, retry_after_seconds=1.0
+                ),
+                brownout=BrownoutPolicy(tau=0.3, degrade_at=0.7),
+            ),
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    base_sel = baseline.pop("selections")
+    res_sel = resilient.pop("selections")
+    # Every full-fidelity resilient answer must equal the baseline answer
+    # for its tenant, and at least one tenant must have produced one.
+    compared = 0
+    identical = True
+    for tenant, rounds_sel in res_sel.items():
+        reference = base_sel.get(tenant) or [None]
+        for sel in rounds_sel:
+            compared += 1
+            if sel != reference[0]:
+                identical = False
+    base_flat = [s for sels in base_sel.values() for s in sels]
+    baseline_consistent = all(
+        sels and all(s == sels[0] for s in sels) for sels in base_sel.values()
+    )
+
+    admission = resilient["admission"] or {}
+    checks = {
+        "baseline_all_ok": (
+            baseline["ok"] == baseline["requests"] > 0
+            and not baseline["transport_errors"]
+            and bool(base_flat)
+            and baseline_consistent
+        ),
+        "resilient_no_errors": (
+            not resilient["other_status"] and not resilient["transport_errors"]
+        ),
+        "sheds_structured": (
+            resilient["shed"] > 0 and not resilient["bad_sheds"]
+        ),
+        "admitted_p99_bounded": bool(
+            resilient["ok"] > 0
+            and resilient["ok_p99_ms"] <= baseline["ok_p99_ms"] * 1.25
+        ),
+        "bounded_inflight": bool(
+            admission.get("peak_inflight", max_inflight + 1) <= max_inflight
+        ),
+        "goodput_ok": bool(
+            resilient["goodput_rps"] >= baseline["goodput_rps"] / 2.0
+        ),
+        "results_bit_identical": bool(identical and compared > 0),
+        "drained_clean": bool(
+            (resilient["drain"] or {}).get("state") == "drained"
+            and resilient["leaked_segments"] == []
+            and baseline["leaked_segments"] == []
+        ),
+    }
+    return {
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpus": len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else (os.cpu_count() or 1),
+            "clients": n_clients,
+            "rounds_per_client": rounds,
+            "n_photos": n_photos,
+            "max_inflight": max_inflight,
+            "overload_factor": n_clients / max_inflight,
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        },
+        "baseline": baseline,
+        "resilient": resilient,
+        "checks": checks,
+    }
+
+
+def validate_document(doc: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``doc`` has the expected shape."""
+
+    def need(mapping, key, kind, where):
+        if key not in mapping:
+            raise ValueError(f"missing key {where}.{key}")
+        if not isinstance(mapping[key], kind):
+            raise ValueError(
+                f"{where}.{key} should be {kind}, got {type(mapping[key]).__name__}"
+            )
+        return mapping[key]
+
+    meta = need(doc, "meta", dict, "$")
+    for key in ("python", "numpy", "platform"):
+        need(meta, key, str, "meta")
+    if need(meta, "clients", int, "meta") < 1:
+        raise ValueError("meta.clients must be positive")
+    if need(meta, "max_inflight", int, "meta") < 1:
+        raise ValueError("meta.max_inflight must be positive")
+    for phase in ("baseline", "resilient"):
+        body = need(doc, phase, dict, "$")
+        if need(body, "requests", int, phase) < 1:
+            raise ValueError(f"{phase}.requests must be positive")
+        for key in ("ok", "shed", "degraded"):
+            need(body, key, int, phase)
+        for key in ("ok_p50_ms", "ok_p95_ms", "ok_p99_ms", "goodput_rps"):
+            if not need(body, key, (int, float), phase) >= 0:
+                raise ValueError(f"{phase}.{key} must be non-negative")
+        need(body, "transport_errors", list, phase)
+        need(body, "leaked_segments", list, phase)
+    need(doc["resilient"], "admission", dict, "resilient")
+    need(doc["resilient"], "drain", dict, "resilient")
+    checks = need(doc, "checks", dict, "$")
+    for key in (
+        "baseline_all_ok",
+        "resilient_no_errors",
+        "sheds_structured",
+        "admitted_p99_bounded",
+        "bounded_inflight",
+        "goodput_ok",
+        "results_bit_identical",
+        "drained_clean",
+    ):
+        if not isinstance(checks.get(key), bool):
+            raise ValueError(f"checks.{key} must be a bool")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--clients", type=int, default=12, help="concurrent client threads"
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=5, help="requests per client per phase"
+    )
+    parser.add_argument(
+        "--photos", type=int, default=120, help="photos per tenant instance"
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        help="admitted concurrency in the resilient phase",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke shape: same overload factor, fewer rounds, smaller instances",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="output JSON path")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.rounds = min(args.rounds, 3)
+        args.photos = min(args.photos, 60)
+    if args.clients <= args.max_inflight:
+        parser.error("--clients must exceed --max-inflight (no overload otherwise)")
+
+    doc = run(args.clients, args.rounds, args.photos, args.max_inflight)
+    validate_document(doc)
+    args.out.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+    base, res, checks = doc["baseline"], doc["resilient"], doc["checks"]
+    meta = doc["meta"]
+    print(
+        f"[bench_overload] clients={meta['clients']} max_inflight={meta['max_inflight']} "
+        f"(~{meta['overload_factor']:.1f}x overload) rounds={meta['rounds_per_client']} "
+        f"photos={meta['n_photos']} cpus={meta['cpus']}"
+    )
+    print(
+        f"  baseline:  {base['ok']}/{base['requests']} ok  "
+        f"p99 {base['ok_p99_ms']:.1f}ms  goodput {base['goodput_rps']:.1f} rps"
+    )
+    print(
+        f"  resilient: {res['ok']}/{res['requests']} ok, {res['shed']} shed "
+        f"({', '.join(r for r in res['shed_reasons'] if r)}), {res['degraded']} degraded  "
+        f"admitted p99 {res['ok_p99_ms']:.1f}ms  shed p99 {res['shed_p99_ms']:.1f}ms  "
+        f"goodput {res['goodput_rps']:.1f} rps"
+    )
+    print(f"  drain: {res['drain']}  peak_inflight={res['admission']['peak_inflight']}")
+    print(f"  checks: {checks}")
+    if not all(checks.values()):
+        print("[bench_overload] SLO GATE FAILED", file=sys.stderr)
+        return 1
+    print(f"  wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,9 +40,10 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.instance import PARInstance
 from repro.core.objective import CoverageState
-from repro.errors import CheckpointError, ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError, DeadlineExceeded
 from repro.faults import check as _fault_check
 from repro.obs import probes as _obs_probes
+from repro.resilience import deadline as _deadline
 
 __all__ = [
     "GreedyMode",
@@ -220,8 +221,21 @@ def lazy_greedy(
     selected = state._selected
     size = state.size
     budget_cap = budget * (1 + 1e-12)
+    # Deadline: fetched once per pass; per-iteration cost without one is a
+    # single ``is not None`` test (the faults probe pattern).  With one
+    # armed, the clock is read on the first iteration and every 16th after
+    # (a drain interrupt on this deadline is seen immediately).
+    _dl = _deadline.current()
+    _dl_tick = 0
     while heap:
         _fault_check("solver.iteration")
+        if _dl is not None:
+            if (_dl_tick & 15) == 0 or _dl._interrupt is not None:
+                if _dl.expired():
+                    raise _dl.to_exception(
+                        _greedy_checkpoint_doc(run, state, heap, counter, spent)
+                    )
+            _dl_tick += 1
         neg_key, _, p, gain_stamp = heapq.heappop(heap)
         if p in selected:
             continue
@@ -460,8 +474,14 @@ def main_algorithm(
         raise ConfigurationError("checkpointing requires the lazy solver")
     if not wants_checkpoint:
         runner = lazy_greedy if lazy else naive_greedy
-        res_uc = runner(instance, UC)
-        res_cb = runner(instance, CB)
+        try:
+            res_uc = runner(instance, UC)
+        except DeadlineExceeded as exc:
+            raise _rewrap_deadline(exc, UC, None)
+        try:
+            res_cb = runner(instance, CB)
+        except DeadlineExceeded as exc:
+            raise _rewrap_deadline(exc, CB, _summarize_run(res_uc))
         winner = res_cb if res_cb.value >= res_uc.value else res_uc
         winner.evaluations = res_uc.evaluations + res_cb.evaluations
         return winner
@@ -518,27 +538,60 @@ def main_algorithm(
         return sink
 
     if uc_summary is None:
-        res_uc = lazy_greedy(
-            instance,
-            UC,
-            checkpoint_every=checkpoint_every,
-            checkpoint_sink=_outer_sink(UC, None),
-            resume_from=uc_inner,
-        )
+        try:
+            res_uc = lazy_greedy(
+                instance,
+                UC,
+                checkpoint_every=checkpoint_every,
+                checkpoint_sink=_outer_sink(UC, None),
+                resume_from=uc_inner,
+            )
+        except DeadlineExceeded as exc:
+            raise _rewrap_deadline(exc, UC, None)
         uc_summary = _summarize_run(res_uc)
     else:
         res_uc = _run_from_summary(uc_summary)
-    res_cb = lazy_greedy(
-        instance,
-        CB,
-        checkpoint_every=checkpoint_every,
-        checkpoint_sink=_outer_sink(CB, uc_summary),
-        resume_from=cb_inner,
-    )
+    try:
+        res_cb = lazy_greedy(
+            instance,
+            CB,
+            checkpoint_every=checkpoint_every,
+            checkpoint_sink=_outer_sink(CB, uc_summary),
+            resume_from=cb_inner,
+        )
+    except DeadlineExceeded as exc:
+        raise _rewrap_deadline(exc, CB, uc_summary)
     winner = res_cb if res_cb.value >= res_uc.value else res_uc
     winner.evaluations = res_uc.evaluations + res_cb.evaluations
     winner.resumed_at = resumed_total
     return winner
+
+
+def _rewrap_deadline(
+    exc: DeadlineExceeded, phase: str, uc_doc: Optional[Dict[str, Any]]
+) -> DeadlineExceeded:
+    """Lift an inner-pass deadline checkpoint to the two-phase wrapper.
+
+    :func:`lazy_greedy` raises with its own ``lazy_greedy`` checkpoint
+    document; re-keying it as a ``main_algorithm`` doc (phase + finished
+    UC summary) means the standard resume path continues the interrupted
+    two-phase solve and still finishes both passes deterministically.
+    """
+    inner = exc.checkpoint
+    if isinstance(inner, dict) and inner.get("kind") == "lazy_greedy":
+        done_before = len(uc_doc["picks"]) if uc_doc is not None else 0
+        exc.checkpoint = {
+            "format": _CKPT_FORMAT,
+            "kind": "main_algorithm",
+            "phase": phase,
+            "uc": uc_doc,
+            "inner": inner,
+            "progress": {
+                "phase": phase,
+                "picks": done_before + inner["progress"]["picks"],
+            },
+        }
+    return exc
 
 
 def _summarize_run(run: GreedyRun) -> Dict[str, Any]:

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass
 from multiprocessing import get_context, shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -48,6 +49,7 @@ from repro.core.instance import (
 )
 from repro.core.solver import Solution, available_algorithms, solve
 from repro.errors import ConfigurationError, InfeasibleError
+from repro.resilience import deadline as _deadline
 
 __all__ = [
     "SolveTask",
@@ -404,8 +406,16 @@ def solve_batch(
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
 
     if workers is None or workers <= 1 or len(tasks) == 1:
-        return [_run_task(instance, t) for t in tasks]
+        # Deadline check between tasks: the inline path inherits this
+        # thread's scope directly, so each task also checks inside its
+        # own greedy loop; this catches expiry between solves.
+        results = []
+        for t in tasks:
+            _deadline.check()
+            results.append(_run_task(instance, t))
+        return results
 
+    _deadline.check()
     shared = SharedInstance(instance)
     try:
         try:
@@ -418,6 +428,30 @@ def solve_batch(
             futures = [
                 pool.submit(_worker_run, shared.name, shared.spec, t) for t in tasks
             ]
-            return [f.result() for f in futures]
+            dl = _deadline.current()
+            return [_collect(f, dl) for f in futures]
     finally:
         shared.close()
+
+
+def _collect(future, dl) -> Solution:
+    """Await one worker result, honouring the caller's deadline.
+
+    Thread-local deadlines do not cross the process boundary, so the
+    parent polls: short result waits interleaved with expiry checks.  An
+    expired deadline abandons the remaining futures (the pool's shutdown
+    cancels what has not started) and raises with no checkpoint — batch
+    tasks are independent whole solves, so there is no mid-batch state
+    worth resuming.
+    """
+    if dl is None:
+        return future.result()
+    while True:
+        if dl.expired():
+            raise dl.to_exception()
+        rem = dl.remaining()
+        step = 0.05 if rem is None else min(0.05, max(rem, 0.001))
+        try:
+            return future.result(timeout=step)
+        except _FuturesTimeout:
+            continue

@@ -23,7 +23,12 @@ from repro.core.greedy import CB, UC, lazy_greedy, main_algorithm
 from repro.core.instance import PARInstance
 from repro.core.objective import score
 from repro.core.sviridenko import sviridenko
-from repro.errors import ConfigurationError, ReproError, TransientSolveError
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    StorageExhausted,
+    TransientSolveError,
+)
 
 __all__ = [
     "Solution",
@@ -54,6 +59,11 @@ def classify_failure(exc: BaseException) -> str:
     explicit escape hatch for callers that know their fault is retryable.
     """
     if isinstance(exc, TransientSolveError):
+        return TRANSIENT
+    if isinstance(exc, StorageExhausted):
+        # Disk-full is environmental: space can be reclaimed (journal
+        # compaction, tenant deletes, operator action), so retry.  Checked
+        # before the ReproError rule that would call it permanent.
         return TRANSIENT
     if isinstance(exc, ReproError):
         return PERMANENT

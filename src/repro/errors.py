@@ -91,6 +91,89 @@ class InstanceNotFound(ReproError, KeyError):
         return self.args[0] if self.args else ""
 
 
+class DeadlineExceeded(ReproError):
+    """A request's deadline expired while its solve was in flight (HTTP 504).
+
+    Raised cooperatively from the solver hot loops when a
+    :class:`repro.resilience.Deadline` armed for the current thread
+    expires (or is interrupted, e.g. by a graceful drain).  Instead of
+    burning CPU for a client that has already given up, the solve stops
+    at the next iteration and carries its latest resumable ``checkpoint``
+    document (:mod:`repro.core.checkpoint` plain-dict form) out with the
+    exception, so the work done so far is never lost: the job manager
+    persists it and a later resume continues bit-identically.
+
+    ``reason`` distinguishes a genuine timeout (``"deadline"``) from an
+    external interruption (``"drain"``, ``"clock_skew"``, ...).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "deadline",
+        deadline_seconds: "float | None" = None,
+        elapsed_seconds: "float | None" = None,
+        checkpoint: "dict | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.deadline_seconds = deadline_seconds
+        self.elapsed_seconds = elapsed_seconds
+        self.checkpoint = checkpoint
+
+    def progress(self) -> "dict | None":
+        """The checkpoint's small progress view (``None`` without one)."""
+        if not isinstance(self.checkpoint, dict):
+            return None
+        progress = self.checkpoint.get("progress")
+        return progress if isinstance(progress, dict) else None
+
+
+class ServiceOverloaded(ReproError):
+    """The service shed this request to protect itself (HTTP 503).
+
+    Raised by the admission controller (:mod:`repro.resilience.admission`)
+    *before* expensive work starts — when in-flight capacity is gone,
+    when one tenant would exceed its fair share under contention, when
+    the predicted queue wait cannot meet the request's deadline, or while
+    the service is draining.  ``retry_after`` is the suggested backoff in
+    seconds (also sent as the ``Retry-After`` header); ``reason`` is a
+    stable machine-readable shed cause.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "capacity",
+        retry_after: float = 1.0,
+        tenant: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after = retry_after
+        self.tenant = tenant
+
+
+class StorageExhausted(ReproError, OSError):
+    """A durable write failed because the disk is full (HTTP 507).
+
+    Raised when a journal append or tenant-store write hits ``ENOSPC`` /
+    ``EDQUOT`` (or a read-only filesystem), so the service can answer a
+    structured ``507 Insufficient Storage`` instead of an unhandled 500
+    traceback.  Classified as *transient* by
+    :func:`repro.core.solver.classify_failure` — space may be reclaimed,
+    so a retried job can plausibly succeed.
+    """
+
+    def __init__(self, message: str, *, path: "str | None" = None, errno_value: "int | None" = None) -> None:
+        ReproError.__init__(self, message)
+        self.path = path
+        self.errno_value = errno_value
+        self.kind = "storage_exhausted"
+
+
 class TransientSolveError(ReproError):
     """A solve failed for a reason that may succeed on retry.
 

@@ -66,6 +66,10 @@ KNOWN_SITES: Dict[str, str] = {
     "tenantstore.replace": "atomic rename publishing a tenant instance (check)",
     "tenantstore.load": "read of a stored tenant instance blob (check)",
     "tenantcache.evict": "warm-cache segment reclaim during eviction (check)",
+    "resilience.clock_skew": "deadline expiry check — drop rule forces the "
+    "clock to have jumped past the deadline (drop)",
+    "resilience.slow_solve": "start of a solve payload — drop rule injects "
+    "an artificial stall for overload tests (drop)",
 }
 
 # Which probe kinds a rule action responds to.

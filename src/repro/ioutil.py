@@ -11,12 +11,33 @@ can crash each stage of the protocol deterministically.
 
 from __future__ import annotations
 
+import errno
 import os
 from typing import Union
 
 from repro import faults
+from repro.errors import StorageExhausted
 
-__all__ = ["atomic_write_bytes", "fsync_directory"]
+__all__ = ["atomic_write_bytes", "fsync_directory", "raise_if_no_space"]
+
+#: errno values meaning "the bytes have nowhere to go" — mapped to the
+#: structured :class:`StorageExhausted` (HTTP 507) instead of a bare
+#: OSError 500.  Injected fault OSErrors carry no errno and pass through.
+_NO_SPACE_ERRNOS = frozenset(
+    e for e in (errno.ENOSPC, getattr(errno, "EDQUOT", None)) if e is not None
+)
+
+
+def raise_if_no_space(exc: OSError, path: Union[str, os.PathLike]) -> None:
+    """Re-raise ``exc`` as :class:`StorageExhausted` if it is disk-full."""
+    if isinstance(exc, StorageExhausted):
+        raise exc
+    if exc.errno in _NO_SPACE_ERRNOS:
+        raise StorageExhausted(
+            f"no space left writing {os.fspath(path)!r}: {exc.strerror or exc}",
+            path=os.fspath(path),
+            errno_value=exc.errno,
+        ) from exc
 
 
 def fsync_directory(path: Union[str, os.PathLike]) -> None:
@@ -58,10 +79,12 @@ def atomic_write_bytes(
                 os.fsync(fh.fileno())
         faults.check(f"{site}.replace")
         os.replace(tmp, path)
-    except BaseException:
+    except BaseException as exc:
         try:
             os.unlink(tmp)
         except OSError:
             pass
+        if isinstance(exc, OSError):
+            raise_if_no_space(exc, path)
         raise
     fsync_directory(os.path.dirname(path) or ".")

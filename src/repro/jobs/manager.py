@@ -36,7 +36,12 @@ from repro.core.checkpoint import (
     encode_record_b64,
 )
 from repro.core.solver import PERMANENT, TRANSIENT, classify_failure
-from repro.errors import CheckpointError, ValidationError
+from repro.errors import (
+    CheckpointError,
+    DeadlineExceeded,
+    ServiceOverloaded,
+    ValidationError,
+)
 from repro.faults.plan import ProcessKilled
 from repro.jobs.queue import FairPriorityQueue, QueueFull
 from repro.jobs.spec import JobRecord, JobSpec, JobState, new_job_id
@@ -44,6 +49,7 @@ from repro.jobs.store import InMemoryJobStore, JobStore, JournalJobStore
 from repro.jobs.worker import WorkerPool, execute_solve_payload, run_with_timeout
 from repro.obs import probes as _obs_probes
 from repro.obs import trace as _trace
+from repro.resilience.deadline import Deadline, deadline_scope
 
 __all__ = ["JobManager", "QueueFull"]
 
@@ -114,6 +120,7 @@ class JobManager:
         rng_seed: Optional[int] = None,
         default_checkpoint_every: Optional[int] = None,
         by_ref_resolver: Optional[Callable[[Dict[str, Any]], Any]] = None,
+        wait_observer: Optional[Callable[[float], None]] = None,
     ) -> None:
         if store is not None and journal_path is not None:
             raise ValueError("give either store or journal_path, not both")
@@ -131,9 +138,16 @@ class JobManager:
         self._retry_base_delay = retry_base_delay
         self._retry_max_delay = retry_max_delay
         self._rng = random.Random(rng_seed)
+        # Fed the measured queue wait (submission → first dequeue) of every
+        # job; the service wires the admission controller's EWMA here.
+        self._wait_observer = wait_observer
         self._lock = threading.RLock()
         self._records: Dict[str, JobRecord] = {}
         self._cancel_events: Dict[str, threading.Event] = {}
+        # Per-running-job deadline handles; drain() trips every one with
+        # expire_now("drain") so solves checkpoint and yield cooperatively.
+        self._running_deadlines: Dict[str, Deadline] = {}
+        self._draining = False
         self._timers: List[threading.Timer] = []
         self._dequeue_counter = 0
         self._latencies: deque = deque(maxlen=latency_window)
@@ -150,6 +164,11 @@ class JobManager:
         """Enqueue a job; returns its id.  Raises :class:`QueueFull` at capacity."""
         if self._closed:
             raise RuntimeError("job manager is shut down")
+        if self._draining:
+            raise ServiceOverloaded(
+                "job manager is draining; submit to another instance",
+                reason="draining",
+            )
         record = JobRecord(spec=spec)
         with self._lock:
             if spec.job_id in self._records:
@@ -250,10 +269,14 @@ class JobManager:
             latencies = sorted(self._latencies)
         busy = self._pool.busy_count
         stats: Dict[str, Any] = {
+            "draining": self._draining,
             "queue": {
                 "depth": len(self._queue),
                 "limit": self._queue.maxsize,
                 "by_tenant": self._queue.depth_by_tenant(),
+                "oldest_wait_seconds": round(
+                    self._queue.oldest_wait_seconds(), 4
+                ),
             },
             "jobs": by_state,
             "workers": {
@@ -301,6 +324,92 @@ class JobManager:
             timer.cancel()
         self._pool.stop(wait=wait)
         self._store.close()
+
+    def drain(self, grace_seconds: float = 10.0) -> Dict[str, Any]:
+        """Gracefully stop: checkpoint running jobs and requeue them.
+
+        The drain sequence (idempotent; returns a summary document):
+
+        1. stop accepting — new :meth:`submit` calls shed with
+           :class:`~repro.errors.ServiceOverloaded` (``reason="draining"``);
+           pending retry timers are cancelled (their jobs are already
+           journalled QUEUED and will replay).
+        2. interrupt — every running job's deadline handle is tripped with
+           ``expire_now("drain")``; the solver raises at its next
+           cooperative check carrying a fresh checkpoint, and the outcome
+           handler journals the job back to QUEUED.
+        3. grace wait — up to ``grace_seconds`` for running jobs to yield.
+        4. force-requeue stragglers — a non-cooperative solve (stuck in a
+           C call, injected stall) is abandoned: its job goes back to
+           QUEUED in the journal with its *last persisted* checkpoint, and
+           the still-running thread can no longer touch the record (the
+           checkpoint sink and outcome handler both re-check the state).
+        5. shutdown — workers stop, the journal is flushed and closed.
+
+        A fresh manager on the same journal replays every QUEUED job and
+        resumes each solve from its checkpoint bit-identically.
+        """
+        self._draining = True
+        obs = _obs_probes.active()
+        if obs is not None:
+            obs.resilience_draining.set(1)
+        with self._lock:
+            timers, self._timers = self._timers, []
+        for timer in timers:
+            timer.cancel()
+        with self._lock:
+            running_ids = set(self._running_deadlines)
+            for deadline in self._running_deadlines.values():
+                deadline.expire_now("drain")
+        forced = 0
+        wait_until = time.monotonic() + max(0.0, grace_seconds)
+        while time.monotonic() < wait_until:
+            with self._lock:
+                if not any(
+                    r.state is JobState.RUNNING for r in self._records.values()
+                ):
+                    break
+            time.sleep(0.02)
+        with self._lock:
+            for record in self._records.values():
+                if record.state is JobState.RUNNING:
+                    # Straggler: abandon its solve thread, requeue from the
+                    # last *persisted* checkpoint.  After this transition
+                    # the solve thread's sink/outcome guards see != RUNNING
+                    # and leave the record alone; setting the cancel event
+                    # unblocks the worker thread polling the solve.
+                    record.transition(JobState.QUEUED)
+                    forced += 1
+                    event = self._cancel_events.get(record.job_id)
+                    if event is not None:
+                        event.set()
+                    try:
+                        self._store.save(record)
+                    except Exception:  # noqa: BLE001 - drain must not die
+                        logger.exception(
+                            "drain: failed to journal straggler %s", record.job_id
+                        )
+        self.shutdown(wait=True)
+        summary = {
+            "interrupted": len(running_ids),
+            "forced_requeue": forced,
+        }
+        logger.info("drain complete: %s", summary)
+        return summary
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs currently waiting (the admission controller's queue view)."""
+        return len(self._queue)
+
+    @property
+    def queue_limit(self) -> int:
+        """The queue's hard bound (``0`` = unbounded)."""
+        return self._queue.maxsize
 
     def __enter__(self) -> "JobManager":
         return self.start()
@@ -395,12 +504,43 @@ class JobManager:
             record.attempt += 1
             record.started_at = time.time()
             obs = _obs_probes.active()
-            if obs is not None and record.attempt == 1:
+            if record.attempt == 1:
                 # True queue wait (submission → first dequeue); retry
                 # attempts would fold the backoff delay in and lie.
-                obs.jobs_wait_seconds.observe(
-                    max(0.0, record.started_at - record.submitted_at)
+                waited = max(0.0, record.started_at - record.submitted_at)
+                if obs is not None:
+                    obs.jobs_wait_seconds.observe(waited)
+                if self._wait_observer is not None:
+                    self._wait_observer(waited)
+            # The job's latency budget counts from *submission*: a job that
+            # waited out its whole deadline in the queue fails here without
+            # burning a worker on an answer nobody is waiting for.
+            budget_left: Optional[float] = None
+            if record.spec.deadline_ms is not None:
+                budget_left = record.spec.deadline_ms / 1000.0 - max(
+                    0.0, record.started_at - record.submitted_at
                 )
+                if budget_left <= 0:
+                    record.transition(JobState.FAILED)
+                    record.error = (
+                        f"deadline of {record.spec.deadline_ms:g}ms expired "
+                        "in the queue before execution"
+                    )
+                    record.error_kind = "deadline"
+                    record.finished_at = time.time()
+                    if obs is not None:
+                        obs.resilience_deadline_exceeded.labels(where="queue").inc()
+                        obs.jobs_failures.labels(kind="deadline").inc()
+                        obs.jobs_completed.labels(
+                            tenant=record.tenant, state=record.state.value
+                        ).inc()
+                    self._store.save(record)
+                    return
+            # One deadline handle per execution: timed when the spec has a
+            # budget, interrupt-only otherwise — either way drain() can
+            # trip it and stop the solve at its next cooperative check.
+            job_deadline = Deadline(budget_left)
+            self._running_deadlines[record.job_id] = job_deadline
             resume_doc: Optional[Dict[str, Any]] = None
             if record.checkpoint and self._solve_accepts_checkpoints:
                 try:
@@ -439,18 +579,28 @@ class JobManager:
         else:
             solve_call = lambda: self._solve_fn(record.spec)  # noqa: E731
 
-        with _trace.span("jobs.execute") as sp:
-            sp.annotate(
-                job_id=record.job_id,
-                tenant=record.tenant,
-                attempt=record.attempt,
-            )
-            outcome, value = run_with_timeout(
-                solve_call,
-                timeout=record.spec.timeout_seconds,
-                cancel_event=event,
-            )
-            sp.annotate(outcome=outcome)
+        def scoped_solve() -> Any:
+            # Runs on the solve thread run_with_timeout spawns — the
+            # deadline scope must be armed there, not on this worker
+            # thread, for the solver's thread-local check to see it.
+            with deadline_scope(job_deadline):
+                return solve_call()
+
+        try:
+            with _trace.span("jobs.execute") as sp:
+                sp.annotate(
+                    job_id=record.job_id,
+                    tenant=record.tenant,
+                    attempt=record.attempt,
+                )
+                outcome, value = run_with_timeout(
+                    scoped_solve,
+                    timeout=record.spec.timeout_seconds,
+                    cancel_event=event,
+                )
+                sp.annotate(outcome=outcome)
+        finally:
+            self._running_deadlines.pop(record.job_id, None)
 
         if outcome == "error" and isinstance(value, ProcessKilled):
             # Emulated SIGKILL (fault injection): die *without* touching
@@ -479,6 +629,34 @@ class JobManager:
                 record.transition(JobState.CANCELLED)
                 record.error_kind = "cancelled"
                 record.finished_at = now
+            elif outcome == "error" and isinstance(value, DeadlineExceeded):
+                # The solve stopped cooperatively and carried its latest
+                # checkpoint out with the exception — persist it so the
+                # work done is never lost, whatever happens next.
+                if value.checkpoint is not None:
+                    record.checkpoint = encode_record_b64(value.checkpoint)
+                    record.checkpoint_progress = checkpoint_progress(
+                        value.checkpoint
+                    )
+                if value.reason == "drain":
+                    # Graceful drain: back to QUEUED (the legal retry
+                    # transition) in the journal only — the next manager
+                    # on this journal resumes the solve bit-identically.
+                    record.transition(JobState.QUEUED)
+                    record.error = None
+                    record.error_kind = None
+                    if obs is not None:
+                        obs.jobs_drain_interrupted.inc()
+                else:
+                    # A genuine expiry: the client is gone; retrying for
+                    # them wastes capacity (permanent), but the persisted
+                    # checkpoint allows a deliberate manual resume.
+                    record.transition(JobState.FAILED)
+                    record.error = f"DeadlineExceeded: {value}"
+                    record.error_kind = "deadline"
+                    record.finished_at = now
+                    if obs is not None:
+                        obs.resilience_deadline_exceeded.labels(where="job").inc()
             elif outcome == "timeout":
                 record.transition(JobState.FAILED)
                 record.error = (
@@ -530,8 +708,10 @@ class JobManager:
 
     def _requeue(self, record: JobRecord) -> None:
         with self._lock:
-            if self._closed or record.state is not JobState.QUEUED:
-                return  # cancelled (or shut down) while backing off
+            if self._closed or self._draining or record.state is not JobState.QUEUED:
+                # Cancelled, shut down, or draining while backing off: the
+                # job is journalled QUEUED either way and replays later.
+                return
             self._queue.put(
                 record,
                 tenant=record.tenant,

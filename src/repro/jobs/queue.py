@@ -21,6 +21,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
+import time
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -58,8 +59,9 @@ class FairPriorityQueue:
         self._on_pop = on_pop
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
-        # tenant -> heap of (-priority, seq, item); seq keeps FIFO per priority.
-        self._heaps: Dict[str, List[Tuple[int, int, Any]]] = {}
+        # tenant -> heap of (-priority, seq, item, enqueued_at); seq keeps
+        # FIFO per priority, the timestamp feeds oldest_wait_seconds().
+        self._heaps: Dict[str, List[Tuple[int, int, Any, float]]] = {}
         self._rotation: deque = deque()  # tenants with queued work, in serve order
         self._seq = itertools.count()
         self._size = 0
@@ -79,6 +81,22 @@ class FairPriorityQueue:
         with self._lock:
             return {t: len(h) for t, h in self._heaps.items() if h}
 
+    def oldest_wait_seconds(self) -> float:
+        """How long the longest-waiting queued item has been waiting.
+
+        A live head-of-line signal for admission control and readiness:
+        unlike the dequeue-time EWMA it grows even when no worker is
+        dequeuing at all (stuck pool, drain).  ``0.0`` when empty.
+        """
+        now = time.monotonic()
+        with self._lock:
+            oldest = None
+            for heap in self._heaps.values():
+                for _, _, _, enqueued_at in heap:
+                    if oldest is None or enqueued_at < oldest:
+                        oldest = enqueued_at
+        return 0.0 if oldest is None else max(0.0, now - oldest)
+
     def put(self, item: Any, *, tenant: str, priority: int = 0, force: bool = False) -> None:
         """Enqueue ``item``; raise :class:`QueueFull` at capacity unless forced."""
         with self._lock:
@@ -89,7 +107,9 @@ class FairPriorityQueue:
                 heap = self._heaps[tenant] = []
             if not heap:
                 self._rotation.append(tenant)
-            heapq.heappush(heap, (-int(priority), next(self._seq), item))
+            heapq.heappush(
+                heap, (-int(priority), next(self._seq), item, time.monotonic())
+            )
             self._size += 1
             self._gauge_depth()
             self._not_empty.notify()
@@ -101,7 +121,7 @@ class FairPriorityQueue:
                 return None
             tenant = self._rotation.popleft()
             heap = self._heaps[tenant]
-            _, _, item = heapq.heappop(heap)
+            _, _, item, _ = heapq.heappop(heap)
             self._size -= 1
             self._gauge_depth()
             if heap:
@@ -118,7 +138,7 @@ class FairPriorityQueue:
         """
         with self._lock:
             for tenant, heap in self._heaps.items():
-                for i, (_, _, item) in enumerate(heap):
+                for i, (_, _, item, _) in enumerate(heap):
                     if predicate(item):
                         heap[i] = heap[-1]
                         heap.pop()

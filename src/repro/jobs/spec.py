@@ -94,6 +94,11 @@ class JobSpec:
     seed: Optional[int] = None
     priority: int = 0
     timeout_seconds: Optional[float] = None
+    # Total latency budget in milliseconds, measured from *submission*
+    # (queue wait included).  A job whose budget expires is failed with
+    # error_kind="deadline", keeping its latest checkpoint for a manual
+    # resume; ``None`` means no deadline.
+    deadline_ms: Optional[float] = None
     max_attempts: int = 3
     checkpoint_every: Optional[int] = None
     # A budget sweep: solve the same instance once per budget (a Fig 5
@@ -118,6 +123,8 @@ class JobSpec:
             raise ValidationError("max_attempts must be >= 1")
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:
             raise ValidationError("timeout_seconds must be positive")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValidationError("deadline_ms must be positive")
         if self.checkpoint_every is not None and self.checkpoint_every < 1:
             raise ValidationError("checkpoint_every must be >= 1")
         if self.budgets is not None:
@@ -164,6 +171,7 @@ class JobSpec:
             "seed": self.seed,
             "priority": self.priority,
             "timeout_seconds": self.timeout_seconds,
+            "deadline_ms": self.deadline_ms,
             "max_attempts": self.max_attempts,
             "checkpoint_every": self.checkpoint_every,
             "budgets": None if self.budgets is None else list(self.budgets),
@@ -185,6 +193,7 @@ class JobSpec:
                 seed=doc.get("seed"),
                 priority=int(doc.get("priority", 0)),
                 timeout_seconds=doc.get("timeout_seconds"),
+                deadline_ms=doc.get("deadline_ms"),
                 max_attempts=int(doc.get("max_attempts", 3)),
                 checkpoint_every=doc.get("checkpoint_every"),
                 budgets=(

@@ -50,7 +50,7 @@ from typing import Dict, Optional
 
 from repro import faults
 from repro.errors import ConfigurationError
-from repro.ioutil import fsync_directory
+from repro.ioutil import fsync_directory, raise_if_no_space
 from repro.jobs.spec import JobRecord
 
 __all__ = ["JobStore", "InMemoryJobStore", "JournalJobStore", "open_store"]
@@ -215,13 +215,26 @@ class JournalJobStore(InMemoryJobStore):
         self._unsynced = 0
 
     def save(self, record: JobRecord) -> None:
-        faults.check("journal.write")
+        try:
+            faults.check("journal.write")
+        except OSError as exc:
+            # An injected ENOSPC behaves exactly like a real full disk
+            # (structured 507); other injected types pass through intact.
+            raise_if_no_space(exc, self.path)
+            raise
         line = faults.mangle("journal.write", _encode_line(record.to_dict()))
         with self._lock:
             self._records[record.job_id] = record
-            self._file.write(line)
-            self._file.flush()
-            self._maybe_fsync_locked()
+            try:
+                self._file.write(line)
+                self._file.flush()
+                self._maybe_fsync_locked()
+            except OSError as exc:
+                # A full disk surfaces here as a structured 507 instead of
+                # an unhandled 500 (injected faults have no errno and keep
+                # their original type for the chaos tests).
+                raise_if_no_space(exc, self.path)
+                raise
             self._lines += 1
             if self._due_for_compaction_locked():
                 self._compact_locked()

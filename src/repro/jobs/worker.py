@@ -18,16 +18,19 @@ Two layers live here:
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import faults as _faults
 from repro.core.objective import score
 from repro.core.serialize import instance_from_dict, solution_to_dict
 from repro.core.solver import checkpointable_algorithms, solve
 from repro.errors import ValidationError
 from repro.obs import probes as _obs_probes
 from repro.obs import trace as _trace
+from repro.resilience.deadline import Deadline, deadline_scope
 from repro.sparsify.pipeline import sparsify_instance
 
 __all__ = ["execute_solve_payload", "run_with_timeout", "WorkerPool"]
@@ -69,6 +72,24 @@ def execute_solve_payload(
     deterministic in ``seed``, so the resumed run sees the identical
     sparsified instance the checkpoint was taken against.
     """
+    # A payload deadline (the sync /solve path: header or body field) arms
+    # a scope for this thread; job-path deadlines are armed by the manager
+    # instead (measured from submission) and nest transparently.
+    payload_deadline_ms = payload.get("deadline_ms")
+    if payload_deadline_ms:
+        with deadline_scope(Deadline(float(payload_deadline_ms) / 1000.0)):
+            inner = dict(payload)
+            inner.pop("deadline_ms", None)
+            return execute_solve_payload(
+                inner,
+                instance=instance,
+                checkpoint_sink=checkpoint_sink,
+                resume_from=resume_from,
+            )
+    # Chaos site: a "drop" rule here stalls the solve deterministically —
+    # overload and drain tests use it to manufacture slow requests.
+    if _faults.should_drop("resilience.slow_solve"):
+        time.sleep(0.05)
     if instance is None:
         instance_doc = payload.get("instance")
         if not isinstance(instance_doc, dict):

@@ -35,6 +35,7 @@ _EXACT_ROUTES = frozenset(
     {
         "/health",
         "/healthz",
+        "/readyz",
         "/version",
         "/algorithms",
         "/solve",

@@ -221,6 +221,48 @@ class Instruments:
             max_series=256,
         )
 
+        # ------------------------------------------------------- resilience
+        self.resilience_shed = reg.counter(
+            "phocus_resilience_shed_total",
+            "requests shed by the admission controller (HTTP 503)",
+            ("reason", "tenant"),
+            max_series=256,
+        )
+        self.resilience_brownout = reg.counter(
+            "phocus_resilience_brownout_total",
+            "degraded /solve responses served under brownout",
+            ("mode",),
+        )
+        self.resilience_deadline_exceeded = reg.counter(
+            "phocus_resilience_deadline_exceeded_total",
+            "solves stopped by an expired or interrupted deadline",
+            ("where",),
+        )
+        self.resilience_deadline_remaining = reg.histogram(
+            "phocus_resilience_deadline_remaining_seconds",
+            "deadline budget remaining at admission",
+        )
+        self.resilience_inflight = reg.gauge(
+            "phocus_resilience_inflight",
+            "admitted requests currently executing",
+        )
+        self.resilience_pressure = reg.gauge(
+            "phocus_resilience_pressure",
+            "admission pressure (1.0 = at capacity)",
+        )
+        self.resilience_wait_ewma = reg.gauge(
+            "phocus_resilience_queue_wait_ewma_seconds",
+            "EWMA of job queue wait fed to the admission controller",
+        )
+        self.resilience_draining = reg.gauge(
+            "phocus_resilience_draining",
+            "1 while the service is draining or drained, else 0",
+        )
+        self.jobs_drain_interrupted = reg.counter(
+            "phocus_jobs_drain_interrupted_total",
+            "running jobs checkpointed and requeued by a graceful drain",
+        )
+
         # ------------------------------------------------------------- http
         self.http_requests = reg.counter(
             "phocus_http_requests_total",

@@ -1,0 +1,114 @@
+"""Overload resilience for the PHOcus service.
+
+Four cooperating mechanisms keep the service useful under pressure
+instead of failing open (unbounded queues) or failing closed (hard
+errors for everyone):
+
+* :mod:`repro.resilience.deadline` — request deadlines threaded from
+  the HTTP edge into the solver hot loops; expired solves raise
+  :class:`~repro.errors.DeadlineExceeded` carrying a resumable
+  checkpoint (near-zero cost when disarmed, like :mod:`repro.faults`).
+* :mod:`repro.resilience.admission` — adaptive load shedding with
+  in-flight bounds, queue-wait EWMAs, and per-tenant fairness; sheds
+  early with :class:`~repro.errors.ServiceOverloaded` (503 +
+  ``Retry-After``).
+* :mod:`repro.resilience.brownout` — opt-in degraded answers under
+  pressure (τ-sparsified solve or cached replay), always labeled.
+* :mod:`repro.resilience.drain` — the SIGTERM drain state machine:
+  stop accepting, checkpoint running jobs, release leases, flush.
+
+:class:`Resilience` bundles one of each as the service's single wiring
+point: ``PhocusService(..., resilience=Resilience(...))``.  Everything
+is opt-in — a service built without a bundle behaves exactly as before.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.resilience.admission import AdmissionController, Ewma
+from repro.resilience.brownout import BrownoutPolicy, SolutionCache, solve_cache_key
+from repro.resilience.deadline import (
+    Deadline,
+    check,
+    current,
+    deadline_scope,
+    remaining,
+)
+from repro.resilience.drain import DrainController
+
+__all__ = [
+    "AdmissionController",
+    "BrownoutPolicy",
+    "Deadline",
+    "DrainController",
+    "Ewma",
+    "Resilience",
+    "SolutionCache",
+    "check",
+    "current",
+    "deadline_scope",
+    "remaining",
+    "solve_cache_key",
+]
+
+
+class Resilience:
+    """The service's resilience bundle: admission + brownout + drain.
+
+    Any component may be ``None``: ``admission=None`` disables shedding,
+    ``brownout=None`` disables degraded answers (requests asking for
+    ``degraded_ok`` still get full answers), and the drain controller is
+    always present so SIGTERM handling works even on a minimal bundle.
+
+    ``default_deadline_ms`` applies to requests that carry no deadline of
+    their own (``0``/``None`` = no default).
+    """
+
+    def __init__(
+        self,
+        *,
+        admission: Optional[AdmissionController] = None,
+        brownout: Optional[BrownoutPolicy] = None,
+        drain: Optional[DrainController] = None,
+        default_deadline_ms: Optional[int] = None,
+    ) -> None:
+        self.admission = admission
+        self.brownout = brownout
+        self.drain = drain if drain is not None else DrainController()
+        self.default_deadline_ms = (
+            int(default_deadline_ms) if default_deadline_ms else None
+        )
+
+    def request_deadline(self, deadline_ms: Optional[float]) -> Optional[Deadline]:
+        """Build the :class:`Deadline` for a request (or ``None``).
+
+        ``deadline_ms`` is the request's own value (header or body
+        field); the bundle default fills in when the request has none.
+        """
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        if not deadline_ms:
+            return None
+        return Deadline(float(deadline_ms) / 1000.0)
+
+    def pressure(self) -> float:
+        return self.admission.pressure() if self.admission is not None else 0.0
+
+    def ready(self) -> bool:
+        """Whether a load balancer should route here (readiness)."""
+        if self.drain.draining():
+            return False
+        if self.admission is not None and self.admission.overloaded():
+            return False
+        return True
+
+    def snapshot(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"drain": self.drain.snapshot()}
+        if self.default_deadline_ms:
+            doc["default_deadline_ms"] = self.default_deadline_ms
+        if self.admission is not None:
+            doc["admission"] = self.admission.snapshot()
+        if self.brownout is not None:
+            doc["brownout"] = self.brownout.snapshot()
+        return doc

@@ -1,0 +1,290 @@
+"""Adaptive load shedding: admit, degrade, or shed *before* work starts.
+
+The :class:`AdmissionController` is the service's bouncer.  It tracks
+
+* **in-flight work** — how many admitted solves are executing right now,
+  globally and per tenant;
+* **latency EWMAs** — exponentially weighted moving averages of queue
+  wait (fed by the job manager's first-dequeue measurement) and service
+  time (measured around every admitted request);
+
+and sheds a request with :class:`~repro.errors.ServiceOverloaded`
+(HTTP 503 + ``Retry-After``) when admitting it could not end well:
+
+``capacity``
+    every in-flight slot is taken — queueing behind them only grows the
+    latency tail;
+``tenant_fairness``
+    under contention one tenant may not hold more than its fair share of
+    slots, so a hot tenant's burst sheds *its own* requests instead of
+    starving everyone else;
+``deadline_unmeetable``
+    the request carries a deadline smaller than the predicted wait +
+    service time — solving it would burn CPU for a client that will have
+    given up;
+``queue_full_soon`` (job submissions)
+    the background queue's predicted drain time already exceeds the
+    target wait — shed at ``shed_queue_fraction`` of capacity, *before*
+    the hard 429 bound is hit.
+
+``pressure()`` condenses the state into one number (1.0 = at capacity);
+the brownout layer reads it to decide when degraded answers kick in, and
+``/readyz`` reports not-ready while it saturates.  All decisions are
+O(1) under one lock; the controller is safe for concurrent handler
+threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+from repro.errors import ServiceOverloaded
+from repro.obs import probes as _obs_probes
+from repro.resilience.deadline import Deadline
+
+__all__ = ["Ewma", "AdmissionController"]
+
+
+class Ewma:
+    """An exponentially weighted moving average (thread-safe via owner lock).
+
+    ``alpha`` is the weight of each new observation; the first
+    observation seeds the average directly.
+    """
+
+    __slots__ = ("alpha", "value")
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.value: Optional[float] = None
+
+    def update(self, sample: float) -> float:
+        if self.value is None:
+            self.value = float(sample)
+        else:
+            self.value += self.alpha * (float(sample) - self.value)
+        return self.value
+
+    def get(self, default: float = 0.0) -> float:
+        return default if self.value is None else self.value
+
+
+class AdmissionController:
+    """Sheds load early so admitted requests keep meeting their deadlines.
+
+    Parameters
+    ----------
+    max_inflight:
+        Hard bound on concurrently admitted solves (the service's
+        synchronous capacity).
+    tenant_fair_share:
+        Fraction of ``max_inflight`` one tenant may hold while other
+        tenants are waiting for slots (only enforced under contention —
+        a lone tenant may use every slot).
+    target_wait_seconds:
+        The queue-wait SLO for background jobs; job submissions are shed
+        once the predicted wait exceeds it.
+    shed_queue_fraction:
+        Queue fill fraction at which job submissions start shedding with
+        503 (before the queue's own hard 429 at 100%).
+    retry_after_seconds:
+        Base client backoff; scaled up with measured pressure so a
+        deeply overloaded service asks for longer pauses.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int,
+        *,
+        tenant_fair_share: float = 0.5,
+        target_wait_seconds: float = 5.0,
+        shed_queue_fraction: float = 0.9,
+        retry_after_seconds: float = 1.0,
+        ewma_alpha: float = 0.3,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if not 0.0 < tenant_fair_share <= 1.0:
+            raise ValueError("tenant_fair_share must be in (0, 1]")
+        if not 0.0 < shed_queue_fraction <= 1.0:
+            raise ValueError("shed_queue_fraction must be in (0, 1]")
+        self.max_inflight = int(max_inflight)
+        self.tenant_fair_share = float(tenant_fair_share)
+        self.target_wait_seconds = float(target_wait_seconds)
+        self.shed_queue_fraction = float(shed_queue_fraction)
+        self.retry_after_seconds = float(retry_after_seconds)
+        self._lock = threading.Lock()
+        self._inflight_total = 0
+        self._inflight_by_tenant: Dict[str, int] = {}
+        self._wait_ewma = Ewma(ewma_alpha)
+        self._service_ewma = Ewma(ewma_alpha)
+        self._shed_count = 0
+        self._admitted_count = 0
+        self._peak_inflight = 0
+
+    # ----------------------------------------------------------- telemetry
+
+    def observe_wait(self, seconds: float) -> None:
+        """Feed one measured queue wait (manager: submission → dequeue)."""
+        with self._lock:
+            value = self._wait_ewma.update(seconds)
+        obs = _obs_probes.active()
+        if obs is not None:
+            obs.resilience_wait_ewma.set(value)
+
+    def observe_service_time(self, seconds: float) -> None:
+        with self._lock:
+            self._service_ewma.update(seconds)
+
+    def pressure(self) -> float:
+        """Load relative to capacity: >= 1.0 means shedding territory."""
+        with self._lock:
+            return self._pressure_locked()
+
+    def _pressure_locked(self) -> float:
+        utilisation = self._inflight_total / self.max_inflight
+        wait = self._wait_ewma.get()
+        wait_pressure = (
+            wait / self.target_wait_seconds if self.target_wait_seconds > 0 else 0.0
+        )
+        return max(utilisation, wait_pressure)
+
+    def overloaded(self) -> bool:
+        return self.pressure() >= 1.0
+
+    def _retry_after_locked(self) -> float:
+        # Scale the advertised backoff with both pressure and measured
+        # service time, so clients of a badly overloaded service spread
+        # their retries instead of synchronising a thundering herd.
+        pressure = max(1.0, self._pressure_locked())
+        base = max(self.retry_after_seconds, self._service_ewma.get())
+        return round(min(30.0, base * pressure), 3)
+
+    # ----------------------------------------------------------- admission
+
+    def _shed_locked(self, tenant: str, reason: str, message: str) -> ServiceOverloaded:
+        self._shed_count += 1
+        exc = ServiceOverloaded(
+            message,
+            reason=reason,
+            retry_after=self._retry_after_locked(),
+            tenant=tenant,
+        )
+        obs = _obs_probes.active()
+        if obs is not None:
+            obs.resilience_shed.labels(reason=reason, tenant=tenant).inc()
+        return exc
+
+    @contextmanager
+    def admit(
+        self, tenant: str, *, deadline: Optional[Deadline] = None
+    ) -> Iterator[None]:
+        """Hold one in-flight slot for the ``with`` block, or shed.
+
+        Raises :class:`ServiceOverloaded` without acquiring a slot when
+        the request should be shed; otherwise the block runs with the
+        slot held and its wall-clock feeds the service-time EWMA.
+        """
+        tenant = tenant or "default"
+        with self._lock:
+            if self._inflight_total >= self.max_inflight:
+                raise self._shed_locked(
+                    tenant,
+                    "capacity",
+                    f"all {self.max_inflight} in-flight slots are busy",
+                )
+            held = self._inflight_by_tenant.get(tenant, 0)
+            fair_slots = max(1, int(self.max_inflight * self.tenant_fair_share))
+            contended = len(self._inflight_by_tenant) > (1 if held else 0)
+            if contended and held >= fair_slots:
+                raise self._shed_locked(
+                    tenant,
+                    "tenant_fairness",
+                    f"tenant {tenant!r} holds {held} of {self.max_inflight} "
+                    f"slots (fair share {fair_slots}) while others wait",
+                )
+            if deadline is not None:
+                remaining = deadline.remaining()
+                predicted = self._service_ewma.get()
+                if remaining is not None and predicted > 0 and remaining < predicted:
+                    raise self._shed_locked(
+                        tenant,
+                        "deadline_unmeetable",
+                        f"deadline leaves {remaining:.3f}s but similar requests "
+                        f"take {predicted:.3f}s",
+                    )
+            self._inflight_total += 1
+            self._peak_inflight = max(self._peak_inflight, self._inflight_total)
+            self._inflight_by_tenant[tenant] = held + 1
+            self._admitted_count += 1
+        obs = _obs_probes.active()
+        if obs is not None:
+            obs.resilience_inflight.set(self._inflight_total)
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining is not None:
+                    obs.resilience_deadline_remaining.observe(remaining)
+        started = time.monotonic()
+        try:
+            yield
+        finally:
+            elapsed = time.monotonic() - started
+            with self._lock:
+                self._inflight_total -= 1
+                left = self._inflight_by_tenant.get(tenant, 1) - 1
+                if left <= 0:
+                    self._inflight_by_tenant.pop(tenant, None)
+                else:
+                    self._inflight_by_tenant[tenant] = left
+                self._service_ewma.update(elapsed)
+            if obs is not None:
+                obs.resilience_inflight.set(self._inflight_total)
+                obs.resilience_pressure.set(self.pressure())
+
+    def check_queue(self, tenant: str, depth: int, limit: int) -> None:
+        """Shed a job submission when the queue is effectively saturated.
+
+        Fires at ``shed_queue_fraction`` of the hard bound, or when the
+        queue's predicted drain time (depth × service EWMA / capacity)
+        exceeds the target wait — whichever trips first.  Unbounded
+        queues (``limit=0``) only use the predicted-wait rule.
+        """
+        tenant = tenant or "default"
+        with self._lock:
+            if limit and depth >= max(1, int(limit * self.shed_queue_fraction)):
+                raise self._shed_locked(
+                    tenant,
+                    "queue_full_soon",
+                    f"job queue at {depth}/{limit}; shedding before saturation",
+                )
+            predicted = depth * self._service_ewma.get() / max(1, self.max_inflight)
+            if self.target_wait_seconds > 0 and predicted > self.target_wait_seconds:
+                raise self._shed_locked(
+                    tenant,
+                    "queue_full_soon",
+                    f"predicted queue wait {predicted:.2f}s exceeds the "
+                    f"{self.target_wait_seconds:.2f}s target",
+                )
+
+    # ------------------------------------------------------------ snapshot
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Operational view for ``/stats`` and ``/readyz``."""
+        with self._lock:
+            return {
+                "max_inflight": self.max_inflight,
+                "inflight": self._inflight_total,
+                "peak_inflight": self._peak_inflight,
+                "inflight_by_tenant": dict(self._inflight_by_tenant),
+                "pressure": round(self._pressure_locked(), 4),
+                "wait_ewma_seconds": self._wait_ewma.get(),
+                "service_ewma_seconds": self._service_ewma.get(),
+                "admitted": self._admitted_count,
+                "shed": self._shed_count,
+                "retry_after_seconds": self._retry_after_locked(),
+            }

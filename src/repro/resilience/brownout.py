@@ -1,0 +1,208 @@
+"""Brownout degradation: cheaper, *labeled* answers under pressure.
+
+Production photo services degrade instead of failing (see PAPERS.md,
+"Reducing Storage in Large-Scale Photo Sharing Services using
+Recompression"); the paper's own τ-sparsification (Theorem 4.8,
+:mod:`repro.sparsify`) gives this service a principled cheaper-answer
+knob.  :class:`BrownoutPolicy` decides, per request, which of three
+tiers a ``/solve`` runs at:
+
+``full``
+    pressure below ``degrade_at`` — the normal paper-faithful solve.
+    Bit-exactness of this path is untouched: a non-degraded response
+    never gains a ``degraded`` key.
+``sparsified``
+    pressure in ``[degrade_at, cache_at)`` — solve a τ-sparsified copy
+    of the instance.  Much cheaper (the sparse kernel path), still a
+    real solve of *this* instance, and Theorem 4.8 bounds the loss.
+``cached``
+    pressure at/above ``cache_at`` — skip solving entirely and replay
+    the last full-fidelity answer for the same solve identity
+    ``(tenant, instance, version, budget, algorithm, ...)``.  Zero
+    solver cost; the answer may be stale by ``age_seconds``.
+
+Degradation is **opt-in per request** (``degraded_ok: true`` in the
+``/solve`` body): clients that did not ask for it always get the full
+answer or a shed, never silently degraded data.  Every degraded
+response is labeled with a ``degraded`` object carrying the mode and
+quality metadata, so downstream consumers can tell replica-grade
+answers from brownout answers.
+
+The cache only stores ``by_ref`` solves — inline instances have no
+stable identity — and is a small byte-budgeted LRU
+(:class:`repro.lru.ByteBudgetLRU`) with a TTL, so a brownout can never
+grow memory without bound or serve arbitrarily old answers.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.lru import ByteBudgetLRU
+from repro.obs import probes as _obs_probes
+
+__all__ = ["BrownoutPolicy", "SolutionCache", "solve_cache_key"]
+
+
+def solve_cache_key(
+    tenant: str,
+    instance_id: str,
+    version: int,
+    budget: Optional[float],
+    payload: Dict[str, Any],
+) -> Tuple[Any, ...]:
+    """Stable identity of a ``by_ref`` solve for cache lookup.
+
+    Includes every payload knob that changes the answer (algorithm, τ,
+    sparsify method, seed) so a cached entry is only replayed for a
+    request that would have produced the same full-fidelity response.
+    """
+    return (
+        tenant,
+        instance_id,
+        int(version),
+        budget,
+        payload.get("algorithm", "phocus"),
+        payload.get("tau"),
+        payload.get("sparsify_method"),
+        payload.get("seed"),
+    )
+
+
+class SolutionCache:
+    """Byte-budgeted, TTL-bounded cache of full-fidelity solve responses."""
+
+    def __init__(self, capacity_bytes: int = 8 << 20, ttl_seconds: float = 300.0) -> None:
+        self.ttl_seconds = float(ttl_seconds)
+        self._lock = threading.Lock()
+        self._lru: ByteBudgetLRU = ByteBudgetLRU(capacity_bytes)
+
+    def put(self, key: Tuple[Any, ...], response: Dict[str, Any]) -> None:
+        """Store a *non-degraded* response; degraded answers never cached."""
+        if "degraded" in response:
+            return
+        size = len(json.dumps(response, separators=(",", ":")))
+        with self._lock:
+            self._lru.put(key, (time.monotonic(), response), size)
+
+    def get(self, key: Tuple[Any, ...]) -> Optional[Tuple[Dict[str, Any], float]]:
+        """Return ``(response, age_seconds)`` or ``None`` (miss/expired)."""
+        with self._lock:
+            entry = self._lru.get(key)
+            if entry is None:
+                return None
+            stored_at, response = entry
+            age = time.monotonic() - stored_at
+            if age > self.ttl_seconds:
+                self._lru.pop(key)
+                return None
+        return response, age
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._lru)
+
+
+class BrownoutPolicy:
+    """Chooses the solve tier for a request given current pressure.
+
+    Parameters
+    ----------
+    tau:
+        Similarity threshold for the sparsified tier (paper Theorem 4.8
+        bounds the objective loss as a function of τ).
+    sparsify_method:
+        ``"exact"`` (threshold all pairs) or ``"lsh"`` (SimHash-verified),
+        the :func:`repro.sparsify.pipeline.sparsify_instance` vocabulary.
+    degrade_at / cache_at:
+        Pressure thresholds for the sparsified and cached tiers.
+    cache_bytes / cache_ttl_seconds:
+        Bounds for the replay cache.
+    """
+
+    def __init__(
+        self,
+        *,
+        tau: float = 0.2,
+        sparsify_method: str = "exact",
+        degrade_at: float = 0.7,
+        cache_at: float = 0.95,
+        cache_bytes: int = 8 << 20,
+        cache_ttl_seconds: float = 300.0,
+    ) -> None:
+        if not 0.0 < degrade_at <= cache_at:
+            raise ValueError("need 0 < degrade_at <= cache_at")
+        self.tau = float(tau)
+        self.sparsify_method = sparsify_method
+        self.degrade_at = float(degrade_at)
+        self.cache_at = float(cache_at)
+        self.cache = SolutionCache(cache_bytes, cache_ttl_seconds)
+        self._degraded_count = 0
+        self._lock = threading.Lock()
+
+    # --------------------------------------------------------------- tiers
+
+    def tier(self, pressure: float, degraded_ok: bool) -> str:
+        """``"full"``, ``"sparsified"``, or ``"cached"`` for this request."""
+        if not degraded_ok or pressure < self.degrade_at:
+            return "full"
+        if pressure < self.cache_at:
+            return "sparsified"
+        return "cached"
+
+    def _count(self, mode: str) -> None:
+        with self._lock:
+            self._degraded_count += 1
+        obs = _obs_probes.active()
+        if obs is not None:
+            obs.resilience_brownout.labels(mode=mode).inc()
+
+    # ------------------------------------------------------------- labeling
+
+    def sparsified_payload(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """The cheaper payload for the sparsified tier (a copy)."""
+        cheap = dict(payload)
+        cheap["tau"] = self.tau
+        cheap["sparsify_method"] = self.sparsify_method
+        # A degraded answer must never carry a certificate of optimality.
+        cheap.pop("certificate", None)
+        return cheap
+
+    def label_sparsified(self, response: Dict[str, Any], pressure: float) -> Dict[str, Any]:
+        """Mark a sparsified-tier response as degraded, with quality metadata."""
+        self._count("sparsified")
+        response["degraded"] = {
+            "mode": "sparsified",
+            "tau": self.tau,
+            "sparsify_method": self.sparsify_method,
+            "pressure": round(pressure, 4),
+        }
+        return response
+
+    def label_cached(
+        self, response: Dict[str, Any], age_seconds: float, pressure: float
+    ) -> Dict[str, Any]:
+        """Mark a replayed cached response as degraded (staleness metadata)."""
+        self._count("cached")
+        replay = dict(response)
+        replay["degraded"] = {
+            "mode": "cached",
+            "age_seconds": round(age_seconds, 3),
+            "pressure": round(pressure, 4),
+        }
+        return replay
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            degraded = self._degraded_count
+        return {
+            "tau": self.tau,
+            "sparsify_method": self.sparsify_method,
+            "degrade_at": self.degrade_at,
+            "cache_at": self.cache_at,
+            "cached_entries": len(self.cache),
+            "degraded_responses": degraded,
+        }

@@ -1,0 +1,192 @@
+"""Deadline propagation: a cooperative, near-zero-cost time budget.
+
+A :class:`Deadline` is the request's remaining time budget, threaded
+from the service edge (``X-Phocus-Deadline-Ms`` header / ``deadline_ms``
+body field / job spec field) down into the solver hot loops.  The
+mechanism copies the :mod:`repro.faults` single-``None``-check pattern:
+the deadline for the current thread lives in a thread-local slot, the
+solver fetches it **once** per pass, and the per-iteration cost when no
+deadline is armed is a single local ``is not None`` test.
+
+When an armed deadline expires (or is interrupted — see
+:meth:`Deadline.expire_now`, the graceful-drain hook), the solver raises
+:class:`~repro.errors.DeadlineExceeded` *carrying its latest resumable
+checkpoint document*, so an expired solve costs no further CPU and loses
+no work: the job manager persists the checkpoint and a later resume
+continues bit-identically (the PR-2 machinery).
+
+Scopes nest: arming a deadline inside an existing scope chains them, and
+the effective deadline is "whichever expires first".  A job therefore
+runs under the manager's interrupt-only deadline (so drain can stop it)
+*and* its own request deadline at once.
+
+Fault site ``resilience.clock_skew`` (a ``drop``-action probe inside
+:meth:`Deadline.expired`) lets chaos tests simulate the wall clock
+jumping past the deadline between two iterations.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro import faults as _faults
+from repro.errors import DeadlineExceeded
+
+__all__ = [
+    "Deadline",
+    "current",
+    "deadline_scope",
+    "check",
+    "remaining",
+]
+
+_tls = threading.local()
+
+
+class Deadline:
+    """A monotonic-clock expiry plus an external interrupt switch.
+
+    ``seconds=None`` builds an *interrupt-only* deadline: it never times
+    out by itself but :meth:`expire_now` can trip it from another thread
+    (the graceful-drain path).  ``parent`` chains an enclosing scope's
+    deadline; the combined deadline expires when either does.
+    """
+
+    __slots__ = ("seconds", "_expires_at", "_started_at", "_interrupt", "_parent")
+
+    def __init__(
+        self, seconds: Optional[float] = None, *, parent: Optional["Deadline"] = None
+    ) -> None:
+        if seconds is not None and seconds <= 0:
+            # Already expired at construction: keep the arithmetic honest
+            # instead of rejecting — admission checks catch this earlier.
+            seconds = 0.0
+        self.seconds = seconds
+        self._started_at = time.monotonic()
+        self._expires_at = None if seconds is None else self._started_at + seconds
+        # One word, assigned atomically under the GIL — readable from the
+        # solve thread without a lock.
+        self._interrupt: Optional[str] = None
+        self._parent = parent
+
+    # ------------------------------------------------------------- queries
+
+    def expired(self) -> bool:
+        """Whether the budget is gone (time, interrupt, or parent)."""
+        if self._interrupt is not None:
+            return True
+        if self._expires_at is not None and time.monotonic() >= self._expires_at:
+            return True
+        if _faults.should_drop("resilience.clock_skew"):
+            self._interrupt = "clock_skew"
+            return True
+        if self._parent is not None:
+            return self._parent.expired()
+        return False
+
+    def reason(self) -> str:
+        """Why the deadline tripped (meaningful once :meth:`expired`)."""
+        if self._interrupt is not None:
+            return self._interrupt
+        if self._expires_at is not None and time.monotonic() >= self._expires_at:
+            return "deadline"
+        if self._parent is not None:
+            return self._parent.reason()
+        return "deadline"
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (never negative); ``None`` means unbounded."""
+        if self._interrupt is not None:
+            return 0.0
+        own = (
+            None
+            if self._expires_at is None
+            else max(0.0, self._expires_at - time.monotonic())
+        )
+        inherited = self._parent.remaining() if self._parent is not None else None
+        if own is None:
+            return inherited
+        if inherited is None:
+            return own
+        return min(own, inherited)
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self._started_at
+
+    # ------------------------------------------------------------ controls
+
+    def expire_now(self, reason: str = "interrupted") -> None:
+        """Trip the deadline from any thread (graceful drain uses
+        ``reason="drain"``); the solve raises at its next check."""
+        self._interrupt = reason
+
+    def to_exception(self, checkpoint: Optional[dict] = None) -> DeadlineExceeded:
+        """Build the structured exception for this expired deadline."""
+        reason = self.reason()
+        if reason == "drain":
+            message = "solve interrupted by graceful drain"
+        elif self.seconds is not None:
+            message = f"deadline of {self.seconds:.3f}s exceeded after {self.elapsed():.3f}s"
+        else:
+            message = f"solve interrupted ({reason})"
+        return DeadlineExceeded(
+            message,
+            reason=reason,
+            deadline_seconds=self.seconds,
+            elapsed_seconds=self.elapsed(),
+            checkpoint=checkpoint,
+        )
+
+
+def current() -> Optional[Deadline]:
+    """The deadline armed for this thread, or ``None`` — THE hot-path read.
+
+    Solver loops fetch this once per pass; per-iteration they only test
+    the local against ``None``, so the disarmed cost matches the
+    :mod:`repro.faults` probe pattern.
+    """
+    return getattr(_tls, "deadline", None)
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[Deadline]) -> Iterator[Optional[Deadline]]:
+    """Arm ``deadline`` for the current thread for the ``with`` block.
+
+    Nesting chains scopes: the inner block runs under *both* deadlines
+    (whichever expires first wins).  ``deadline=None`` is a no-op scope,
+    so call sites can arm conditionally without branching.
+    """
+    if deadline is None:
+        yield None
+        return
+    previous = getattr(_tls, "deadline", None)
+    if previous is not None and deadline._parent is None:
+        deadline._parent = previous
+    _tls.deadline = deadline
+    try:
+        yield deadline
+    finally:
+        _tls.deadline = previous
+
+
+def check(checkpoint: Optional[dict] = None) -> None:
+    """Raise :class:`DeadlineExceeded` if this thread's deadline expired.
+
+    For warm paths outside the solver's inner loop (batch dispatch,
+    payload execution); the solver loops inline the equivalent test for
+    speed and attach their live checkpoint document.
+    """
+    dl = getattr(_tls, "deadline", None)
+    if dl is None:
+        return
+    if dl.expired():
+        raise dl.to_exception(checkpoint)
+
+
+def remaining() -> Optional[float]:
+    """Seconds left on this thread's deadline (``None`` = unbounded)."""
+    dl = getattr(_tls, "deadline", None)
+    return None if dl is None else dl.remaining()

@@ -1,0 +1,96 @@
+"""Graceful drain: SIGTERM → stop accepting → checkpoint → hand off.
+
+:class:`DrainController` is the small state machine behind the drain
+sequence; the heavy lifting happens in the layers it coordinates:
+
+1. **stop accepting** — the controller flips to ``draining``;
+   ``/readyz`` starts answering 503 so load balancers stop routing
+   here, and new solves/submissions are shed with
+   ``ServiceOverloaded(reason="draining")``.
+2. **checkpoint running jobs** — the job manager trips each running
+   solve's interrupt-only :class:`~repro.resilience.deadline.Deadline`
+   with ``expire_now("drain")``; the solver raises
+   :class:`~repro.errors.DeadlineExceeded` at its next cooperative
+   check, carrying a fresh resumable checkpoint, and the manager
+   persists it and returns the job to ``QUEUED`` (a legal retry
+   transition).  A later process replays the journal and resumes each
+   job bit-identically (PR-2 machinery).  Solves that do not yield
+   within ``grace_seconds`` are abandoned and requeued from their last
+   persisted checkpoint.
+3. **release resources** — tenant warm-cache leases are dropped and
+   shared-memory segments released (``Tenants.close``), then the
+   journal is flushed.
+
+States only move forward: ``accepting → draining → drained``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["DrainController"]
+
+
+class DrainController:
+    """Forward-only drain state machine shared by service, jobs, and CLI."""
+
+    ACCEPTING = "accepting"
+    DRAINING = "draining"
+    DRAINED = "drained"
+
+    def __init__(self, grace_seconds: float = 10.0) -> None:
+        self.grace_seconds = float(grace_seconds)
+        self._lock = threading.Lock()
+        self._state = self.ACCEPTING
+        self._started_at: Optional[float] = None
+        self._finished_at: Optional[float] = None
+        self._drain_event = threading.Event()
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def accepting(self) -> bool:
+        return self._state == self.ACCEPTING
+
+    def draining(self) -> bool:
+        return self._state != self.ACCEPTING
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until a drain begins (the serve loop parks here)."""
+        return self._drain_event.wait(timeout)
+
+    # ---------------------------------------------------------- transitions
+
+    def begin(self) -> bool:
+        """Enter ``draining``; ``False`` if a drain had already started."""
+        with self._lock:
+            if self._state != self.ACCEPTING:
+                return False
+            self._state = self.DRAINING
+            self._started_at = time.monotonic()
+        self._drain_event.set()
+        return True
+
+    def finish(self) -> None:
+        with self._lock:
+            if self._state == self.DRAINED:
+                return
+            self._state = self.DRAINED
+            self._finished_at = time.monotonic()
+        self._drain_event.set()
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            doc: Dict[str, Any] = {
+                "state": self._state,
+                "grace_seconds": self.grace_seconds,
+            }
+            if self._started_at is not None:
+                end = self._finished_at or time.monotonic()
+                doc["drain_seconds"] = round(end - self._started_at, 3)
+            return doc

@@ -58,6 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve_p.add_argument("--no-certificate", action="store_true")
     solve_p.add_argument(
+        "--deadline-ms",
+        type=float,
+        metavar="MS",
+        help="abandon the solve after this wall-clock budget (exit code 124; "
+        "the partial checkpoint is reported)",
+    )
+    solve_p.add_argument(
         "--compress",
         action="store_true",
         help="allow compressed photo renditions (Section 6 extension)",
@@ -162,6 +169,40 @@ def build_parser() -> argparse.ArgumentParser:
         default=10,
         help="token-bucket burst size for --tenant-rate",
     )
+    serve_p.add_argument(
+        "--max-inflight",
+        type=int,
+        metavar="N",
+        help="admission control: bound concurrently executing solves and "
+        "shed excess load with 503 + Retry-After (default: no shedding)",
+    )
+    serve_p.add_argument(
+        "--target-wait-seconds",
+        type=float,
+        default=5.0,
+        help="queue-wait SLO for admission control (with --max-inflight)",
+    )
+    serve_p.add_argument(
+        "--brownout-tau",
+        type=float,
+        metavar="TAU",
+        help="enable brownout: requests opting in with degraded_ok may get "
+        "τ-sparsified or cached answers under pressure (always labeled)",
+    )
+    serve_p.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        metavar="MS",
+        help="deadline applied to requests that carry none of their own",
+    )
+    serve_p.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="SIGTERM drain: how long running solves get to checkpoint "
+        "before being requeued from their last snapshot",
+    )
 
     jobs_p = sub.add_parser(
         "jobs", help="submit and track background solve jobs on a running service"
@@ -184,6 +225,13 @@ def build_parser() -> argparse.ArgumentParser:
     submit_p.add_argument("--tenant", default="default")
     submit_p.add_argument("--priority", type=int, default=0)
     submit_p.add_argument("--timeout-seconds", type=float)
+    submit_p.add_argument(
+        "--deadline-ms",
+        type=float,
+        help="total latency budget from submission (queue wait included); "
+        "an expired job fails with error_kind=deadline, keeping its "
+        "checkpoint",
+    )
     submit_p.add_argument("--max-attempts", type=int, default=3)
     submit_p.add_argument(
         "--checkpoint-every",
@@ -347,7 +395,23 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         certificate=not args.no_certificate,
         seed=args.seed,
     )
-    report = PHOcus(config).run(instance)
+    if args.deadline_ms is not None:
+        from repro.errors import DeadlineExceeded
+        from repro.resilience import Deadline, deadline_scope
+
+        try:
+            with deadline_scope(Deadline(args.deadline_ms / 1000.0)):
+                report = PHOcus(config).run(instance)
+        except DeadlineExceeded as exc:
+            progress = exc.progress() or {}
+            print(
+                f"error: deadline of {args.deadline_ms:g} ms expired "
+                f"mid-solve (progress: {progress})",
+                file=sys.stderr,
+            )
+            return 124
+    else:
+        report = PHOcus(config).run(instance)
     _print_report(report)
     if args.html_report:
         from repro.system.report_html import write_report_html
@@ -434,6 +498,7 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             "tenant": args.tenant,
             "priority": args.priority,
             "timeout_seconds": args.timeout_seconds,
+            "deadline_ms": args.deadline_ms,
             "max_attempts": args.max_attempts,
             "checkpoint_every": args.checkpoint_every,
             "certificate": args.certificate,
@@ -672,6 +737,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                 rate_per_second=args.tenant_rate,
                 burst=args.tenant_burst,
             )
+        from repro.resilience import (
+            AdmissionController,
+            BrownoutPolicy,
+            DrainController,
+            Resilience,
+        )
+
+        # Always carry a bundle so SIGTERM drains gracefully; admission
+        # and brownout stay off unless their flags opt in.
+        resilience = Resilience(
+            admission=(
+                AdmissionController(
+                    args.max_inflight,
+                    target_wait_seconds=args.target_wait_seconds,
+                )
+                if args.max_inflight
+                else None
+            ),
+            brownout=(
+                BrownoutPolicy(tau=args.brownout_tau)
+                if args.brownout_tau is not None
+                else None
+            ),
+            drain=DrainController(grace_seconds=args.drain_grace),
+            default_deadline_ms=args.default_deadline_ms,
+        )
         service = PhocusService(
             host=args.host,
             port=args.port,
@@ -684,10 +775,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             tenants_root=args.tenants_root,
             tenants_cache_bytes=args.tenants_cache_mb * 1024 * 1024,
             tenant_quota=tenant_quota,
+            resilience=resilience,
         ).start()
         print(f"PHOcus solver service listening on http://{service.address}")
         print(
-            "endpoints: GET /health(z), GET /version, GET /algorithms,\n"
+            "endpoints: GET /health(z), GET /readyz, GET /version, GET /algorithms,\n"
             "           POST /solve, POST /score, POST /jobs, GET /jobs,\n"
             "           GET /jobs/<id>, DELETE /jobs/<id>, GET /stats"
             + (", GET /metrics" if args.metrics else "")
@@ -698,11 +790,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                 else ""
             )
         )
-        try:
-            import signal
+        # SIGTERM triggers the graceful drain (stop accepting → checkpoint
+        # running jobs → release leases → flush journal); SIGINT / Ctrl-C
+        # stays a fast exit.  The handler only sets an event — the drain
+        # itself runs on the main thread, never in signal context.
+        import signal
+        import threading as _threading
 
-            signal.pause()
-        except (KeyboardInterrupt, AttributeError):  # AttributeError: Windows
+        sigterm = _threading.Event()
+        try:
+            signal.signal(signal.SIGTERM, lambda signum, frame: sigterm.set())
+        except (AttributeError, ValueError):  # Windows / non-main thread
+            pass
+        try:
+            while not sigterm.wait(0.5):
+                pass
+            print("SIGTERM: draining...", file=sys.stderr)
+            summary = service.drain(grace_seconds=args.drain_grace)
+            print(f"drain complete: {summary}", file=sys.stderr)
+        except KeyboardInterrupt:
             pass
         finally:
             service.stop()

@@ -10,6 +10,9 @@ endpoint          method   behaviour
 ================  =======  ================================================
 ``/health``       GET      liveness + library version
 ``/healthz``      GET      bare liveness (no locks, no subsystems)
+``/readyz``       GET      readiness — 503 while the service drains or
+                           the admission controller saturates, so load
+                           balancers stop routing here; 200 otherwise
 ``/version``      GET      library version only
 ``/algorithms``   GET      the registered solver names
 ``/solve``        POST     synchronous fast path: body ``{"instance": …,
@@ -64,6 +67,18 @@ return ``4xx`` with ``{"error": message}`` (plus structured fields for
 allowed methods in the body's ``allow`` field; unexpected failures
 ``500``.
 
+Overload resilience is opt-in via ``resilience=Resilience(...)``
+(:mod:`repro.resilience`): request deadlines (``X-Phocus-Deadline-Ms``
+header or ``deadline_ms`` body field) propagate into the solver hot
+loops and expire as structured ``504`` responses; the admission
+controller sheds with ``503`` + a ``Retry-After`` header before queues
+saturate; ``degraded_ok: true`` bodies may receive labeled brownout
+answers under pressure; and :meth:`PhocusService.drain` runs the
+SIGTERM sequence (stop accepting → checkpoint running jobs → release
+leases → flush).  A full disk during a durable write answers a
+structured ``507``.  Without a bundle the service behaves exactly as
+before.
+
 Observability: constructing a service with ``metrics=True`` (the
 default) arms :mod:`repro.obs.probes` process-wide, so solver and job
 telemetry flows into the registry ``GET /metrics`` serves.  Every
@@ -82,22 +97,26 @@ Use :class:`PhocusService` as a context manager for an ephemeral server::
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
-from contextlib import contextmanager
+from contextlib import ExitStack, contextmanager
 
 from repro.core.objective import score, score_breakdown
 from repro.core.serialize import instance_from_dict
 from repro.core.solver import available_algorithms
 from repro.errors import (
+    DeadlineExceeded,
     InstanceNotFound,
     QuotaExceeded,
     RateLimited,
     ReproError,
+    ServiceOverloaded,
+    StorageExhausted,
     ValidationError,
 )
 from repro.jobs import JobManager, JobState, QueueFull, execute_solve_payload
@@ -106,9 +125,12 @@ from repro.obs import probes as obs_probes
 from repro.obs.middleware import AccessLog, observe_request
 from repro.obs.prom import CONTENT_TYPE as _PROM_CONTENT_TYPE
 from repro.obs.prom import render_registry
+from repro.resilience import Resilience, deadline_scope, solve_cache_key
 from repro.tenants import TenantQuota, Tenants, parse_ref
 
 __all__ = ["PhocusService", "handle_request"]
+
+_DEADLINE_HEADER = "X-Phocus-Deadline-Ms"
 
 # Sentinel keys in a dispatcher payload marking a non-JSON (raw text)
 # response; the transport handler honours them, tests can assert on them.
@@ -122,6 +144,7 @@ _MAX_BODY = 64 * 1024 * 1024  # 64 MiB — generous for serialised instances
 _ALLOWED_METHODS: Dict[str, Tuple[str, ...]] = {
     "/health": ("GET",),
     "/healthz": ("GET",),
+    "/readyz": ("GET",),
     "/version": ("GET",),
     "/algorithms": ("GET",),
     "/solve": ("POST",),
@@ -177,15 +200,86 @@ def _resolved_instance(payload: Dict[str, Any], tenants: Optional[Tenants]):
         yield instance, hit
 
 
-def _solve_endpoint(
+def _deadline_ms_from(
+    headers: Optional[Any], payload: Optional[Dict[str, Any]] = None
+) -> Optional[float]:
+    """The request's deadline in ms: header beats body field, ``None`` if absent."""
+    raw: Any = headers.get(_DEADLINE_HEADER) if headers is not None else None
+    if raw is None and payload is not None:
+        raw = payload.get("deadline_ms")
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        raise ValidationError(
+            f"deadline must be a number of milliseconds, got {raw!r}"
+        ) from None
+    if not value > 0:
+        raise ValidationError("deadline_ms must be positive")
+    return value
+
+
+def _request_tenant(payload: Dict[str, Any]) -> str:
+    """The tenant a request bills against (``by_ref`` beats the body field)."""
+    by_ref = payload.get("by_ref")
+    if isinstance(by_ref, dict) and by_ref.get("tenant"):
+        return str(by_ref["tenant"])
+    return str(payload.get("tenant") or "default")
+
+
+def _brownout_cache_key(
     payload: Dict[str, Any], tenants: Optional[Tenants]
+) -> Optional[Tuple[Any, ...]]:
+    """The brownout-cache identity of a ``by_ref`` solve (inline bodies: None)."""
+    by_ref = payload.get("by_ref")
+    if by_ref is None or tenants is None:
+        return None
+    try:
+        tenant, instance_id, version = parse_ref(by_ref)
+        if version is None:
+            version = tenants.store.meta(tenant, instance_id).version
+        budget = payload.get("budget")
+        return solve_cache_key(
+            tenant,
+            instance_id,
+            int(version),
+            None if budget is None else float(budget),
+            payload,
+        )
+    except Exception:  # noqa: BLE001 - cache identity is best-effort
+        return None
+
+
+def _solve_endpoint(
+    payload: Dict[str, Any],
+    tenants: Optional[Tenants],
+    resilience: Optional[Resilience] = None,
 ) -> Dict[str, Any]:
     # The synchronous fast path and background jobs share one executor
     # (repro.jobs.worker.execute_solve_payload) so they can never drift.
-    with _resolved_instance(payload, tenants) as (instance, hit):
-        doc = execute_solve_payload(payload, instance=instance)
+    degraded_ok = bool(payload.pop("degraded_ok", False))
+    brownout = resilience.brownout if resilience is not None else None
+    pressure = resilience.pressure() if resilience is not None else 0.0
+    tier = brownout.tier(pressure, degraded_ok) if brownout is not None else "full"
+    cache_key = _brownout_cache_key(payload, tenants) if brownout is not None else None
+    if tier == "cached":
+        entry = brownout.cache.get(cache_key) if cache_key is not None else None
+        if entry is not None:
+            response, age = entry
+            return brownout.label_cached(response, age, pressure)
+        tier = "sparsified"  # nothing to replay — next-cheapest real answer
+    solve_payload = (
+        brownout.sparsified_payload(payload) if tier == "sparsified" else payload
+    )
+    with _resolved_instance(solve_payload, tenants) as (instance, hit):
+        doc = execute_solve_payload(solve_payload, instance=instance)
     if hit is not None:
         doc["warm_cache_hit"] = hit
+    if tier == "sparsified":
+        return brownout.label_sparsified(doc, pressure)
+    if cache_key is not None:
+        brownout.cache.put(cache_key, doc)
     return doc
 
 
@@ -224,7 +318,10 @@ def _parse_body(body: Optional[bytes]) -> Tuple[Optional[Dict[str, Any]], Option
 
 
 def _submit_job(
-    payload: Dict[str, Any], jobs: JobManager, tenants: Optional[Tenants]
+    payload: Dict[str, Any],
+    jobs: JobManager,
+    tenants: Optional[Tenants],
+    resilience: Optional[Resilience] = None,
 ) -> Tuple[int, Dict[str, Any]]:
     by_ref_doc = payload.get("by_ref")
     if by_ref_doc is not None:
@@ -249,6 +346,7 @@ def _submit_job(
         instance_doc = _require(payload, "instance", dict)
         default_tenant = "default"
     timeout_seconds = payload.get("timeout_seconds")
+    deadline_ms = payload.get("deadline_ms")
     try:
         spec = JobSpec(
             job_id=new_job_id(),
@@ -264,6 +362,7 @@ def _submit_job(
             timeout_seconds=(
                 float(timeout_seconds) if timeout_seconds is not None else None
             ),
+            deadline_ms=(float(deadline_ms) if deadline_ms is not None else None),
             max_attempts=int(payload.get("max_attempts") or 3),
             checkpoint_every=(
                 int(payload["checkpoint_every"])
@@ -285,6 +384,13 @@ def _submit_job(
         if isinstance(exc, ValidationError):
             raise
         raise ValidationError(f"malformed job parameters: {exc}") from exc
+    admission = resilience.admission if resilience is not None else None
+    if admission is not None:
+        # Shed *before* the hard 429 bound: predicted queue wait and the
+        # shed_queue_fraction watermark both fire as 503 + Retry-After.
+        admission.check_queue(
+            spec.tenant, depth=jobs.queue_depth, limit=jobs.queue_limit
+        )
     try:
         job_id = jobs.submit(spec)
     except QueueFull as exc:
@@ -292,6 +398,11 @@ def _submit_job(
             "error": str(exc),
             "queue_depth": exc.depth,
             "queue_limit": exc.maxsize,
+            "retry_after": (
+                admission.snapshot()["retry_after_seconds"]
+                if admission is not None
+                else 1.0
+            ),
         }
     return 202, {"job_id": job_id, "state": JobState.QUEUED.value}
 
@@ -336,6 +447,8 @@ def _jobs_routes(
     body: Optional[bytes],
     jobs: Optional[JobManager],
     tenants: Optional[Tenants],
+    headers: Optional[Any] = None,
+    resilience: Optional[Resilience] = None,
 ) -> Tuple[int, Dict[str, Any]]:
     if jobs is None:
         return 503, {"error": "job manager not running on this service"}
@@ -343,7 +456,10 @@ def _jobs_routes(
         payload, err = _parse_body(body)
         if err is not None:
             return err
-        return _submit_job(payload, jobs, tenants)
+        header_deadline = _deadline_ms_from(headers)
+        if header_deadline is not None and payload.get("deadline_ms") is None:
+            payload["deadline_ms"] = header_deadline
+        return _submit_job(payload, jobs, tenants, resilience=resilience)
     if path == "/jobs" and method == "GET":
         state = query.get("state")
         tenant = query.get("tenant")
@@ -380,6 +496,9 @@ def handle_request(
     jobs: Optional[JobManager] = None,
     instruments: Optional["obs_probes.Instruments"] = None,
     tenants: Optional[Tenants] = None,
+    *,
+    headers: Optional[Any] = None,
+    resilience: Optional[Resilience] = None,
 ) -> Tuple[int, Dict[str, Any]]:
     """Pure request dispatcher (transport-independent, directly testable).
 
@@ -387,7 +506,11 @@ def handle_request(
     one, the ``/jobs`` and ``/stats`` routes answer 503.  ``instruments``
     backs ``GET /metrics``; without them the route answers 404 (metrics
     disabled).  ``tenants`` backs the ``/tenants/...`` family and the
-    ``by_ref`` solve path; without it those answer 503 / 422.  Returns
+    ``by_ref`` solve path; without it those answer 503 / 422.
+    ``headers`` is any ``.get``-able view of the request headers (the
+    ``X-Phocus-Deadline-Ms`` deadline); ``resilience`` is the service's
+    :class:`~repro.resilience.Resilience` bundle — without one, every
+    resilience feature is inert and behaviour is unchanged.  Returns
     ``(http_status, json_payload)`` — for ``/metrics`` the payload
     carries the exposition text under the ``RAW_BODY`` key, which the
     transport serves verbatim with the ``RAW_CONTENT_TYPE`` content type
@@ -413,6 +536,18 @@ def handle_request(
         }
 
     try:
+        if (
+            resilience is not None
+            and method in ("POST", "PUT")
+            and resilience.drain.draining()
+        ):
+            # Stop accepting mutations the moment a drain begins; reads
+            # (status polling, /metrics) keep working until the socket
+            # closes.
+            raise ServiceOverloaded(
+                "service is draining; retry against another instance",
+                reason="draining",
+            )
         if path == "/metrics":
             if instruments is None:
                 return 404, {"error": "metrics are disabled on this service"}
@@ -428,6 +563,18 @@ def handle_request(
             # Pure liveness: no locks, no subsystem calls — safe for tight
             # orchestrator probe loops even while the service is degraded.
             return 200, {"status": "ok"}
+        if path == "/readyz":
+            # Readiness (vs /healthz liveness): load balancers should stop
+            # routing here while the service drains or saturates.
+            if resilience is None or resilience.ready():
+                return 200, {"status": "ready"}
+            doc: Dict[str, Any] = {
+                "status": "unready",
+                "draining": resilience.drain.draining(),
+            }
+            if resilience.admission is not None:
+                doc["overloaded"] = resilience.admission.overloaded()
+            return 503, doc
         if path == "/version":
             from repro import __version__
 
@@ -438,17 +585,47 @@ def handle_request(
             payload, err = _parse_body(body)
             if err is not None:
                 return err
-            if path == "/solve":
-                return 200, _solve_endpoint(payload, tenants)
-            return 200, _score_endpoint(payload, tenants)
+            deadline_ms = _deadline_ms_from(headers, payload)
+            payload.pop("deadline_ms", None)
+            if resilience is None:
+                if deadline_ms is not None:
+                    # execute_solve_payload arms the scope on its own thread
+                    payload["deadline_ms"] = deadline_ms
+                if path == "/solve":
+                    return 200, _solve_endpoint(payload, tenants)
+                return 200, _score_endpoint(payload, tenants)
+            request_deadline = resilience.request_deadline(deadline_ms)
+            with ExitStack() as stack:
+                stack.enter_context(deadline_scope(request_deadline))
+                if resilience.admission is not None:
+                    stack.enter_context(
+                        resilience.admission.admit(
+                            _request_tenant(payload), deadline=request_deadline
+                        )
+                    )
+                if path == "/solve":
+                    return 200, _solve_endpoint(payload, tenants, resilience)
+                return 200, _score_endpoint(payload, tenants)
         if path == "/stats":
             if jobs is None:
                 return 503, {"error": "job manager not running on this service"}
-            return 200, jobs.stats()
+            stats = jobs.stats()
+            if resilience is not None:
+                stats["resilience"] = resilience.snapshot()
+            return 200, stats
         if path.startswith("/tenants/"):
             return _tenants_routes(method, path, body, tenants)
         # /jobs and /jobs/<id>
-        return _jobs_routes(method, path, query, body, jobs, tenants)
+        return _jobs_routes(
+            method,
+            path,
+            query,
+            body,
+            jobs,
+            tenants,
+            headers=headers,
+            resilience=resilience,
+        )
     except RateLimited as exc:
         return 429, {
             "error": str(exc),
@@ -465,6 +642,30 @@ def handle_request(
         }
     except InstanceNotFound as exc:
         return 404, {"error": str(exc)}
+    except ServiceOverloaded as exc:
+        shed_doc: Dict[str, Any] = {
+            "error": str(exc),
+            "reason": exc.reason,
+            "retry_after": exc.retry_after,
+        }
+        if exc.tenant is not None:
+            shed_doc["tenant"] = exc.tenant
+        return 503, shed_doc
+    except DeadlineExceeded as exc:
+        return 504, {
+            "error": str(exc),
+            "reason": exc.reason,
+            "deadline_seconds": exc.deadline_seconds,
+            "elapsed_seconds": exc.elapsed_seconds,
+            "progress": exc.progress(),
+        }
+    except StorageExhausted as exc:
+        return 507, {
+            "error": str(exc),
+            "kind": exc.kind,
+            "path": exc.path,
+            "errno": exc.errno_value,
+        }
     except ReproError as exc:
         return 422, {"error": str(exc)}
     except Exception as exc:  # noqa: BLE001 - service boundary
@@ -491,6 +692,12 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(data)))
         if status == 405 and isinstance(payload.get("allow"), list):
             self.send_header("Allow", ", ".join(payload["allow"]))
+        if status in (429, 503):
+            retry_after = payload.get("retry_after")
+            if isinstance(retry_after, (int, float)) and retry_after > 0:
+                # HTTP Retry-After is integer seconds; round up so clients
+                # never retry before the advertised backoff has passed.
+                self.send_header("Retry-After", str(math.ceil(retry_after)))
         self.end_headers()
         self.wfile.write(data)
 
@@ -503,6 +710,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._jobs(),
             instruments=getattr(self.server, "phocus_obs", None),
             tenants=getattr(self.server, "phocus_tenants", None),
+            headers=self.headers,
+            resilience=getattr(self.server, "phocus_resilience", None),
         )
         self._reply(status, payload)
         observe_request(
@@ -561,6 +770,12 @@ class PhocusService:
     and serves the registry at ``GET /metrics``; ``metrics=False`` leaves
     the probes untouched and the route answers 404.  ``access_log=True``
     emits one structured JSON line per request on stderr.
+
+    ``resilience=Resilience(...)`` opts into overload resilience:
+    deadline propagation, admission control (its ``observe_wait`` is
+    wired as the job manager's wait observer), brownout degradation, and
+    the :meth:`drain` SIGTERM sequence.  Omitted, the service behaves
+    exactly as before.
     """
 
     def __init__(
@@ -579,8 +794,10 @@ class PhocusService:
         tenants: Optional[Tenants] = None,
         tenants_cache_bytes: float = 256 * 1024 * 1024,
         tenant_quota: Optional[TenantQuota] = None,
+        resilience: Optional[Resilience] = None,
     ) -> None:
         self._server = _Server((host, port), _Handler)
+        self.resilience = resilience
         self._thread: Optional[threading.Thread] = None
         self._owns_tenants = tenants is None and tenants_root is not None
         if tenants is None and tenants_root is not None:
@@ -599,9 +816,15 @@ class PhocusService:
             by_ref_resolver=(
                 self._lease_by_ref if tenants is not None else None
             ),
+            wait_observer=(
+                resilience.admission.observe_wait
+                if resilience is not None and resilience.admission is not None
+                else None
+            ),
         )
         self._server.phocus_jobs = self.jobs
         self._server.phocus_tenants = self.tenants
+        self._server.phocus_resilience = resilience
         # Arm (or reuse already-armed) process instruments; re-arming with
         # no arguments keeps an existing registry so multiple services in
         # one process share a single exposition.
@@ -629,6 +852,37 @@ class PhocusService:
         )
         self._thread.start()
         return self
+
+    def drain(self, grace_seconds: Optional[float] = None) -> Dict[str, Any]:
+        """Run the SIGTERM drain sequence; idempotent, returns a summary.
+
+        Stop accepting (POST/PUT shed 503, ``/readyz`` goes unready) →
+        interrupt running jobs so they checkpoint and return to QUEUED →
+        release tenant warm-cache leases → flush and close the journal.
+        The HTTP listener keeps answering reads until :meth:`stop`; a
+        fresh service on the same journal resumes the requeued jobs
+        bit-identically.
+        """
+        if self.resilience is not None:
+            if not self.resilience.drain.begin():
+                return {
+                    "state": self.resilience.drain.state,
+                    "interrupted": 0,
+                    "forced_requeue": 0,
+                }
+            if grace_seconds is None:
+                grace_seconds = self.resilience.drain.grace_seconds
+        if grace_seconds is None:
+            grace_seconds = 10.0
+        summary: Dict[str, Any] = {"interrupted": 0, "forced_requeue": 0}
+        if self._owns_jobs:
+            summary = self.jobs.drain(grace_seconds=grace_seconds)
+        if self._owns_tenants and self.tenants is not None:
+            self.tenants.close()
+        if self.resilience is not None:
+            self.resilience.drain.finish()
+            summary["state"] = self.resilience.drain.state
+        return summary
 
     def stop(self) -> None:
         if self._thread is None:

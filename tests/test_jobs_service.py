@@ -138,8 +138,10 @@ class TestJobsDispatcher:
         # "failures" appears only while observability probes are armed
         # (tests/test_obs_service.py covers it).
         assert set(doc) - {"failures"} == {
-            "queue", "jobs", "workers", "solve_latency_seconds"
+            "queue", "jobs", "workers", "solve_latency_seconds", "draining"
         }
+        assert doc["draining"] is False
+        assert doc["queue"]["oldest_wait_seconds"] == 0.0
         assert doc["workers"]["total"] == 2
 
 

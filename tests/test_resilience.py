@@ -1,0 +1,392 @@
+"""Unit tests for :mod:`repro.resilience` — deadlines, admission, brownout, drain.
+
+The solver-facing contract matters most: an expired deadline must stop
+the greedy loop *cooperatively*, carry a resumable checkpoint out with
+the exception, and a resume from that checkpoint must be bit-identical
+to an undisturbed solve.
+"""
+
+from __future__ import annotations
+
+import errno
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.core.checkpoint import checkpoint_progress
+from repro.core.greedy import main_algorithm
+from repro.core.solver import classify_failure
+from repro.errors import (
+    DeadlineExceeded,
+    ServiceOverloaded,
+    StorageExhausted,
+    ValidationError,
+)
+from repro.faults.plan import FaultPlan
+from repro.ioutil import raise_if_no_space
+from repro.resilience import (
+    AdmissionController,
+    BrownoutPolicy,
+    Deadline,
+    DrainController,
+    Resilience,
+    SolutionCache,
+    deadline_scope,
+    solve_cache_key,
+)
+from repro.resilience import deadline as deadline_mod
+
+from tests.conftest import random_instance
+
+
+@pytest.fixture(autouse=True)
+def always_disarmed():
+    yield
+    faults.disarm()
+
+
+# ------------------------------------------------------------------- deadline
+
+
+class TestDeadline:
+    def test_unexpired_and_remaining(self):
+        dl = Deadline(60.0)
+        assert not dl.expired()
+        assert 0 < dl.remaining() <= 60.0
+
+    def test_expires_by_clock(self):
+        dl = Deadline(0.005)
+        time.sleep(0.02)
+        assert dl.expired()
+        assert dl.reason() == "deadline"
+
+    def test_interrupt_only_deadline_never_times_out(self):
+        dl = Deadline(None)
+        assert not dl.expired()
+        assert dl.remaining() is None
+        dl.expire_now("drain")
+        assert dl.expired()
+        assert dl.reason() == "drain"
+
+    def test_expire_now_from_another_thread(self):
+        dl = Deadline(3600.0)
+        t = threading.Thread(target=dl.expire_now, args=("drain",))
+        t.start()
+        t.join()
+        assert dl.expired() and dl.reason() == "drain"
+
+    def test_scope_is_thread_local(self):
+        dl = Deadline(60.0)
+        seen = {}
+        with deadline_scope(dl):
+            assert deadline_mod.current() is dl
+
+            def _peek():
+                seen["other"] = deadline_mod.current()
+
+            t = threading.Thread(target=_peek)
+            t.start()
+            t.join()
+        assert seen["other"] is None
+        assert deadline_mod.current() is None
+
+    def test_nested_scopes_chain_to_parent(self):
+        outer = Deadline(3600.0)
+        inner = Deadline(3600.0)
+        with deadline_scope(outer):
+            with deadline_scope(inner):
+                assert deadline_mod.current() is inner
+                assert not inner.expired()
+                outer.expire_now("drain")
+                # whichever scope expires first wins, even from the parent
+                assert inner.expired()
+                assert inner.reason() == "drain"
+            assert deadline_mod.current() is outer
+
+    def test_none_scope_is_noop(self):
+        with deadline_scope(None):
+            assert deadline_mod.current() is None
+
+    def test_check_raises_with_checkpoint(self):
+        dl = Deadline(0.0001)
+        time.sleep(0.005)
+        with deadline_scope(dl):
+            with pytest.raises(DeadlineExceeded) as exc_info:
+                deadline_mod.check(checkpoint={"progress": {"picks": 3}})
+        assert exc_info.value.checkpoint == {"progress": {"picks": 3}}
+        assert exc_info.value.progress() == {"picks": 3}
+
+    def test_clock_skew_fault_site(self):
+        faults.arm(FaultPlan().on("resilience.clock_skew", "drop"))
+        dl = Deadline(3600.0)
+        assert dl.expired()
+        assert dl.reason() == "clock_skew"
+
+    def test_to_exception_carries_timing(self):
+        dl = Deadline(0.001)
+        time.sleep(0.005)
+        exc = dl.to_exception()
+        assert isinstance(exc, DeadlineExceeded)
+        assert exc.deadline_seconds == 0.001
+        assert exc.elapsed_seconds >= 0.001
+
+
+# ------------------------------------------------------- deadlines in solvers
+
+
+class TestSolverDeadline:
+    def test_expired_deadline_stops_solve_with_checkpoint(self):
+        instance = random_instance(seed=3)
+        with deadline_scope(Deadline(0.000001)):
+            with pytest.raises(DeadlineExceeded) as exc_info:
+                main_algorithm(instance)
+        doc = exc_info.value.checkpoint
+        assert doc is not None and doc["kind"] == "main_algorithm"
+        assert checkpoint_progress(doc) is not None
+
+    def test_drain_interrupt_resumes_bit_identically(self):
+        instance = random_instance(seed=3)
+        reference = main_algorithm(instance)
+
+        # Interrupt after a few picks via the checkpoint sink, then resume
+        # from the carried checkpoint: the final run must be bit-identical.
+        dl = Deadline(None)
+        picks = {"n": 0}
+
+        def sink(doc):
+            picks["n"] += 1
+            if picks["n"] >= 3:
+                dl.expire_now("drain")
+
+        with deadline_scope(dl):
+            with pytest.raises(DeadlineExceeded) as exc_info:
+                main_algorithm(instance, checkpoint_every=1, checkpoint_sink=sink)
+        resumed = main_algorithm(
+            instance, resume_from=exc_info.value.checkpoint
+        )
+        assert resumed.selection == reference.selection
+        assert resumed.value == reference.value
+        assert resumed.cost == reference.cost
+
+    def test_no_deadline_means_no_overhead_path(self):
+        # Sanity: solves without a scope behave exactly as before.
+        instance = random_instance(seed=4)
+        run = main_algorithm(instance)
+        assert run.selection
+
+
+# ------------------------------------------------------------------ admission
+
+
+class TestAdmission:
+    def test_capacity_shed(self):
+        ctrl = AdmissionController(1)
+        with ctrl.admit("a"):
+            with pytest.raises(ServiceOverloaded) as exc_info:
+                with ctrl.admit("b"):
+                    pass
+        assert exc_info.value.reason == "capacity"
+        assert exc_info.value.retry_after > 0
+
+    def test_tenant_fairness_only_under_contention(self):
+        ctrl = AdmissionController(4, tenant_fair_share=0.5)
+        # A lone tenant may use every slot.
+        from contextlib import ExitStack
+
+        with ExitStack() as stack:
+            for _ in range(4):
+                stack.enter_context(ctrl.admit("hog"))
+        # Under contention the hog is capped at its fair share (2 of 4).
+        with ExitStack() as stack:
+            stack.enter_context(ctrl.admit("hog"))
+            stack.enter_context(ctrl.admit("other"))
+            stack.enter_context(ctrl.admit("hog"))
+            with pytest.raises(ServiceOverloaded) as exc_info:
+                stack.enter_context(ctrl.admit("hog"))
+            assert exc_info.value.reason == "tenant_fairness"
+            # The other tenant still gets in.
+            stack.enter_context(ctrl.admit("other"))
+
+    def test_deadline_unmeetable_shed(self):
+        ctrl = AdmissionController(4)
+        for _ in range(3):
+            ctrl.observe_service_time(1.0)
+        with pytest.raises(ServiceOverloaded) as exc_info:
+            with ctrl.admit("a", deadline=Deadline(0.01)):
+                pass
+        assert exc_info.value.reason == "deadline_unmeetable"
+
+    def test_pressure_and_overloaded(self):
+        ctrl = AdmissionController(2, target_wait_seconds=1.0)
+        assert ctrl.pressure() == 0.0
+        ctrl.observe_wait(2.0)
+        assert ctrl.pressure() >= 1.0
+        assert ctrl.overloaded()
+
+    def test_check_queue_sheds_before_hard_bound(self):
+        ctrl = AdmissionController(2, shed_queue_fraction=0.5)
+        ctrl.check_queue("a", depth=3, limit=10)  # below watermark: fine
+        with pytest.raises(ServiceOverloaded) as exc_info:
+            ctrl.check_queue("a", depth=5, limit=10)
+        assert exc_info.value.reason == "queue_full_soon"
+
+    def test_check_queue_predicted_wait(self):
+        ctrl = AdmissionController(1, target_wait_seconds=0.5)
+        ctrl.observe_service_time(1.0)
+        with pytest.raises(ServiceOverloaded):
+            ctrl.check_queue("a", depth=5, limit=0)  # unbounded queue
+
+    def test_service_time_ewma_fed_by_admit(self):
+        ctrl = AdmissionController(2)
+        with ctrl.admit("a"):
+            time.sleep(0.01)
+        snap = ctrl.snapshot()
+        assert snap["service_ewma_seconds"] > 0
+        assert snap["admitted"] == 1
+        assert snap["inflight"] == 0
+
+    def test_retry_after_scales_with_pressure(self):
+        ctrl = AdmissionController(1, retry_after_seconds=2.0, target_wait_seconds=1.0)
+        base = ctrl.snapshot()["retry_after_seconds"]
+        ctrl.observe_wait(10.0)  # pressure 10x
+        assert ctrl.snapshot()["retry_after_seconds"] > base
+        ctrl.observe_wait(10_000.0)
+        assert ctrl.snapshot()["retry_after_seconds"] <= 30.0  # capped
+
+
+# ------------------------------------------------------------------- brownout
+
+
+class TestBrownout:
+    def test_tier_selection(self):
+        policy = BrownoutPolicy(degrade_at=0.5, cache_at=0.9)
+        assert policy.tier(0.4, True) == "full"
+        assert policy.tier(0.6, False) == "full"  # not opted in
+        assert policy.tier(0.6, True) == "sparsified"
+        assert policy.tier(0.95, True) == "cached"
+
+    def test_sparsified_payload_strips_certificate(self):
+        policy = BrownoutPolicy(tau=0.3)
+        cheap = policy.sparsified_payload({"certificate": True, "seed": 7})
+        assert cheap["tau"] == 0.3
+        assert "certificate" not in cheap
+        assert cheap["seed"] == 7
+
+    def test_labels(self):
+        policy = BrownoutPolicy()
+        doc = policy.label_sparsified({"value": 1.0}, pressure=0.8)
+        assert doc["degraded"]["mode"] == "sparsified"
+        replay = policy.label_cached({"value": 1.0}, age_seconds=2.0, pressure=1.0)
+        assert replay["degraded"]["mode"] == "cached"
+        assert replay["degraded"]["age_seconds"] == 2.0
+        assert policy.snapshot()["degraded_responses"] == 2
+
+    def test_cache_roundtrip_and_ttl(self):
+        cache = SolutionCache(capacity_bytes=1 << 20, ttl_seconds=0.05)
+        key = solve_cache_key("t", "i", 1, None, {"algorithm": "phocus"})
+        cache.put(key, {"value": 2.5})
+        response, age = cache.get(key)
+        assert response == {"value": 2.5} and age >= 0
+        time.sleep(0.06)
+        assert cache.get(key) is None  # TTL expired
+
+    def test_cache_refuses_degraded_responses(self):
+        cache = SolutionCache()
+        key = solve_cache_key("t", "i", 1, None, {})
+        cache.put(key, {"value": 1.0, "degraded": {"mode": "cached"}})
+        assert cache.get(key) is None
+
+    def test_cache_key_distinguishes_solve_identity(self):
+        base = ("t", "i", 1, None)
+        k1 = solve_cache_key(*base, {"algorithm": "phocus", "seed": 1})
+        k2 = solve_cache_key(*base, {"algorithm": "phocus", "seed": 2})
+        k3 = solve_cache_key("t", "i", 2, None, {"algorithm": "phocus", "seed": 1})
+        assert len({k1, k2, k3}) == 3
+
+
+# ---------------------------------------------------------------------- drain
+
+
+class TestDrain:
+    def test_forward_only_state_machine(self):
+        drain = DrainController(grace_seconds=1.0)
+        assert drain.accepting() and not drain.draining()
+        assert drain.begin() is True
+        assert drain.begin() is False  # idempotent
+        assert drain.draining() and drain.state == DrainController.DRAINING
+        drain.finish()
+        assert drain.state == DrainController.DRAINED
+        assert drain.draining()
+        snap = drain.snapshot()
+        assert snap["state"] == "drained" and "drain_seconds" in snap
+
+    def test_wait_unblocks_on_begin(self):
+        drain = DrainController()
+        assert drain.wait(timeout=0.01) is False
+        drain.begin()
+        assert drain.wait(timeout=0.01) is True
+
+
+# ------------------------------------------------------------------ the bundle
+
+
+class TestResilienceBundle:
+    def test_defaults(self):
+        res = Resilience()
+        assert res.admission is None and res.brownout is None
+        assert res.drain.accepting()
+        assert res.ready() and res.pressure() == 0.0
+        assert res.request_deadline(None) is None
+
+    def test_request_deadline_fallback(self):
+        res = Resilience(default_deadline_ms=250)
+        assert res.request_deadline(None).seconds == 0.25
+        assert res.request_deadline(100.0).seconds == 0.1
+
+    def test_not_ready_while_draining_or_overloaded(self):
+        res = Resilience(admission=AdmissionController(1, target_wait_seconds=1.0))
+        assert res.ready()
+        res.admission.observe_wait(5.0)
+        assert not res.ready()
+        res2 = Resilience()
+        res2.drain.begin()
+        assert not res2.ready()
+
+    def test_snapshot_shape(self):
+        res = Resilience(
+            admission=AdmissionController(2),
+            brownout=BrownoutPolicy(),
+            default_deadline_ms=500,
+        )
+        snap = res.snapshot()
+        assert set(snap) == {"drain", "admission", "brownout", "default_deadline_ms"}
+
+
+# ------------------------------------------------- failure classification etc.
+
+
+class TestErrorsAndClassification:
+    def test_deadline_exceeded_is_permanent(self):
+        # Retrying for a client that already gave up burns capacity.
+        assert classify_failure(DeadlineExceeded("late")) == "permanent"
+
+    def test_storage_exhausted_is_transient(self):
+        # Space can be reclaimed; a retried job can plausibly succeed.
+        assert classify_failure(StorageExhausted("disk full")) == "transient"
+
+    def test_raise_if_no_space_converts_enospc(self):
+        exc = OSError(errno.ENOSPC, "No space left on device")
+        with pytest.raises(StorageExhausted) as exc_info:
+            raise_if_no_space(exc, "/some/journal.jsonl")
+        assert exc_info.value.errno_value == errno.ENOSPC
+        assert exc_info.value.path == "/some/journal.jsonl"
+        assert exc_info.value.kind == "storage_exhausted"
+
+    def test_raise_if_no_space_ignores_other_errnos(self):
+        raise_if_no_space(OSError(errno.EACCES, "denied"), "/p")  # no raise
+
+    def test_injected_faults_without_errno_stay_unconverted(self):
+        raise_if_no_space(OSError("synthetic"), "/p")  # errno None: no raise

@@ -1,0 +1,290 @@
+"""Chaos tests for graceful drain: interrupt, requeue, crash, resume.
+
+The drain contract under fire: a drained job goes back to QUEUED with
+its latest checkpoint and a fresh manager on the same journal resumes
+it *bit-identically*; a worker killed mid-drain (during the requeue
+journal write) loses nothing the journal had not already persisted; and
+a drain never strands a tenant-cache lease or a shared-memory segment.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import glob
+import os
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.core.serialize import instance_to_dict
+from repro.errors import ServiceOverloaded
+from repro.faults.plan import FaultPlan, ProcessKilled
+from repro.jobs import JobManager, JobState, execute_solve_payload
+from repro.jobs.spec import JobSpec
+from repro.tenants import Tenants
+
+from tests.conftest import random_instance
+
+CHAOS_SEED = int(os.environ.get("PHOCUS_CHAOS_SEED", "0"))
+
+
+@pytest.fixture(autouse=True)
+def always_disarmed():
+    yield
+    faults.disarm()
+
+
+@contextlib.contextmanager
+def quiet_process_kills():
+    previous = threading.excepthook
+
+    def _hook(args):
+        if not issubclass(args.exc_type, ProcessKilled):
+            previous(args)
+
+    threading.excepthook = _hook
+    try:
+        yield
+    finally:
+        threading.excepthook = previous
+
+
+def _doc(seed=0, **kw):
+    return instance_to_dict(random_instance(seed, **kw))
+
+
+def _shm_segments(prefix):
+    return glob.glob(f"/dev/shm/{prefix}-*")
+
+
+def _gated_solve(started: threading.Event, release: threading.Event):
+    """A checkpointing solve that parks after its first checkpoint.
+
+    The park happens *inside* the solver loop (in the checkpoint sink),
+    so a drain interrupts a genuinely mid-solve job: the deadline handle
+    trips while the job holds a real partial selection, and the requeued
+    checkpoint must reproduce the rest of the solve exactly.
+    """
+
+    def run(spec, *, checkpoint_sink=None, resume_from=None):
+        def sink(cp):
+            if checkpoint_sink is not None:
+                checkpoint_sink(cp)
+            if not started.is_set():
+                started.set()
+                release.wait(15)
+
+        return execute_solve_payload(
+            spec.solve_payload(), checkpoint_sink=sink, resume_from=resume_from
+        )
+
+    return run
+
+
+def _reference_result(doc):
+    return execute_solve_payload({"instance": doc, "algorithm": "phocus"})
+
+
+# ------------------------------------------------------------- drain + resume
+
+
+def test_drain_mid_solve_requeues_and_resumes_bit_identically(tmp_path):
+    journal = str(tmp_path / "jobs.jsonl")
+    doc = _doc(7 + CHAOS_SEED, n_photos=40, budget_fraction=0.5)
+    started, release = threading.Event(), threading.Event()
+
+    jobs = JobManager(
+        workers=1, journal_path=journal, solve_fn=_gated_solve(started, release)
+    )
+    job_id = jobs.submit(
+        JobSpec(job_id="drain-me", instance=doc, checkpoint_every=1)
+    )
+    assert started.wait(10)
+
+    # Un-park the solver shortly after the drain has tripped its deadline;
+    # the next cooperative check raises and the job requeues.
+    threading.Timer(0.3, release.set).start()
+    summary = jobs.drain(grace_seconds=10.0)
+    assert summary == {"interrupted": 1, "forced_requeue": 0}
+
+    # The journal now holds the job QUEUED with a mid-solve checkpoint.
+    with JobManager(workers=0, journal_path=journal, autostart=False) as parked:
+        doc_after = parked.status(job_id)
+        assert doc_after["state"] == JobState.QUEUED.value
+        assert doc_after["checkpoint_progress"]["picks"] >= 1
+
+    # A fresh manager resumes from that checkpoint and the final answer
+    # is exactly the undisturbed solve — not merely close.
+    with JobManager(workers=1, journal_path=journal) as fresh:
+        assert fresh.wait(job_id, timeout=30)["state"] == JobState.SUCCEEDED.value
+        resumed = fresh.result(job_id)
+    reference = _reference_result(doc)
+    assert resumed["selection"] == reference["selection"]
+    assert resumed["value"] == reference["value"]
+    assert resumed["cost"] == reference["cost"]
+
+
+def test_drain_is_idempotent_and_sheds_new_submissions(tmp_path):
+    doc = _doc(1)
+    started, release = threading.Event(), threading.Event()
+    jobs = JobManager(
+        workers=1,
+        journal_path=str(tmp_path / "j.jsonl"),
+        solve_fn=_gated_solve(started, release),
+    )
+    jobs.submit(JobSpec(job_id="running", instance=doc, checkpoint_every=1))
+    assert started.wait(10)
+
+    # Submissions arriving *during* the drain shed with a structured
+    # overload error, not a silent enqueue (and not a crash).
+    def late_submit():
+        time.sleep(0.1)
+        with pytest.raises(ServiceOverloaded) as info:
+            jobs.submit(JobSpec(job_id="late", instance=doc))
+        shed_reasons.append(info.value.reason)
+
+    shed_reasons = []
+    prober = threading.Thread(target=late_submit)
+    prober.start()
+    threading.Timer(0.4, release.set).start()
+    first = jobs.drain(grace_seconds=10.0)
+    prober.join(10)
+    assert shed_reasons == ["draining"]
+    assert first == {"interrupted": 1, "forced_requeue": 0}
+    # A second drain is a no-op, not an error.
+    assert jobs.drain(grace_seconds=1.0)["interrupted"] == 0
+
+
+# --------------------------------------------------------- killed mid-drain
+
+
+def test_worker_killed_mid_drain_journal_still_resumes(tmp_path):
+    """Kill the worker thread during the drain's requeue journal write.
+
+    The drain must still converge (force-requeueing the straggler from
+    the main thread once the fault has burned out), and a fresh manager
+    on the same journal must replay the job — from whichever snapshot
+    survived — to the bit-identical final answer.
+    """
+    journal = str(tmp_path / "jobs.jsonl")
+    doc = _doc(11 + CHAOS_SEED, n_photos=40, budget_fraction=0.5)
+    started, release = threading.Event(), threading.Event()
+
+    jobs = JobManager(
+        workers=1, journal_path=journal, solve_fn=_gated_solve(started, release)
+    )
+    job_id = jobs.submit(
+        JobSpec(job_id="kill-mid-drain", instance=doc, checkpoint_every=1)
+    )
+    assert started.wait(10)
+
+    # Armed now, the next journal append — the drain's RUNNING → QUEUED
+    # requeue, written on the worker thread — dies mid-write.
+    plan = FaultPlan(seed=CHAOS_SEED).on("journal.write", "kill")
+    with quiet_process_kills(), faults.armed(plan):
+        threading.Timer(0.3, release.set).start()
+        summary = jobs.drain(grace_seconds=2.0)
+    assert plan.fired("journal.write") == 1
+    assert summary["interrupted"] == 1
+
+    # Whatever the crash left behind — the requeue line, a torn line the
+    # replay quarantines, or only the earlier RUNNING snapshot with its
+    # checkpoint — a fresh manager finishes the job identically.
+    with JobManager(workers=1, journal_path=journal) as fresh:
+        assert fresh.wait(job_id, timeout=30)["state"] == JobState.SUCCEEDED.value
+        resumed = fresh.result(job_id)
+    reference = _reference_result(doc)
+    assert resumed["selection"] == reference["selection"]
+    assert resumed["value"] == reference["value"]
+
+
+# --------------------------------------------------------------- lease drain
+
+
+class _GatedResolver:
+    """Lease-counting by_ref resolver that parks each solve mid-lease."""
+
+    def __init__(self, tenants, started, release):
+        self._tenants = tenants
+        self._started = started
+        self._release = release
+        self.open_leases = 0
+
+    @contextlib.contextmanager
+    def __call__(self, by_ref):
+        with self._tenants.lease_for_solve(by_ref) as (instance, _hit):
+            self.open_leases += 1
+            try:
+                self._started.set()
+                self._release.wait(15)
+                yield instance
+            finally:
+                self.open_leases -= 1
+
+
+def test_drain_releases_tenant_leases_and_segments(tmp_path):
+    prefix = f"phtest-{os.getpid()}-chaos-drain"
+    tenants = Tenants(str(tmp_path / "tenants"), name_prefix=prefix, sweep=False)
+    tenants.put_instance(
+        "acme", "p", _doc(3 + CHAOS_SEED, n_photos=40, budget_fraction=0.5)
+    )
+    started, release = threading.Event(), threading.Event()
+    resolver = _GatedResolver(tenants, started, release)
+
+    jobs = JobManager(
+        workers=1,
+        journal_path=str(tmp_path / "jobs.jsonl"),
+        by_ref_resolver=resolver,
+    )
+    jobs.submit(
+        JobSpec(
+            job_id="lease-drain",
+            by_ref={"tenant": "acme", "instance_id": "p", "version": 1},
+            checkpoint_every=1,
+        )
+    )
+    assert started.wait(10)
+    assert resolver.open_leases == 1
+
+    threading.Timer(0.3, release.set).start()
+    summary = jobs.drain(grace_seconds=10.0)
+    assert summary["interrupted"] == 1
+
+    # The interrupted solve unwound its cache lease on the way out, so
+    # closing the tenant store unlinks every shared-memory segment.
+    assert resolver.open_leases == 0
+    tenants.close()
+    assert _shm_segments(prefix) == []
+    assert tenants.cache.stats()["zombie_segments"] == 0
+
+
+def test_forced_requeue_of_noncooperative_solve(tmp_path):
+    """A solve stuck past the grace window is abandoned, not waited on:
+    drain force-requeues it from the journal's last checkpoint and a
+    fresh manager still completes it correctly."""
+    journal = str(tmp_path / "jobs.jsonl")
+    doc = _doc(5 + CHAOS_SEED, n_photos=40, budget_fraction=0.5)
+    started, release = threading.Event(), threading.Event()
+
+    jobs = JobManager(
+        workers=1, journal_path=journal, solve_fn=_gated_solve(started, release)
+    )
+    job_id = jobs.submit(
+        JobSpec(job_id="stuck", instance=doc, checkpoint_every=1)
+    )
+    assert started.wait(10)
+
+    # Never release within the grace window: the solve ignores its
+    # tripped deadline (models a stuck C call).
+    summary = jobs.drain(grace_seconds=0.5)
+    assert summary == {"interrupted": 1, "forced_requeue": 1}
+    release.set()  # let the abandoned thread unwind
+
+    with JobManager(workers=1, journal_path=journal) as fresh:
+        assert fresh.wait(job_id, timeout=30)["state"] == JobState.SUCCEEDED.value
+        resumed = fresh.result(job_id)
+    reference = _reference_result(doc)
+    assert resumed["selection"] == reference["selection"]
+    assert resumed["value"] == reference["value"]
