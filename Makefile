@@ -3,7 +3,7 @@
 # Targets export PYTHONPATH=src so they match the tier-1 verify command
 # and work on a fresh clone without `make install`.
 
-.PHONY: install test bench bench-kernels obs-smoke load-smoke overload-smoke examples chaos results clean
+.PHONY: install test bench bench-kernels bench-million million-smoke obs-smoke load-smoke overload-smoke examples chaos results clean
 
 # Instance-size multiplier for the kernel bench (CI smoke uses 0.25).
 KERNEL_BENCH_SCALE ?= 1.0
@@ -35,6 +35,23 @@ bench:
 bench-kernels:
 	$(PYTHONPATH_SRC) python benchmarks/bench_solver_kernels.py \
 		--scale $(KERNEL_BENCH_SCALE) --out $(KERNEL_BENCH_OUT)
+
+# Million-photo scaling trajectory: fused streamed builds vs the legacy
+# dense-then-sparsify path, per-scale peak RSS in fresh subprocesses.
+# Exits non-zero when a gate fails (sub-quadratic memory, >= 5x fused
+# RSS advantage, fused/unfused bit-identity).  MILLION_BENCH_FLAGS
+# accepts --million for the 10^6-photo run.
+MILLION_BENCH_OUT ?= BENCH_million.json
+MILLION_BENCH_FLAGS ?=
+
+bench-million:
+	$(PYTHONPATH_SRC) python benchmarks/bench_million.py \
+		--out $(MILLION_BENCH_OUT) $(MILLION_BENCH_FLAGS)
+
+# CI gate: one fused build at 2e4 photos, peak RSS / wall-clock /
+# determinism checked against the committed BENCH_million.json.
+million-smoke:
+	$(PYTHONPATH_SRC) python benchmarks/bench_million.py --smoke
 
 # End-to-end observability smoke: the self-asserting example (arm →
 # solve → service → job → /metrics scrape) plus the <1% disarmed
@@ -73,7 +90,8 @@ chaos:
 		echo "== PHOCUS_CHAOS_SEED=$$seed"; \
 		PHOCUS_CHAOS_SEED=$$seed $(PYTHONPATH_SRC) python -m pytest -q \
 			tests/test_faults.py tests/core/test_checkpoint.py \
-			tests/test_tenants_chaos.py tests/test_resilience_chaos.py || exit 1; \
+			tests/test_tenants_chaos.py tests/test_resilience_chaos.py \
+			tests/test_scale_chaos.py || exit 1; \
 	done
 
 results:

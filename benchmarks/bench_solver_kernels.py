@@ -97,6 +97,34 @@ def _bench_all_gains(instance, backend: str, repeats: int) -> float:
     return 1.0 / _best_seconds(run, repeats)
 
 
+def _bench_row_access(instance, repeats: int) -> Dict[str, float]:
+    """``neighbors()`` vs ``row()`` throughput on a sparse backend.
+
+    Guards the hot-path regression this repo fixed: ``row()`` materialises
+    a dense length-m vector per call, while ``neighbors()`` returns
+    zero-copy views into the CSR arrays.  The speed-up must stay > 1 or
+    the sparse fast path has regressed to dense materialisation.
+    """
+    sim = instance.subsets[0].similarity
+    m = len(sim)
+
+    def run_neighbors() -> None:
+        for i in range(m):
+            sim.neighbors(i)
+
+    def run_row() -> None:
+        for i in range(m):
+            sim.row(i)
+
+    neighbors_ops = m / _best_seconds(run_neighbors, repeats)
+    row_ops = m / _best_seconds(run_row, repeats)
+    return {
+        "neighbors_ops_per_sec": neighbors_ops,
+        "row_ops_per_sec": row_ops,
+        "speedup": neighbors_ops / row_ops,
+    }
+
+
 def _bench_micro(instance, repeats: int) -> Dict[str, Dict[str, float]]:
     out: Dict[str, Dict[str, float]] = {}
     for op, bench in (
@@ -241,6 +269,11 @@ def validate_document(doc: Dict[str, object]) -> None:
             value = need(e2e, key, (int, float), f"end_to_end.{variant}")
             if not value > 0:
                 raise ValueError(f"end_to_end.{variant}.{key} must be positive")
+    ra = need(doc, "row_access", dict, "$")
+    for key in ("neighbors_ops_per_sec", "row_ops_per_sec", "speedup"):
+        value = need(ra, key, (int, float), "row_access")
+        if not value > 0:
+            raise ValueError(f"row_access.{key} must be positive")
     par = need(doc, "parallel", dict, "$")
     workers = need(par, "workers", dict, "parallel")
     for w in WORKER_COUNTS:
@@ -251,6 +284,8 @@ def validate_document(doc: Dict[str, object]) -> None:
     checks = need(doc, "checks", dict, "$")
     if not isinstance(checks.get("backend_divergence"), bool):
         raise ValueError("checks.backend_divergence must be a bool")
+    if not isinstance(checks.get("neighbors_zero_copy"), bool):
+        raise ValueError("checks.neighbors_zero_copy must be a bool")
 
 
 # ---------------------------------------------------------------------------
@@ -280,6 +315,25 @@ def run(scale: float, repeats: int, parallel_tasks: int) -> Dict[str, object]:
         )
         checks["problems"] += [f"[{variant}] {p}" for p in result["problems"]]
 
+    # Zero-copy regression assertion: neighbors() must return views into
+    # the live CSR arrays, never per-call copies (let alone dense rows).
+    sim = sparse.subsets[0].similarity
+    _, csr_cols, csr_vals = sim.csr()
+    idx0, val0 = sim.neighbors(0)
+    checks["neighbors_zero_copy"] = bool(
+        np.shares_memory(idx0, csr_cols) and np.shares_memory(val0, csr_vals)
+    )
+    if not checks["neighbors_zero_copy"]:
+        checks["problems"].append(
+            "[sparse] neighbors() no longer aliases the CSR arrays (copying?)"
+        )
+
+    row_access = _bench_row_access(sparse, repeats)
+    if not row_access["speedup"] > 1.0:
+        checks["problems"].append(
+            "[sparse] neighbors() not faster than dense row() materialisation"
+        )
+
     doc: Dict[str, object] = {
         "meta": {
             "python": platform.python_version(),
@@ -302,6 +356,7 @@ def run(scale: float, repeats: int, parallel_tasks: int) -> Dict[str, object]:
             "sparse_kept_fraction": stats.kept_fraction,
         },
         "micro": {v: _bench_micro(i, repeats) for v, i in instances.items()},
+        "row_access": row_access,
         "end_to_end": {v: _bench_end_to_end(i, repeats) for v, i in instances.items()},
         "parallel": _bench_parallel(dense, parallel_tasks),
         "checks": checks,
@@ -341,12 +396,15 @@ def main(argv=None) -> int:
               f"main_algorithm {e2e[variant]['speedup']:.2f}x "
               f"({e2e[variant]['reference_seconds']:.3f}s -> "
               f"{e2e[variant]['kernel_seconds']:.3f}s)")
+    ra = doc["row_access"]
+    print(f"  sparse row access: neighbors() {ra['speedup']:.1f}x faster than row() "
+          f"(zero-copy: {doc['checks']['neighbors_zero_copy']})")
     sp = ", ".join(f"{w}w {s:.2f}x" for w, s in par["speedup_vs_1"].items())
     print(f"  parallel: {par['tasks']} tasks, speedup vs 1 worker: {sp}")
     print(f"  wrote {args.out}")
 
-    if doc["checks"]["backend_divergence"]:
-        print("BACKEND DIVERGENCE DETECTED:", file=sys.stderr)
+    if doc["checks"]["backend_divergence"] or doc["checks"]["problems"]:
+        print("BENCH CHECKS FAILED:", file=sys.stderr)
         for problem in doc["checks"]["problems"]:
             print(f"  - {problem}", file=sys.stderr)
         return 1

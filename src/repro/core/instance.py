@@ -176,16 +176,41 @@ class DenseSimilarity:
         return SparseSimilarity(m, indices, values, validate=False)
 
 
+#: Value dtypes a sparse backend may store.  float32 halves the resident
+#: footprint of archive-scale instances at ~1e-7 relative similarity error
+#: (see docs/million_scale.md for the measured solve impact).
+_SPARSE_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
+
+
+def _check_sparse_dtype(dtype) -> np.dtype:
+    dt = np.dtype(np.float64 if dtype is None else dtype)
+    if dt not in _SPARSE_DTYPES:
+        raise ValidationError(
+            f"sparse similarity dtype must be float32 or float64, got {dt}"
+        )
+    return dt
+
+
 class SparseSimilarity:
-    """Contextual similarity stored as per-row neighbour lists.
+    """Contextual similarity stored natively as a CSR matrix.
 
     Row ``i`` holds the local indices and similarity values of the photos
     whose similarity to member ``i`` survived sparsification.  The diagonal
     entry ``(i, i) = 1`` is always present so a retained photo covers itself
     perfectly regardless of the threshold.
+
+    Storage is three flat arrays — ``indptr`` (int64, ``size + 1``),
+    ``cols`` (int64) and ``vals`` (``dtype``, float64 or float32) — so the
+    streamed instance builder (:mod:`repro.scale`) can construct a backend
+    directly from verified pair triplets without ever holding a dense
+    matrix, and :meth:`csr` / :meth:`neighbors` are zero-copy views.  The
+    legacy per-row-list constructor is kept for callers that assemble rows
+    incrementally; it concatenates into the same flat layout.
     """
 
     is_sparse = True
+
+    __slots__ = ("_size", "_indptr", "_cols", "_vals")
 
     def __init__(
         self,
@@ -194,12 +219,13 @@ class SparseSimilarity:
         values: Sequence[np.ndarray],
         *,
         validate: bool = True,
+        dtype=None,
     ) -> None:
+        dt = _check_sparse_dtype(dtype)
         if len(indices) != size or len(values) != size:
             raise ValidationError("one neighbour list required per member")
-        self._size = size
-        self._indices: List[np.ndarray] = []
-        self._values: List[np.ndarray] = []
+        row_idx: List[np.ndarray] = []
+        row_val: List[np.ndarray] = []
         for i in range(size):
             idx = np.asarray(indices[i], dtype=np.int64)
             val = np.asarray(values[i], dtype=np.float64)
@@ -219,47 +245,177 @@ class SparseSimilarity:
                 val = np.append(val, 1.0)
             else:
                 val[self_pos[0]] = 1.0
-            self._indices.append(idx)
-            self._values.append(val)
+            row_idx.append(idx)
+            row_val.append(val)
+        lens = np.fromiter((idx.size for idx in row_idx), dtype=np.int64, count=size)
+        indptr = np.zeros(size + 1, dtype=np.int64)
+        np.cumsum(lens, out=indptr[1:])
+        if size:
+            cols = np.concatenate(row_idx)
+            vals = np.concatenate(row_val)
+        else:
+            cols = np.zeros(0, dtype=np.int64)
+            vals = np.zeros(0, dtype=np.float64)
+        self._size = size
+        self._indptr = indptr
+        self._cols = cols
+        self._vals = vals.astype(dt, copy=False)
+
+    # ------------------------------------------------------- constructors
+
+    @classmethod
+    def from_csr(
+        cls,
+        size: int,
+        indptr: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        *,
+        dtype=None,
+        validate: bool = True,
+    ) -> "SparseSimilarity":
+        """Adopt ready-made CSR arrays (no per-row Python, no dense detour).
+
+        Rows must already contain their diagonal entry with value 1 — this
+        is the trusted fast path for builders that guarantee the invariant
+        (``validate=True`` re-checks it vectorised, still O(nnz)).
+        """
+        dt = _check_sparse_dtype(dtype if dtype is not None else vals.dtype)
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        cols = np.ascontiguousarray(cols, dtype=np.int64)
+        vals = np.ascontiguousarray(vals, dtype=dt)
+        if indptr.shape != (size + 1,) or int(indptr[0]) != 0:
+            raise ValidationError("malformed CSR indptr")
+        if cols.shape != vals.shape or cols.ndim != 1:
+            raise ValidationError("CSR cols/vals length mismatch")
+        if int(indptr[-1]) != cols.size or np.any(np.diff(indptr) < 0):
+            raise ValidationError("CSR indptr does not span the entry arrays")
+        if validate:
+            if cols.size and (cols.min() < 0 or cols.max() >= size):
+                raise ValidationError("CSR neighbour index out of range")
+            if np.any(vals < -_SIM_ATOL) or np.any(vals > 1.0 + _SIM_ATOL):
+                raise ValidationError("CSR similarity outside [0, 1]")
+            rows = np.repeat(np.arange(size, dtype=np.int64), np.diff(indptr))
+            diag = cols == rows
+            if int(diag.sum()) != size:
+                raise ValidationError("every CSR row must hold its diagonal entry")
+            if not np.all(vals[diag] == 1.0):
+                raise ValidationError("CSR self-similarity must be 1")
+        obj = cls.__new__(cls)
+        obj._size = size
+        obj._indptr = indptr
+        obj._cols = cols
+        obj._vals = vals
+        return obj
+
+    @classmethod
+    def from_pairs(
+        cls,
+        size: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        *,
+        dtype=None,
+        validate: bool = True,
+    ) -> "SparseSimilarity":
+        """Build from unique undirected off-diagonal pairs (the LSH output).
+
+        Each ``(rows[k], cols[k])`` pair contributes the symmetric entries
+        ``(i, j)`` and ``(j, i)``; the unit diagonal is added for every row.
+        Entries land in canonical order — per row, ascending column index
+        with the diagonal in its sorted position — matching the layout of
+        :meth:`DenseSimilarity.sparsified`, so the fused streamed build and
+        the dense-then-threshold path accumulate floats identically.
+        """
+        dt = _check_sparse_dtype(dtype)
+        ii = np.asarray(rows, dtype=np.int64).ravel()
+        jj = np.asarray(cols, dtype=np.int64).ravel()
+        vv = np.asarray(vals, dtype=np.float64).ravel()
+        if not (ii.size == jj.size == vv.size):
+            raise ValidationError("pair arrays must have equal length")
+        if validate and ii.size:
+            if min(ii.min(), jj.min()) < 0 or max(ii.max(), jj.max()) >= size:
+                raise ValidationError("pair index out of range")
+            if np.any(ii == jj):
+                raise ValidationError("pairs must be off-diagonal")
+            if np.any(vv < -_SIM_ATOL) or np.any(vv > 1.0 + _SIM_ATOL):
+                raise ValidationError("pair similarity outside [0, 1]")
+        vv = np.clip(vv, 0.0, 1.0)
+        diag = np.arange(size, dtype=np.int64)
+        all_rows = np.concatenate([ii, jj, diag])
+        all_cols = np.concatenate([jj, ii, diag])
+        all_vals = np.concatenate([vv, vv, np.ones(size, dtype=np.float64)])
+        order = np.lexsort((all_cols, all_rows))
+        all_rows = all_rows[order]
+        all_cols = all_cols[order]
+        if validate and all_rows.size > 1:
+            dup = (all_rows[1:] == all_rows[:-1]) & (all_cols[1:] == all_cols[:-1])
+            if np.any(dup):
+                raise ValidationError("duplicate undirected pair")
+        counts = np.bincount(all_rows, minlength=size)
+        indptr = np.zeros(size + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls.from_csr(
+            size, indptr, all_cols, all_vals[order], dtype=dt, validate=False
+        )
+
+    # ------------------------------------------------------------ queries
 
     def __len__(self) -> int:
         return self._size
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Storage dtype of the similarity values (float64 or float32)."""
+        return self._vals.dtype
+
+    def astype(self, dtype) -> "SparseSimilarity":
+        """Copy with values cast to ``dtype`` (indices are shared)."""
+        dt = _check_sparse_dtype(dtype)
+        if dt == self._vals.dtype:
+            return self
+        vals = self._vals.astype(dt)
+        if dt == np.float32:
+            # Rounding may nudge a value past 1; the invariant wins.
+            np.clip(vals, 0.0, 1.0, out=vals)
+            vals[self._cols == np.repeat(np.arange(self._size), np.diff(self._indptr))] = 1.0
+        return SparseSimilarity.from_csr(
+            self._size, self._indptr, self._cols, vals, dtype=dt, validate=False
+        )
+
     def row(self, local_idx: int) -> np.ndarray:
-        """Materialise a dense row (zeros where no entry is stored)."""
+        """Materialise a dense row (zeros where no entry is stored).
+
+        O(size) allocation per call — never use in a per-member hot loop;
+        route through :meth:`neighbors`, which is a zero-copy slice.
+        """
         dense = np.zeros(self._size, dtype=np.float64)
-        dense[self._indices[local_idx]] = self._values[local_idx]
+        s, e = self._indptr[local_idx], self._indptr[local_idx + 1]
+        dense[self._cols[s:e]] = self._vals[s:e]
         return dense
 
     def pair(self, i: int, j: int) -> float:
-        pos = np.nonzero(self._indices[i] == j)[0]
-        return float(self._values[i][pos[0]]) if pos.size else 0.0
+        s, e = self._indptr[i], self._indptr[i + 1]
+        pos = np.nonzero(self._cols[s:e] == j)[0]
+        return float(self._vals[s + pos[0]]) if pos.size else 0.0
 
     def neighbors(self, local_idx: int) -> Tuple[np.ndarray, np.ndarray]:
-        return self._indices[local_idx], self._values[local_idx]
+        """Zero-copy ``(indices, values)`` views of one stored row."""
+        s, e = self._indptr[local_idx], self._indptr[local_idx + 1]
+        return self._cols[s:e], self._vals[s:e]
 
     def nnz(self) -> int:
-        return int(sum(idx.size for idx in self._indices))
+        return int(self._cols.size)
 
     def csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """``(indptr, cols, vals)`` of the stored entries, row-major.
 
-        Same contract as :meth:`DenseSimilarity.csr`: row ``i``'s entries
-        appear in :meth:`neighbors` order between ``indptr[i]`` and
-        ``indptr[i+1]``.
+        Same contract as :meth:`DenseSimilarity.csr` — and zero-copy: the
+        returned arrays are the live backing store, so treat them as
+        read-only.
         """
-        lens = np.fromiter(
-            (idx.size for idx in self._indices), dtype=np.int64, count=self._size
-        )
-        indptr = np.zeros(self._size + 1, dtype=np.int64)
-        np.cumsum(lens, out=indptr[1:])
-        if self._size:
-            cols = np.concatenate(self._indices)
-            vals = np.concatenate(self._values)
-        else:
-            cols = np.zeros(0, dtype=np.int64)
-            vals = np.zeros(0, dtype=np.float64)
-        return indptr, cols, vals
+        return self._indptr, self._cols, self._vals
 
 
 SimilarityBackend = Union[DenseSimilarity, SparseSimilarity]

@@ -307,8 +307,9 @@ def build_view_instance(
             size = int(sim_spec["size"])
             backend: SimilarityBackend = SparseSimilarity.__new__(SparseSimilarity)
             backend._size = size
-            backend._indices = [cols[indptr[i] : indptr[i + 1]] for i in range(size)]
-            backend._values = [vals[indptr[i] : indptr[i + 1]] for i in range(size)]
+            backend._indptr = indptr
+            backend._cols = cols
+            backend._vals = vals
         else:
             backend = DenseSimilarity.__new__(DenseSimilarity)
             backend.matrix = _view(shm, sim_spec["matrix"])

@@ -48,7 +48,14 @@ def _similarity_to_dict(sim: Union[DenseSimilarity, SparseSimilarity]) -> Dict[s
     for i in range(len(sim)):
         idx, val = sim.neighbors(i)
         rows.append({"indices": idx.tolist(), "values": val.tolist()})
-    return {"kind": "sparse", "size": len(sim), "rows": rows}
+    out: Dict[str, Any] = {"kind": "sparse", "size": len(sim), "rows": rows}
+    # float64 is the implied default so format-1 documents written before
+    # dtype support parse unchanged; float32 backends record their dtype
+    # and round-trip exactly (float32 -> decimal text -> float64 -> float32
+    # is the identity on every representable float32).
+    if sim.dtype != np.float64:
+        out["dtype"] = sim.dtype.name
+    return out
 
 
 def _similarity_from_dict(doc: Dict[str, Any]):
@@ -56,11 +63,15 @@ def _similarity_from_dict(doc: Dict[str, Any]):
     if kind == "dense":
         return DenseSimilarity(np.asarray(doc["matrix"], dtype=np.float64))
     if kind == "sparse":
+        dtype_name = doc.get("dtype", "float64")
+        if dtype_name not in ("float64", "float32"):
+            raise ValidationError(f"unsupported sparse dtype {dtype_name!r}")
         rows = doc["rows"]
         return SparseSimilarity(
             int(doc["size"]),
             [np.asarray(r["indices"], dtype=np.int64) for r in rows],
             [np.asarray(r["values"], dtype=np.float64) for r in rows],
+            dtype=np.dtype(dtype_name),
         )
     raise ValidationError(f"unknown similarity kind {kind!r}")
 

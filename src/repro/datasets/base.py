@@ -110,6 +110,58 @@ class Dataset:
             similarity_fn=sim_fn,
         )
 
+    def streamed_instance(
+        self,
+        budget: float,
+        *,
+        tau: float,
+        contextual_mode: str = "cosine",
+        dtype=np.float64,
+        n_bits="auto",
+        target_recall: float = 0.95,
+        rng=None,
+        keep_embeddings: bool = False,
+    ):
+        """Fused streamed sparse instance (embeddings → LSH → CSR).
+
+        The million-scale path of :mod:`repro.scale`: SimHash candidates
+        over this dataset's embeddings, τ-verified cosines, and a CSR
+        :class:`~repro.core.instance.SparseSimilarity` — no O(n²) dense
+        SIM is ever materialised.  The whole corpus becomes one
+        archive-wide subset with uniform relevance; the dataset's photo
+        records and retained ids carry over unchanged.
+
+        Cosine-only: contextual reweighting operates on a dense per-subset
+        matrix, so any other ``contextual_mode`` raises
+        :class:`~repro.errors.ValidationError`.
+
+        Returns ``(instance, report)`` — see
+        :func:`repro.scale.build_streamed_instance`.
+        """
+        if contextual_mode != "cosine":
+            raise ValidationError(
+                "streamed_instance supports contextual_mode='cosine' only "
+                f"(contextual reweighting needs a dense similarity matrix); "
+                f"got {contextual_mode!r}"
+            )
+        from repro.scale import build_streamed_instance
+
+        costs = np.array([p.cost for p in self.photos], dtype=np.float64)
+        return build_streamed_instance(
+            costs,
+            self.embeddings,
+            budget,
+            tau=tau,
+            subset_id=f"{self.name}-archive",
+            retained=self.retained,
+            n_bits=n_bits,
+            target_recall=target_recall,
+            rng=rng,
+            dtype=dtype,
+            keep_embeddings=keep_embeddings,
+            photos=self.photos,
+        )
+
     def instance_for_fraction(
         self,
         fraction: float,

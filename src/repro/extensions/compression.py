@@ -129,9 +129,15 @@ def expand_with_compression(
     subsets: List[PredefinedSubset] = []
     for q in instance.subsets:
         m = len(q)
-        base = np.zeros((m, m))
-        for i in range(m):
-            base[i] = q.similarity.row(i)
+        if q.similarity.is_sparse:
+            # One vectorised CSR scatter: O(m^2 + nnz) total, instead of m
+            # row() calls that each allocate and fill a dense row.
+            indptr, cols, vals = q.similarity.csr()
+            base = np.zeros((m, m))
+            rows_idx = np.repeat(np.arange(m, dtype=np.int64), np.diff(indptr))
+            base[rows_idx, cols] = vals
+        else:
+            base = np.array(q.similarity.matrix, dtype=np.float64)
         fidelities = [1.0] + [lvl.fidelity for lvl in parsed]
         blocks = len(fidelities)
         big = np.zeros((m * blocks, m * blocks))

@@ -66,6 +66,15 @@ KNOWN_SITES: Dict[str, str] = {
     "tenantstore.replace": "atomic rename publishing a tenant instance (check)",
     "tenantstore.load": "read of a stored tenant instance blob (check)",
     "tenantcache.evict": "warm-cache segment reclaim during eviction (check)",
+    "scalebuild.chunk": "before each candidate-verification chunk of a "
+    "streamed instance build (check)",
+    "scalebuild.flush": "before a streamed build serialises its instance "
+    "to disk (check)",
+    "scalebuild.write": "before the streamed-build instance file write "
+    "(check/corrupt)",
+    "scalebuild.fsync": "fsync of the streamed-build temp file (drop)",
+    "scalebuild.replace": "atomic rename publishing a streamed-build "
+    "instance (check)",
     "resilience.clock_skew": "deadline expiry check — drop rule forces the "
     "clock to have jumped past the deadline (drop)",
     "resilience.slow_solve": "start of a solve payload — drop rule injects "

@@ -221,6 +221,30 @@ class Instruments:
             max_series=256,
         )
 
+        # ------------------------------------------------------- scalebuild
+        self.scalebuild_candidates = reg.counter(
+            "phocus_scalebuild_candidate_pairs_total",
+            "unique banded-LSH candidate pairs produced by streamed builds",
+        )
+        self.scalebuild_verified = reg.counter(
+            "phocus_scalebuild_verified_pairs_total",
+            "candidate pairs whose exact cosine was computed",
+        )
+        self.scalebuild_kept = reg.counter(
+            "phocus_scalebuild_kept_pairs_total",
+            "verified pairs at or above τ kept in the CSR instance",
+        )
+        self.scalebuild_chunks = reg.counter(
+            "phocus_scalebuild_chunks_total",
+            "bounded-memory work chunks processed, by pipeline stage",
+            ("stage",),
+        )
+        self.scalebuild_phase_seconds = reg.histogram(
+            "phocus_scalebuild_phase_seconds",
+            "wall-clock of one streamed-build phase",
+            ("phase",),
+        )
+
         # ------------------------------------------------------- resilience
         self.resilience_shed = reg.counter(
             "phocus_resilience_shed_total",

@@ -78,18 +78,18 @@ def _lsh_sparsify_subset(
     sigs = hasher.signatures(member_vectors)
     candidates = candidate_pairs(sigs, bands, rows)
 
-    rows_idx: List[List[int]] = [[] for _ in range(m)]
-    rows_val: List[List[float]] = [[] for _ in range(m)]
-    for i, j in candidates:
+    # Iterate candidates in sorted order so the surviving-pair arrays (and
+    # therefore the CSR layout and every downstream float accumulation) are
+    # deterministic rather than set-iteration-order dependent.
+    kept: List[Tuple[int, int, float]] = []
+    for i, j in sorted(candidates):
         s = subset.similarity.pair(i, j)
         if s >= tau:
-            rows_idx[i].append(j)
-            rows_val[i].append(s)
-            rows_idx[j].append(i)
-            rows_val[j].append(s)
-    indices = [np.asarray(ix, dtype=np.int64) for ix in rows_idx]
-    values = [np.asarray(vx, dtype=np.float64) for vx in rows_val]
-    sparse = SparseSimilarity(m, indices, values, validate=False)
+            kept.append((i, j, s))
+    ii = np.fromiter((k[0] for k in kept), dtype=np.int64, count=len(kept))
+    jj = np.fromiter((k[1] for k in kept), dtype=np.int64, count=len(kept))
+    vv = np.fromiter((k[2] for k in kept), dtype=np.float64, count=len(kept))
+    sparse = SparseSimilarity.from_pairs(m, ii, jj, vv, validate=False)
     return subset.with_similarity(sparse), len(candidates)
 
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -33,11 +33,19 @@ from repro.errors import ConfigurationError
 __all__ = [
     "bit_agreement_probability",
     "candidate_probability",
+    "recommended_bits",
     "tune_bands",
     "SimHasher",
     "candidate_pairs",
+    "unit_normalize",
+    "verify_candidate_pairs",
     "lsh_similar_pairs",
 ]
+
+#: Default number of candidate pairs verified per chunk.  At embedding
+#: dimension d the verifier gathers ``2 * chunk * d`` float64s per chunk
+#: (~32 MB at d=16), independent of the total candidate count.
+DEFAULT_VERIFY_CHUNK = 1 << 17
 
 
 def bit_agreement_probability(cosine_sim: float) -> float:
@@ -53,6 +61,40 @@ def candidate_probability(cosine_sim: float, bands: int, rows: int) -> float:
     """Probability a pair at similarity ``s`` collides in at least one band."""
     p = bit_agreement_probability(cosine_sim)
     return 1.0 - (1.0 - p**rows) ** bands
+
+
+def recommended_bits(
+    n: int,
+    tau: float,
+    target_recall: float = 0.95,
+) -> int:
+    """Signature width for near-linear candidate counts at scale ``n``.
+
+    Banded LSH admits a random (dissimilar) pair into the candidate set
+    with probability ``≈ bands · 0.5^rows`` — with the classic 64-bit
+    default the bands are so short that candidates grow as O(n²) once the
+    archive passes ~10^4 photos.  The standard cure (Indyk–Motwani) is
+    ``rows ≈ log2(n)`` so each band's false-collision rate is ~1/n, then
+    as many bands as the recall target needs.  The resulting candidate
+    count scales as ``n^(1+ρ)`` with ``ρ = ln(1/p₁)/ln 2 < 1`` —
+    sub-quadratic, at the price of a wider (but still O(n·bits) ≪ O(n²))
+    signature.
+
+    Returns an ``n_bits`` for which :func:`tune_bands` recovers exactly
+    this (bands, rows) split.
+    """
+    if n < 1:
+        raise ConfigurationError("n must be positive")
+    if not (0.0 < tau <= 1.0):
+        raise ConfigurationError(f"tau must lie in (0, 1], got {tau}")
+    if not (0.0 < target_recall < 1.0):
+        raise ConfigurationError("target_recall must lie in (0, 1)")
+    rows = max(4, int(np.ceil(np.log2(max(n, 2)))))
+    p_tau = bit_agreement_probability(tau) ** rows
+    if p_tau <= 0.0:
+        raise ConfigurationError("tau too low for banded LSH at this scale")
+    bands = int(np.ceil(np.log(1.0 - target_recall) / np.log(1.0 - p_tau)))
+    return max(1, bands) * rows
 
 
 def tune_bands(
@@ -149,6 +191,66 @@ def candidate_pairs(
     return pairs
 
 
+def unit_normalize(vectors: np.ndarray) -> np.ndarray:
+    """Rows scaled to unit L2 norm (zero rows pass through unchanged)."""
+    vectors = np.asarray(vectors, dtype=np.float64)
+    norms = np.linalg.norm(vectors, axis=1)
+    norms[norms == 0] = 1.0
+    return vectors / norms[:, None]
+
+
+def verify_candidate_pairs(
+    unit: np.ndarray,
+    ii: np.ndarray,
+    jj: np.ndarray,
+    tau: float,
+    *,
+    chunk: int = DEFAULT_VERIFY_CHUNK,
+    on_chunk: Optional[Callable[[int, int], None]] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Exact-cosine verification of candidate pairs, in bounded chunks.
+
+    ``unit`` must be unit-normalised (:func:`unit_normalize`).  Pairs with
+    raw cosine ≥ τ are kept, their stored value clipped to ``min(1, s)``.
+    Each pair's dot product is a per-row ``einsum`` reduction, so the value
+    for a given ``(i, j)`` is bit-identical regardless of chunk size or
+    position — the fused streamed builder (:mod:`repro.scale`) and the
+    unfused pipeline share this function precisely so their surviving pairs
+    and values match bit for bit.
+
+    ``on_chunk(start, end)`` fires before each chunk (probes/faults hook).
+    Returns ``(kept_ii, kept_jj, kept_vals)``.
+    """
+    if chunk < 1:
+        raise ConfigurationError("verify chunk must be positive")
+    ii = np.asarray(ii, dtype=np.int64).ravel()
+    jj = np.asarray(jj, dtype=np.int64).ravel()
+    if ii.size != jj.size:
+        raise ConfigurationError("candidate pair arrays must have equal length")
+    kept_i: List[np.ndarray] = []
+    kept_j: List[np.ndarray] = []
+    kept_v: List[np.ndarray] = []
+    for start in range(0, ii.size, chunk):
+        end = min(start + chunk, ii.size)
+        if on_chunk is not None:
+            on_chunk(start, end)
+        ci = ii[start:end]
+        cj = jj[start:end]
+        s = np.einsum("ij,ij->i", unit[ci], unit[cj])
+        keep = s >= tau
+        kept_i.append(ci[keep])
+        kept_j.append(cj[keep])
+        kept_v.append(np.minimum(1.0, s[keep]))
+    if not kept_i:
+        empty_idx = np.zeros(0, dtype=np.int64)
+        return empty_idx, empty_idx.copy(), np.zeros(0, dtype=np.float64)
+    return (
+        np.concatenate(kept_i),
+        np.concatenate(kept_j),
+        np.concatenate(kept_v),
+    )
+
+
 def lsh_similar_pairs(
     vectors: np.ndarray,
     tau: float,
@@ -161,7 +263,10 @@ def lsh_similar_pairs(
 
     Candidates from banded signatures are verified with the exact cosine
     similarity, so the output has perfect precision; recall is governed by
-    the LSH S-curve at the tuned ``(bands, rows)``.
+    the LSH S-curve at the tuned ``(bands, rows)``.  Pairs are returned in
+    ascending ``(i, j)`` order and verified through the same
+    :func:`verify_candidate_pairs` kernel the fused builder uses, making
+    this the bit-exact unfused reference for `repro.scale`.
     """
     vectors = np.asarray(vectors, dtype=np.float64)
     n = vectors.shape[0]
@@ -170,20 +275,16 @@ def lsh_similar_pairs(
     sigs = hasher.signatures(vectors)
     candidates = candidate_pairs(sigs, bands, rows)
 
-    norms = np.linalg.norm(vectors, axis=1)
-    norms[norms == 0] = 1.0
-    unit = vectors / norms[:, None]
-
-    pairs: List[Tuple[int, int]] = []
-    sims: List[float] = []
-    for i, j in candidates:
-        s = float(unit[i] @ unit[j])
-        if s >= tau:
-            pairs.append((i, j))
-            sims.append(min(1.0, s))
+    if candidates:
+        cand = np.array(sorted(candidates), dtype=np.int64)
+        ci, cj = cand[:, 0], cand[:, 1]
+    else:
+        ci = cj = np.zeros(0, dtype=np.int64)
+    unit = unit_normalize(vectors)
+    ki, kj, vals = verify_candidate_pairs(unit, ci, cj, tau)
     return LshResult(
-        pairs=pairs,
-        similarities=np.asarray(sims, dtype=np.float64),
+        pairs=list(zip(ki.tolist(), kj.tolist())),
+        similarities=vals,
         candidates_checked=len(candidates),
         bands=bands,
         rows=rows,

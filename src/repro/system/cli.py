@@ -299,6 +299,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tstats_p.add_argument("--tenant", required=True)
 
+    scale_p = sub.add_parser(
+        "scale", help="million-photo fused streamed builds (no dense SIM)"
+    )
+    scale_sub = scale_p.add_subparsers(dest="scale_command", required=True)
+    sbuild_p = scale_sub.add_parser(
+        "build",
+        help="fused build: embeddings -> LSH candidates -> sparse CSR instance",
+    )
+    sbuild_p.add_argument(
+        "--photos", type=int, default=100_000, help="synthetic archive size"
+    )
+    sbuild_p.add_argument("--dim", type=int, default=16, help="embedding dimension")
+    sbuild_p.add_argument(
+        "--tau", type=float, default=0.8, help="sparsification threshold"
+    )
+    sbuild_p.add_argument(
+        "--budget-fraction",
+        type=float,
+        default=0.1,
+        help="budget as a fraction of the total corpus cost",
+    )
+    sbuild_p.add_argument(
+        "--dtype",
+        default="float64",
+        choices=["float64", "float32"],
+        help="similarity value storage (float32 halves the value bytes)",
+    )
+    sbuild_p.add_argument("--seed", type=int, default=0)
+    sbuild_p.add_argument(
+        "--n-bits",
+        type=int,
+        help="explicit SimHash width (default: auto-scaled to the archive size)",
+    )
+    sbuild_p.add_argument("--target-recall", type=float, default=0.95)
+    sbuild_p.add_argument(
+        "--chunk-pairs",
+        type=int,
+        default=1 << 17,
+        help="candidate/verification pairs per chunk (memory bound)",
+    )
+    sbuild_p.add_argument(
+        "--signature-chunk",
+        type=int,
+        default=1 << 16,
+        help="photos per signature matmul chunk",
+    )
+    sbuild_p.add_argument(
+        "--out", metavar="PATH", help="write the built instance JSON atomically"
+    )
+    sbuild_p.add_argument(
+        "--solve",
+        action="store_true",
+        help="also run the PHOcus greedy on the built instance",
+    )
+
     obs_p = sub.add_parser(
         "obs", help="observability: dump metrics from a service or this process"
     )
@@ -697,6 +752,67 @@ def _cmd_demo() -> int:
     return 0
 
 
+def _cmd_scale(args) -> int:
+    import numpy as np
+
+    from repro.scale import (
+        build_streamed_instance,
+        save_streamed_instance,
+        synthetic_archive,
+    )
+
+    costs, embeddings = synthetic_archive(args.photos, dim=args.dim, seed=args.seed)
+    budget = float(costs.sum()) * args.budget_fraction
+    instance, report = build_streamed_instance(
+        costs,
+        embeddings,
+        budget,
+        tau=args.tau,
+        n_bits="auto" if args.n_bits is None else args.n_bits,
+        target_recall=args.target_recall,
+        rng=args.seed,
+        dtype=np.dtype(args.dtype),
+        chunk_pairs=args.chunk_pairs,
+        signature_chunk=args.signature_chunk,
+    )
+    total = report.n_photos * (report.n_photos - 1) // 2
+    print(f"[scale build] {report.n_photos} photos, dim {report.dim}, tau {report.tau}")
+    print(
+        f"  lsh                  : {report.n_bits} bits = {report.bands} bands "
+        f"x {report.rows} rows (recall target {report.target_recall})"
+    )
+    print(
+        f"  candidates           : {report.candidate_pairs} "
+        f"({report.candidate_fraction:.2e} of {total} possible pairs)"
+    )
+    print(
+        f"  kept / nnz           : {report.kept_pairs} pairs -> {report.nnz} "
+        f"stored entries ({report.dtype})"
+    )
+    phases = ", ".join(
+        f"{name} {secs:.2f}s" for name, secs in report.phase_seconds.items()
+    )
+    print(f"  build time           : {report.build_seconds:.2f}s ({phases})")
+    if args.out:
+        nbytes = save_streamed_instance(instance, args.out)
+        print(f"  wrote                : {args.out} ({nbytes / 1e6:.1f} MB)")
+    if args.solve:
+        import time as _time
+
+        from repro.core.greedy import main_algorithm
+
+        t0 = _time.perf_counter()
+        solution = main_algorithm(instance)
+        solve_seconds = _time.perf_counter() - t0
+        print(
+            f"  solve                : value {solution.value:.4f}, "
+            f"{len(solution.selection)} photos kept, "
+            f"{solution.cost / MB:.1f} of {budget / MB:.1f} MB "
+            f"in {solve_seconds:.2f}s"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "datasets":
@@ -718,6 +834,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_jobs(args)
     if args.command == "tenants":
         return _cmd_tenants(args)
+    if args.command == "scale":
+        return _cmd_scale(args)
     if args.command == "obs":
         return _cmd_obs(args)
     if args.command == "serve":
