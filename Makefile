@@ -3,7 +3,7 @@
 # Targets export PYTHONPATH=src so they match the tier-1 verify command
 # and work on a fresh clone without `make install`.
 
-.PHONY: install test bench bench-kernels bench-million million-smoke obs-smoke load-smoke overload-smoke examples chaos results clean
+.PHONY: install test bench bench-kernels bench-million million-smoke obs-smoke load-smoke overload-smoke bench-live live-smoke examples chaos results clean
 
 # Instance-size multiplier for the kernel bench (CI smoke uses 0.25).
 KERNEL_BENCH_SCALE ?= 1.0
@@ -81,6 +81,22 @@ overload-smoke:
 	$(PYTHONPATH_SRC) python benchmarks/bench_overload.py \
 		--quick --out $(OVERLOAD_BENCH_OUT) $(OVERLOAD_BENCH_FLAGS)
 
+# Online-curation latency: per-upload delta ingestion + warm re-solve
+# vs a cold full re-solve at 10^3..10^5 photos.  Exits non-zero when a
+# gate fails (warm >= 10x cold at 10^4, the measured-regret guarantee,
+# empty-delta bit-identity).
+LIVE_BENCH_OUT ?= BENCH_live.json
+LIVE_BENCH_FLAGS ?=
+
+bench-live:
+	$(PYTHONPATH_SRC) python benchmarks/bench_live.py \
+		--out $(LIVE_BENCH_OUT) $(LIVE_BENCH_FLAGS)
+
+# CI gate: one 10^4 measurement checked against the committed
+# BENCH_live.json (speedup, latency headroom, determinism).
+live-smoke:
+	$(PYTHONPATH_SRC) python benchmarks/bench_live.py --smoke
+
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHONPATH_SRC) python $$f > /dev/null || exit 1; done
 	@echo "all examples ran cleanly"
@@ -91,7 +107,7 @@ chaos:
 		PHOCUS_CHAOS_SEED=$$seed $(PYTHONPATH_SRC) python -m pytest -q \
 			tests/test_faults.py tests/core/test_checkpoint.py \
 			tests/test_tenants_chaos.py tests/test_resilience_chaos.py \
-			tests/test_scale_chaos.py || exit 1; \
+			tests/test_scale_chaos.py tests/test_live_chaos.py || exit 1; \
 	done
 
 results:

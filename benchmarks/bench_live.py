@@ -1,0 +1,364 @@
+#!/usr/bin/env python
+"""Per-upload re-curation latency for the live incremental pipeline.
+
+A standalone script (``make bench-live``), not a pytest-benchmark
+target: it measures what one photo-delta upload costs at archive scales
+10^3..10^5 — delta ingestion (bucket only the new photos, grow the CSR
+through ``append_rows``) plus the warm-started CELF re-solve — against
+the cold baseline (a full two-phase ``main_algorithm`` re-solve of the
+grown instance), and writes the machine-readable document to
+``BENCH_live.json`` at the repo root:
+
+* ``runs`` — per archive scale: create/initial-solve timings, ingest
+  seconds, warm re-solve seconds, cold re-solve seconds, the
+  warm-vs-cold speedup, the certified ``regret_bound``, and the
+  warm/cold objective values with their selection hashes;
+* ``checks`` — the gates CI enforces: warm re-curation is **>= 10x
+  faster** than a cold full re-solve at 10^4 photos, the measured-regret
+  guarantee ``warm.value >= (1 - regret_bound) * cold.value`` holds at
+  every scale, and an empty delta reproduces the stored solution **bit
+  for bit**.
+
+``--smoke`` mode (the CI ``live-smoke`` job) re-runs the 10^4 scale and
+gates the speedup and both correctness properties against the committed
+``BENCH_live.json`` (selection hashes must match — the pipeline is
+deterministic at a fixed seed; wall-clock gets generous headroom for
+slower runners).
+
+The JSON is validated against the expected schema before it is written;
+a malformed document also exits non-zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_live.json"
+
+DIM = 16
+TAU = 0.8
+SEED = 0
+BUDGET_FRACTION = 0.1
+DELTA_PHOTOS = 16
+SCALES = (1_000, 10_000, 100_000)
+SMOKE_PHOTOS = 10_000
+#: The headline gate: warm re-curation vs cold full re-solve at 10^4.
+SPEEDUP_GATE = 10.0
+#: Wall-clock headroom the smoke gate allows over the committed numbers.
+SMOKE_SECONDS_HEADROOM = 8.0
+
+
+def _selection_sha(selection) -> str:
+    return hashlib.sha256(
+        json.dumps([int(p) for p in selection]).encode()
+    ).hexdigest()
+
+
+def _median_seconds(fn, repeats: int):
+    """``(median_seconds, last_result)`` of ``repeats`` runs of ``fn``.
+
+    Every measured operation here is deterministic and side-effect-free
+    on its inputs (``ingest`` never mutates ``self``), so repetition is
+    safe and the median discards allocator/governor warm-up noise.
+    """
+    samples = []
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - t0)
+    samples.sort()
+    return samples[len(samples) // 2], result
+
+
+def measure_scale(photos: int, delta: int = DELTA_PHOTOS) -> Dict[str, object]:
+    from repro.live import LiveArchive, cold_resolve, warm_resolve
+
+    from repro.scale import synthetic_archive
+
+    costs, embeddings = synthetic_archive(photos + delta, dim=DIM, seed=SEED)
+    budget = float(costs[:photos].sum()) * BUDGET_FRACTION
+    # A cold solve at 10^5 runs >10 s; one sample is plenty there.
+    repeats = 3 if photos <= 10_000 else 1
+
+    t0 = time.perf_counter()
+    archive, build = LiveArchive.create(
+        costs[:photos], embeddings[:photos], budget, tau=TAU, seed=SEED
+    )
+    create_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    stored = cold_resolve(archive.instance)
+    initial_solve_seconds = time.perf_counter() - t0
+
+    # Property: an empty delta reproduces the stored solution bit for bit.
+    replay = warm_resolve(archive.instance, stored.selection)
+    empty_delta_identical = bool(
+        replay.selection == stored.selection and replay.value == stored.value
+    )
+
+    # The warm path: bucket + verify + append the delta, then re-enter the
+    # CELF heap from the stored solution.
+    ingest_seconds, (grown, ingest) = _median_seconds(
+        lambda: archive.ingest(costs[photos:], embeddings[photos:]), repeats
+    )
+    warm_solve_seconds, warm = _median_seconds(
+        lambda: warm_resolve(grown.instance, stored.selection), repeats
+    )
+    warm_latency = ingest_seconds + warm_solve_seconds
+
+    # The cold baseline: a from-scratch two-phase solve of the same grown
+    # instance (what every upload would cost without the warm start).
+    cold_solve_seconds, cold = _median_seconds(
+        lambda: cold_resolve(grown.instance), repeats
+    )
+
+    regret_holds = bool(
+        warm.value >= (1.0 - warm.regret_bound) * cold.value - 1e-12
+    )
+    return {
+        "photos": photos,
+        "delta_photos": delta,
+        "n_bits": build.n_bits,
+        "nnz_after_ingest": ingest.nnz,
+        "delta_candidate_pairs": ingest.candidate_pairs,
+        "create_seconds": create_seconds,
+        "initial_solve_seconds": initial_solve_seconds,
+        "ingest_seconds": ingest_seconds,
+        "warm_solve_seconds": warm_solve_seconds,
+        "warm_latency_seconds": warm_latency,
+        "cold_solve_seconds": cold_solve_seconds,
+        "speedup": cold_solve_seconds / warm_latency,
+        "warm_value": warm.value,
+        "cold_value": cold.value,
+        "regret_bound": warm.regret_bound,
+        "upper_bound": warm.upper_bound,
+        "warm_evaluations": warm.evaluations,
+        "cold_evaluations": cold.evaluations,
+        "warm_selection_sha256": _selection_sha(warm.selection),
+        "cold_selection_sha256": _selection_sha(cold.selection),
+        "empty_delta_bit_identical": empty_delta_identical,
+        "regret_guarantee_holds": regret_holds,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Schema
+# ---------------------------------------------------------------------------
+
+
+def validate_document(doc: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``doc`` has the expected shape."""
+
+    def need(mapping, key, kind, where):
+        if key not in mapping:
+            raise ValueError(f"missing key {where}.{key}")
+        if not isinstance(mapping[key], kind):
+            raise ValueError(
+                f"{where}.{key} should be {kind}, got {type(mapping[key]).__name__}"
+            )
+        return mapping[key]
+
+    meta = need(doc, "meta", dict, "$")
+    for key in ("python", "numpy", "platform"):
+        need(meta, key, str, "meta")
+    for key in ("cpus", "dim", "seed", "delta_photos"):
+        need(meta, key, int, "meta")
+    need(meta, "tau", (int, float), "meta")
+    runs = need(doc, "runs", list, "$")
+    if not runs:
+        raise ValueError("runs must be non-empty")
+    for i, run in enumerate(runs):
+        if not isinstance(run, dict):
+            raise ValueError(f"runs[{i}] must be an object")
+        need(run, "photos", int, f"runs[{i}]")
+        for key in (
+            "ingest_seconds",
+            "warm_solve_seconds",
+            "warm_latency_seconds",
+            "cold_solve_seconds",
+            "speedup",
+            "warm_value",
+            "cold_value",
+        ):
+            value = need(run, key, (int, float), f"runs[{i}]")
+            if not value > 0:
+                raise ValueError(f"runs[{i}].{key} must be positive")
+        need(run, "regret_bound", (int, float), f"runs[{i}]")
+        for key in ("warm_selection_sha256", "cold_selection_sha256"):
+            need(run, key, str, f"runs[{i}]")
+        for key in ("empty_delta_bit_identical", "regret_guarantee_holds"):
+            if not isinstance(run.get(key), bool):
+                raise ValueError(f"runs[{i}].{key} must be a bool")
+    checks = need(doc, "checks", dict, "$")
+    for key in (
+        "warm_speedup_gate_ok",
+        "regret_guarantee_holds",
+        "empty_delta_bit_identical",
+    ):
+        if not isinstance(checks.get(key), bool):
+            raise ValueError(f"checks.{key} must be a bool")
+    need(checks, "speedup_at_gate_scale", (int, float), "checks")
+    need(checks, "gate_scale", int, "checks")
+    need(checks, "speedup_gate", (int, float), "checks")
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def _meta() -> Dict[str, object]:
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "cpus": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else (os.cpu_count() or 1),
+        "dim": DIM,
+        "tau": TAU,
+        "seed": SEED,
+        "budget_fraction": BUDGET_FRACTION,
+        "delta_photos": DELTA_PHOTOS,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+
+
+def _print_run(run: Dict[str, object]) -> None:
+    print(
+        f"  {run['photos']:>7} photos: ingest {run['ingest_seconds'] * 1e3:7.1f} ms "
+        f"+ warm solve {run['warm_solve_seconds'] * 1e3:7.1f} ms "
+        f"= {run['warm_latency_seconds'] * 1e3:7.1f} ms "
+        f"vs cold {run['cold_solve_seconds']:6.2f} s "
+        f"({run['speedup']:6.1f}x), regret bound {run['regret_bound']:.4f}"
+    )
+
+
+def run_bench(scales) -> Dict[str, object]:
+    runs: List[Dict[str, object]] = []
+    for photos in scales:
+        print(f"[bench_live] upload latency @ {photos} ...", flush=True)
+        run = measure_scale(photos)
+        _print_run(run)
+        runs.append(run)
+
+    gate_scale = SMOKE_PHOTOS if any(
+        r["photos"] == SMOKE_PHOTOS for r in runs
+    ) else runs[-1]["photos"]
+    at_gate = next(r for r in runs if r["photos"] == gate_scale)
+    checks = {
+        "gate_scale": int(gate_scale),
+        "speedup_gate": SPEEDUP_GATE,
+        "speedup_at_gate_scale": float(at_gate["speedup"]),
+        "warm_speedup_gate_ok": bool(at_gate["speedup"] >= SPEEDUP_GATE),
+        "regret_guarantee_holds": all(
+            r["regret_guarantee_holds"] for r in runs
+        ),
+        "empty_delta_bit_identical": all(
+            r["empty_delta_bit_identical"] for r in runs
+        ),
+    }
+    return {"meta": _meta(), "runs": runs, "checks": checks}
+
+
+def run_smoke(committed_path: Path) -> int:
+    committed = json.loads(committed_path.read_text())
+    validate_document(committed)
+    baseline = next(
+        r for r in committed["runs"] if r["photos"] == SMOKE_PHOTOS
+    )
+    print(f"[live-smoke] upload latency @ {SMOKE_PHOTOS} ...", flush=True)
+    run = measure_scale(SMOKE_PHOTOS)
+    _print_run(run)
+    latency_limit = (
+        baseline["warm_latency_seconds"] * SMOKE_SECONDS_HEADROOM
+    )
+    failures = []
+    if run["speedup"] < SPEEDUP_GATE:
+        failures.append(
+            f"warm re-curation only {run['speedup']:.1f}x faster than a cold "
+            f"full re-solve (gate: >= {SPEEDUP_GATE}x)"
+        )
+    if run["warm_latency_seconds"] > latency_limit:
+        failures.append(
+            f"warm latency {run['warm_latency_seconds']:.3f}s above committed "
+            f"baseline headroom ({latency_limit:.3f}s)"
+        )
+    if not run["regret_guarantee_holds"]:
+        failures.append("measured-regret guarantee violated")
+    if not run["empty_delta_bit_identical"]:
+        failures.append("empty delta no longer reproduces the stored solution")
+    if run["warm_selection_sha256"] != baseline["warm_selection_sha256"]:
+        failures.append(
+            "warm picks drifted from the committed baseline "
+            "(the pipeline is no longer deterministic at a fixed seed)"
+        )
+    if run["cold_selection_sha256"] != baseline["cold_selection_sha256"]:
+        failures.append("cold picks drifted from the committed baseline")
+    for f in failures:
+        print(f"LIVE-SMOKE FAILURE: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scales",
+        default=",".join(str(s) for s in SCALES),
+        help="comma-separated archive scales",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: one 10^4 run gated against the committed JSON",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return run_smoke(args.out)
+
+    scales = sorted(int(s) for s in args.scales.split(","))
+    doc = run_bench(scales)
+    validate_document(doc)
+    args.out.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+    checks = doc["checks"]
+    print(
+        f"  speedup at {checks['gate_scale']}: "
+        f"{checks['speedup_at_gate_scale']:.1f}x "
+        f"(>= {checks['speedup_gate']:.0f}x: {checks['warm_speedup_gate_ok']}), "
+        f"regret guarantee: {checks['regret_guarantee_holds']}, "
+        f"empty-delta bit-identical: {checks['empty_delta_bit_identical']}"
+    )
+    print(f"  wrote {args.out}")
+
+    failed = [
+        key
+        for key in (
+            "warm_speedup_gate_ok",
+            "regret_guarantee_holds",
+            "empty_delta_bit_identical",
+        )
+        if not checks[key]
+    ]
+    if failed:
+        print(f"BENCH GATES FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,28 +44,45 @@ __all__ = [
 ]
 
 
-def online_bound(instance: PARInstance, selection: Iterable[int]) -> float:
+def online_bound(
+    instance: PARInstance,
+    selection: Iterable[int],
+    *,
+    state: Optional[CoverageState] = None,
+) -> float:
     """Upper bound on the PAR optimum given an evaluated solution ``S``.
 
     Computes ``G(S)`` plus the fractional-knapsack packing of the current
     marginal gains into the full budget ``B``.  Valid for *any* ``S`` — the
     bound certifies the optimum, not the solution.
+
+    ``state`` may carry an already-built :class:`CoverageState` whose
+    selection is exactly ``S`` — callers that just finished a greedy pass
+    (or a checkpoint replay) reuse it instead of replaying the whole
+    selection a second time.  The bound is identical either way: a fresh
+    state replays the same add order into the same floats.
     """
-    state = CoverageState(instance, selection)
+    if state is None:
+        state = CoverageState(instance, selection)
     costs = instance.costs
     gains = state.all_gains()
-    entries: List[Tuple[float, float, float]] = [
-        (gains[p] / costs[p], float(gains[p]), float(costs[p]))
-        for p in np.nonzero(
-            (gains > 0) & (costs <= instance.budget * (1 + 1e-12))
-        )[0]
-    ]
-    entries.sort(reverse=True)
+    keep = np.nonzero(
+        (gains > 0) & (costs <= instance.budget * (1 + 1e-12))
+    )[0]
+    kept_gains = gains[keep]
+    kept_costs = costs[keep]
+    # Descending (density, gain, cost) — the same ordering the former
+    # sorted tuple list produced, without materialising Python tuples.
+    order = np.lexsort(
+        (-kept_costs, -kept_gains, -(kept_gains / kept_costs))
+    )
     bound = state.value
     budget = instance.budget
-    for _, gain, cost in entries:
+    for i in order:
         if budget <= 0:
             break
+        gain = float(kept_gains[i])
+        cost = float(kept_costs[i])
         if cost <= budget:
             bound += gain
             budget -= cost

@@ -360,6 +360,127 @@ class SparseSimilarity:
             size, indptr, all_cols, all_vals[order], dtype=dt, validate=False
         )
 
+    # ------------------------------------------------------------- growth
+
+    def append_rows(
+        self,
+        k: int,
+        rows: np.ndarray = (),
+        cols: np.ndarray = (),
+        vals: np.ndarray = (),
+        *,
+        validate: bool = True,
+    ) -> "SparseSimilarity":
+        """Grow by ``k`` members, given pairs that touch the new range.
+
+        ``(rows[t], cols[t], vals[t])`` are unique undirected off-diagonal
+        pairs with **at least one endpoint ≥ len(self)** — the delta an LSH
+        re-bucketing of only the new photos produces.  Old↔old pairs are
+        rejected: they would interleave inside existing rows and the result
+        could no longer reuse the stored layout.
+
+        Because every new column index is ``≥ len(self)`` and therefore
+        larger than any column already stored, additions to an existing row
+        land strictly *after* its current entries, so the old CSR region is
+        copied once (no re-sort, no per-row Python) and rows without
+        additions are byte-for-byte identical slices.  The result is
+        bit-identical to :meth:`from_pairs` rebuilt from the union of old
+        and new pairs — delta ingestion and a from-scratch build agree
+        exactly.
+        """
+        if k < 0:
+            raise ValidationError("append_rows: k must be non-negative")
+        n = self._size
+        total = n + k
+        dt = self._vals.dtype
+        ii = np.asarray(rows, dtype=np.int64).ravel()
+        jj = np.asarray(cols, dtype=np.int64).ravel()
+        vv = np.asarray(vals, dtype=np.float64).ravel()
+        if not (ii.size == jj.size == vv.size):
+            raise ValidationError("pair arrays must have equal length")
+        if k == 0 and ii.size == 0:
+            return self
+        if validate and ii.size:
+            if min(ii.min(), jj.min()) < 0 or max(ii.max(), jj.max()) >= total:
+                raise ValidationError("pair index out of range")
+            if np.any(ii == jj):
+                raise ValidationError("pairs must be off-diagonal")
+            if np.any((ii < n) & (jj < n)):
+                raise ValidationError(
+                    "append_rows pairs must touch the appended range; "
+                    "old-old pairs require a from_pairs rebuild"
+                )
+            if np.any(vv < -_SIM_ATOL) or np.any(vv > 1.0 + _SIM_ATOL):
+                raise ValidationError("pair similarity outside [0, 1]")
+        vv = np.clip(vv, 0.0, 1.0).astype(dt, copy=False)
+        # Directed entries: each undirected pair contributes both (i, j)
+        # and (j, i); the new rows additionally hold their unit diagonal.
+        dir_r = np.concatenate([ii, jj])
+        dir_c = np.concatenate([jj, ii])
+        dir_v = np.concatenate([vv, vv])
+        old_side = dir_r < n
+        # --- additions to existing rows (columns all ≥ n: append-only) ---
+        add_r = dir_r[old_side]
+        add_c = dir_c[old_side]
+        add_v = dir_v[old_side]
+        order = np.lexsort((add_c, add_r))
+        add_r = add_r[order]
+        add_c = add_c[order]
+        add_v = add_v[order]
+        add_counts = np.bincount(add_r, minlength=n)[:n]
+        add_prefix = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(add_counts, out=add_prefix[1:])
+        # --- entries of the appended rows (diagonal included) -----------
+        diag = np.arange(n, total, dtype=np.int64)
+        new_r = np.concatenate([dir_r[~old_side], diag])
+        new_c = np.concatenate([dir_c[~old_side], diag])
+        new_v = np.concatenate([dir_v[~old_side], np.ones(k, dtype=dt)])
+        order = np.lexsort((new_c, new_r))
+        new_r = new_r[order]
+        new_c = new_c[order]
+        new_v = new_v[order]
+        if validate:
+            for rr, cc in ((add_r, add_c), (new_r, new_c)):
+                if rr.size > 1:
+                    dup = (rr[1:] == rr[:-1]) & (cc[1:] == cc[:-1])
+                    if np.any(dup):
+                        raise ValidationError("duplicate undirected pair")
+        new_counts = np.bincount(new_r - n, minlength=k)[:k] if k else np.zeros(
+            0, dtype=np.int64
+        )
+        # --- assemble ----------------------------------------------------
+        old_nnz = self._cols.size
+        old_lens = np.diff(self._indptr)
+        nnz = old_nnz + add_r.size + new_r.size
+        out_cols = np.empty(nnz, dtype=np.int64)
+        out_vals = np.empty(nnz, dtype=dt)
+        # Old entries of row i shift right by the additions to rows < i.
+        dest_old = np.arange(old_nnz, dtype=np.int64) + np.repeat(
+            add_prefix[:n], old_lens
+        )
+        out_cols[dest_old] = self._cols
+        out_vals[dest_old] = self._vals
+        # The t-th sorted addition (row r) lands right after row r's old
+        # entries plus the additions to earlier rows already placed before
+        # it: old_indptr[r + 1] + t.
+        if add_r.size:
+            dest_add = self._indptr[add_r + 1] + np.arange(
+                add_r.size, dtype=np.int64
+            )
+            out_cols[dest_add] = add_c
+            out_vals[dest_add] = add_v
+        base = old_nnz + add_r.size
+        out_cols[base:] = new_c
+        out_vals[base:] = new_v
+        indptr = np.empty(total + 1, dtype=np.int64)
+        indptr[: n + 1] = self._indptr + add_prefix
+        if k:
+            np.cumsum(new_counts, out=indptr[n + 1 :])
+            indptr[n + 1 :] += base
+        return SparseSimilarity.from_csr(
+            total, indptr, out_cols, out_vals, dtype=dt, validate=False
+        )
+
     # ------------------------------------------------------------ queries
 
     def __len__(self) -> int:
@@ -500,6 +621,29 @@ def build_incidence(subsets: Sequence[PredefinedSubset], n: int) -> IncidenceCSR
             np.zeros(0, dtype=np.float64),
             np.zeros(0, dtype=np.float64),
         )
+
+    if n_subsets == 1 and len(subsets[0]) == n:
+        q = subsets[0]
+        members = np.asarray(q.members, dtype=np.int64)
+        if members.size == n and np.array_equal(
+            members, np.arange(n, dtype=np.int64)
+        ):
+            # Archive-wide single-subset instances (the streamed/live
+            # builds): local ids are global ids, the photo-major
+            # permutation is the identity, and the incidence is the
+            # similarity CSR itself — skip the O(nnz) gather entirely.
+            indptr, cols, vals = q.similarity.csr()
+            indptr = np.asarray(indptr, dtype=np.int64)
+            slots = np.asarray(cols, dtype=np.int64)
+            return IncidenceCSR(
+                subset_offsets,
+                np.arange(n + 1, dtype=np.int64),
+                indptr,
+                indptr,
+                slots,
+                np.asarray(vals, dtype=np.float64),
+                (q.weight * q.relevance)[slots],
+            )
 
     # Subset-major pass: concatenate every subset's row CSR, converting
     # local columns to global slots and gathering W(q)·R(q, col) per entry.

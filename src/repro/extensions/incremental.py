@@ -52,38 +52,49 @@ def removal_loss(
 ) -> float:
     """Objective lost by evicting one photo from a selection.
 
-    Exact recomputation restricted to the subsets containing the photo
-    (removal only affects coverage there), so the cost is proportional to
-    the photo's membership neighbourhood, not the whole instance.
+    Coverage only changes for members whose *nearest selected neighbour*
+    was the evicted photo, and those members all sit in its stored
+    similarity rows — so the loss is computed neighbourhood-locally:
+    for each subset containing the photo, scan the CSR rows of its
+    neighbours for the runner-up selected provider.  No dense per-member
+    vector is ever materialised; cost is
+    ``O(|selection ∩ q| + Σ_{j ∈ N_q(p)} deg_q(j))`` per subset ``q``,
+    independent of the subset size.
     """
     sel = set(int(p) for p in selection)
     p = int(photo_id)
     if p not in sel:
         return 0.0
     loss = 0.0
-    for qi, _ in instance.membership[p]:
+    for qi, local_p in instance.membership[p]:
         subset = instance.subsets[qi]
-        members = subset.members
-        selected_locals = [
-            j for j, photo in enumerate(members) if int(photo) in sel
-        ]
-        without_locals = [
-            j for j in selected_locals if int(members[j]) != p
-        ]
-        loss += _subset_value(subset, selected_locals) - _subset_value(
-            subset, without_locals
+        similarity = subset.similarity
+        other_locals = np.fromiter(
+            (
+                subset.local_index(s)
+                for s in sel
+                if s != p and s in subset
+            ),
+            dtype=np.int64,
         )
+        other_locals.sort()
+        idx_p, sims_p = similarity.neighbors(local_p)
+        relevance = subset.relevance
+        subset_loss = 0.0
+        for j, s_pj in zip(idx_p, sims_p):
+            # Runner-up provider: best selected neighbour of j besides p.
+            cols_j, vals_j = similarity.neighbors(j)
+            if other_locals.size:
+                pos = np.searchsorted(other_locals, cols_j)
+                pos[pos == other_locals.size] = other_locals.size - 1
+                hit = other_locals[pos] == cols_j
+                runner_up = float(vals_j[hit].max()) if np.any(hit) else 0.0
+            else:
+                runner_up = 0.0
+            if s_pj > runner_up:
+                subset_loss += float(relevance[j]) * (float(s_pj) - runner_up)
+        loss += subset.weight * subset_loss
     return loss
-
-
-def _subset_value(subset, selected_locals: List[int]) -> float:
-    if not selected_locals:
-        return 0.0
-    best = np.zeros(len(subset))
-    for j in selected_locals:
-        idx, sims = subset.similarity.neighbors(j)
-        np.maximum.at(best, idx, sims)
-    return float(subset.weight * (subset.relevance @ best))
 
 
 def shrink_to_budget(

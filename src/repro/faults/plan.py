@@ -75,6 +75,10 @@ KNOWN_SITES: Dict[str, str] = {
     "scalebuild.fsync": "fsync of the streamed-build temp file (drop)",
     "scalebuild.replace": "atomic rename publishing a streamed-build "
     "instance (check)",
+    "live.append": "start of a live delta ingestion, before any state "
+    "mutates (check)",
+    "live.resolve": "before a live re-curation solve, warm or full (check)",
+    "live.sweep": "top of every re-curation scheduler sweep (check)",
     "resilience.clock_skew": "deadline expiry check — drop rule forces the "
     "clock to have jumped past the deadline (drop)",
     "resilience.slow_solve": "start of a solve payload — drop rule injects "

@@ -1,0 +1,437 @@
+"""Live curation manager: resident archives over the tenant store.
+
+One :class:`LiveManager` fronts a :class:`~repro.tenants.Tenants` facade
+and keeps a bounded set of *resident* :class:`LiveArchive` objects keyed
+by ``(tenant, instance_id)`` and pinned to the store version they were
+loaded from.  The hot path — ``ingest`` — then never re-parses the JSON
+document: the resident archive absorbs the delta in memory, the grown
+document is written through the store's atomic versioned ``put``, and
+only after that single durable commit does the resident slot (and the
+stored solution) advance.
+
+Crash atomicity falls out of the one-write design: the **only** durable
+mutation an ingestion performs is one ``TenantStore.put`` (itself
+old-or-new atomic under the ``tenantstore.*`` fault sites).  The
+``live.append`` and ``live.resolve`` fault sites fire *before* that
+write, so a kill anywhere in the pipeline leaves the store at the old
+version with the old solution — never a torn instance.  Chaos tests
+assert exactly this.
+
+Every commit invalidates the tenant warm cache for the instance, so
+``by_ref`` solves and jobs immediately see the new version.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro import faults
+from repro.errors import ValidationError
+from repro.live.archive import IngestReport, LiveArchive
+from repro.live.resolve import (
+    LiveSolveResult,
+    cold_resolve,
+    replay_solution,
+    solve_result_from_dict,
+    warm_resolve,
+)
+from repro.obs import probes
+from repro.obs import trace as _trace
+from repro.tenants import Tenants
+
+__all__ = ["LiveManager", "LiveStatus"]
+
+#: Resident archives kept in memory (LRU beyond this).
+DEFAULT_MAX_RESIDENT = 8
+
+
+@dataclass
+class LiveStatus:
+    """Scheduler-relevant view of one live instance."""
+
+    tenant: str
+    instance_id: str
+    version: int
+    n_photos: int
+    nnz: int
+    recurated_at: Optional[float]
+    regret_bound: Optional[float]
+    accumulated_regret: float
+    pending_deltas: int
+    pending_photos: int
+    last_ingest_at: Optional[float]
+    solution: Optional[Dict[str, Any]] = field(default=None, repr=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "instance_id": self.instance_id,
+            "version": self.version,
+            "n_photos": self.n_photos,
+            "nnz": self.nnz,
+            "recurated_at": self.recurated_at,
+            "regret_bound": self.regret_bound,
+            "accumulated_regret": self.accumulated_regret,
+            "pending_deltas": self.pending_deltas,
+            "pending_photos": self.pending_photos,
+            "last_ingest_at": self.last_ingest_at,
+        }
+
+
+class _Entry:
+    """One resident live instance: archive + curation bookkeeping."""
+
+    __slots__ = (
+        "archive",
+        "version",
+        "solution",
+        "recurated_at",
+        "pending_deltas",
+        "pending_photos",
+        "accumulated_regret",
+        "last_ingest_at",
+    )
+
+    def __init__(self, archive: LiveArchive, version: int, meta: Dict[str, Any]):
+        self.archive = archive
+        self.version = version
+        self.solution = solve_result_from_dict(meta.get("solution"))
+        self.recurated_at = meta.get("recurated_at")
+        self.pending_deltas = int(meta.get("pending_deltas", 0))
+        self.pending_photos = int(meta.get("pending_photos", 0))
+        self.accumulated_regret = float(meta.get("accumulated_regret", 0.0))
+        self.last_ingest_at = meta.get("last_ingest_at")
+
+    def meta_dict(self) -> Dict[str, Any]:
+        return {
+            "solution": self.solution.to_dict() if self.solution else None,
+            "recurated_at": self.recurated_at,
+            "pending_deltas": self.pending_deltas,
+            "pending_photos": self.pending_photos,
+            "accumulated_regret": self.accumulated_regret,
+            "last_ingest_at": self.last_ingest_at,
+        }
+
+
+class LiveManager:
+    """Delta ingestion + re-curation over the multi-tenant archive store."""
+
+    def __init__(
+        self,
+        tenants: Tenants,
+        *,
+        max_resident: int = DEFAULT_MAX_RESIDENT,
+    ) -> None:
+        self._tenants = tenants
+        self._max_resident = max(1, int(max_resident))
+        self._resident: "OrderedDict[Tuple[str, str], _Entry]" = OrderedDict()
+        self._mu = threading.Lock()
+        self._locks: Dict[Tuple[str, str], threading.Lock] = {}
+
+    # ------------------------------------------------------------- plumbing
+
+    def _key_lock(self, key: Tuple[str, str]) -> threading.Lock:
+        with self._mu:
+            lock = self._locks.get(key)
+            if lock is None:
+                lock = self._locks[key] = threading.Lock()
+            return lock
+
+    def _load_entry(self, tenant: str, instance_id: str) -> _Entry:
+        """The resident entry, reloaded if the store moved past it."""
+        key = (tenant, instance_id)
+        version = self._tenants.store.meta(tenant, instance_id).version
+        with self._mu:
+            entry = self._resident.get(key)
+            if entry is not None and entry.version == version:
+                self._resident.move_to_end(key)
+                return entry
+        envelope = self._tenants.store.get(tenant, instance_id)
+        doc = envelope["instance"]
+        if "live" not in doc:
+            raise ValidationError(
+                f"instance {instance_id!r} of tenant {tenant!r} is not live "
+                "(create it through the live API to ingest deltas)"
+            )
+        archive = LiveArchive.from_doc(doc)
+        entry = _Entry(
+            archive, int(envelope["version"]), doc["live"].get("curation", {})
+        )
+        self._admit(key, entry)
+        return entry
+
+    def _admit(self, key: Tuple[str, str], entry: _Entry) -> None:
+        with self._mu:
+            self._resident[key] = entry
+            self._resident.move_to_end(key)
+            while len(self._resident) > self._max_resident:
+                self._resident.popitem(last=False)
+
+    def _commit(
+        self, tenant: str, instance_id: str, entry: _Entry
+    ) -> int:
+        """One atomic store write; resident state advances only on success."""
+        doc = entry.archive.to_doc()
+        doc["live"]["curation"] = entry.meta_dict()
+        meta = self._tenants.store.put(tenant, instance_id, doc)
+        self._tenants.cache.invalidate(tenant, instance_id)
+        entry.version = meta.version
+        self._admit((tenant, instance_id), entry)
+        return meta.version
+
+    # ------------------------------------------------------------ lifecycle
+
+    def create(
+        self,
+        tenant: str,
+        instance_id: str,
+        costs: np.ndarray,
+        embeddings: np.ndarray,
+        budget: float,
+        *,
+        tau: float,
+        seed: int = 0,
+        n_bits="auto",
+        target_recall: float = 0.95,
+        retained=(),
+        solve: bool = True,
+    ) -> Dict[str, Any]:
+        """Build a live archive, optionally solve it cold, and store it."""
+        key = (tenant, instance_id)
+        with self._key_lock(key):
+            archive, report = LiveArchive.create(
+                costs,
+                embeddings,
+                budget,
+                tau=tau,
+                seed=seed,
+                n_bits=n_bits,
+                target_recall=target_recall,
+                retained=retained,
+            )
+            entry = _Entry(archive, 0, {})
+            if solve:
+                entry.solution = cold_resolve(archive.instance)
+                entry.recurated_at = time.time()
+                self._observe_resolve(tenant, entry.solution)
+            version = self._commit(tenant, instance_id, entry)
+        return {
+            "tenant": tenant,
+            "instance_id": instance_id,
+            "version": version,
+            "build": report.to_dict(),
+            "solution": entry.solution.to_dict() if entry.solution else None,
+            "recurated_at": entry.recurated_at,
+            "regret_bound": (
+                entry.solution.regret_bound if entry.solution else None
+            ),
+        }
+
+    # ------------------------------------------------------------ ingestion
+
+    def ingest(
+        self,
+        tenant: str,
+        instance_id: str,
+        costs: np.ndarray,
+        embeddings: np.ndarray,
+        *,
+        resolve: str = "warm",
+    ) -> Dict[str, Any]:
+        """Absorb a photo delta as one new store version.
+
+        ``resolve="warm"`` (the default) re-curates inline with the
+        warm-started CELF pass; ``resolve="none"`` defers curation to the
+        sweep (the solution keeps serving, marked stale via the pending
+        counters).  Either way the delta itself is durable — and the
+        whole operation is one atomic version bump.
+        """
+        if resolve not in ("warm", "none"):
+            raise ValidationError(
+                f"unknown resolve policy {resolve!r}; expected warm or none"
+            )
+        obs = probes.active()
+        key = (tenant, instance_id)
+        with self._key_lock(key):
+            faults.check("live.append")
+            entry = self._load_entry(tenant, instance_id)
+            with _trace.span("live.append"):
+                grown, report = entry.archive.ingest(costs, embeddings)
+            new_entry = _Entry(grown, entry.version, entry.meta_dict())
+            new_entry.last_ingest_at = time.time()
+            if resolve == "warm":
+                faults.check("live.resolve")
+                previous = (
+                    entry.solution.selection if entry.solution else []
+                )
+                with _trace.span("live.resolve"):
+                    solved = warm_resolve(grown.instance, previous)
+                new_entry.solution = solved
+                new_entry.recurated_at = time.time()
+                new_entry.pending_deltas = 0
+                new_entry.pending_photos = 0
+                new_entry.accumulated_regret += solved.regret_bound
+                self._observe_resolve(tenant, solved)
+            else:
+                new_entry.pending_deltas += 1
+                new_entry.pending_photos += report.n_added
+            version = self._commit(tenant, instance_id, new_entry)
+        if obs is not None:
+            obs.live_ingests.labels(tenant=tenant).inc()
+            obs.live_photos.labels(tenant=tenant).inc(report.n_added)
+            obs.live_pending.labels(tenant=tenant).set(
+                new_entry.pending_deltas
+            )
+        return {
+            "tenant": tenant,
+            "instance_id": instance_id,
+            "version": version,
+            "delta": report.to_dict(),
+            "resolve": resolve,
+            "solution": (
+                new_entry.solution.to_dict() if new_entry.solution else None
+            ),
+            "recurated_at": new_entry.recurated_at,
+            "regret_bound": (
+                new_entry.solution.regret_bound
+                if new_entry.solution
+                else None
+            ),
+            "pending_deltas": new_entry.pending_deltas,
+        }
+
+    # ----------------------------------------------------------- re-solving
+
+    def recurate(
+        self, tenant: str, instance_id: str, *, kind: str = "warm"
+    ) -> Optional[Dict[str, Any]]:
+        """Re-solve the stored instance (sweep/coalesce entry point).
+
+        ``kind="warm"`` seeds from the stored solution (coalescing any
+        deferred deltas into one pass); ``kind="full"`` runs the cold
+        two-phase solver and resets the accumulated regret.  Commits a
+        new version only if the store did not move underneath the solve
+        (a concurrent ingest wins; the sweep retries next tick).
+        """
+        if kind not in ("warm", "full"):
+            raise ValidationError(f"unknown recuration kind {kind!r}")
+        key = (tenant, instance_id)
+        with self._key_lock(key):
+            faults.check("live.resolve")
+            entry = self._load_entry(tenant, instance_id)
+            base_version = entry.version
+            with _trace.span(f"live.recurate.{kind}"):
+                if kind == "full":
+                    solved = cold_resolve(entry.archive.instance)
+                else:
+                    previous = (
+                        entry.solution.selection if entry.solution else []
+                    )
+                    solved = warm_resolve(entry.archive.instance, previous)
+            current = self._tenants.store.meta(tenant, instance_id).version
+            if current != base_version:
+                return None
+            entry.solution = solved
+            entry.recurated_at = time.time()
+            entry.pending_deltas = 0
+            entry.pending_photos = 0
+            if kind == "full":
+                entry.accumulated_regret = 0.0
+            else:
+                entry.accumulated_regret += solved.regret_bound
+            version = self._commit(tenant, instance_id, entry)
+        self._observe_resolve(tenant, solved)
+        obs = probes.active()
+        if obs is not None:
+            obs.live_pending.labels(tenant=tenant).set(0)
+        return {
+            "tenant": tenant,
+            "instance_id": instance_id,
+            "version": version,
+            "solution": solved.to_dict(),
+            "recurated_at": entry.recurated_at,
+            "regret_bound": solved.regret_bound,
+        }
+
+    def commit_solution(
+        self,
+        tenant: str,
+        instance_id: str,
+        selection,
+        *,
+        expect_version: int,
+        mode: str = "job",
+        seconds: float = 0.0,
+    ) -> Optional[int]:
+        """Version-guarded commit of an externally computed full re-solve.
+
+        The scheduler uses this to land a solve that ran as a background
+        job: if any ingest bumped the version since the job was
+        submitted, the stale selection is discarded (returns ``None``)
+        and the sweep re-evaluates.  The value and regret certificate are
+        recomputed locally by replaying the selection, so the stored
+        solution never trusts wire-format floats.
+        """
+        key = (tenant, instance_id)
+        with self._key_lock(key):
+            entry = self._load_entry(tenant, instance_id)
+            if entry.version != expect_version:
+                return None
+            solved = replay_solution(
+                entry.archive.instance, selection, mode=mode, seconds=seconds
+            )
+            entry.solution = solved
+            entry.recurated_at = time.time()
+            entry.pending_deltas = 0
+            entry.pending_photos = 0
+            entry.accumulated_regret = 0.0
+            version = self._commit(tenant, instance_id, entry)
+        self._observe_resolve(tenant, solved)
+        return version
+
+    # -------------------------------------------------------------- queries
+
+    def status(self, tenant: str, instance_id: str) -> LiveStatus:
+        entry = self._load_entry(tenant, instance_id)
+        archive = entry.archive
+        return LiveStatus(
+            tenant=tenant,
+            instance_id=instance_id,
+            version=entry.version,
+            n_photos=archive.n,
+            nnz=archive.instance.subsets[0].similarity.nnz(),
+            recurated_at=entry.recurated_at,
+            regret_bound=(
+                entry.solution.regret_bound if entry.solution else None
+            ),
+            accumulated_regret=entry.accumulated_regret,
+            pending_deltas=entry.pending_deltas,
+            pending_photos=entry.pending_photos,
+            last_ingest_at=entry.last_ingest_at,
+            solution=(
+                entry.solution.to_dict() if entry.solution else None
+            ),
+        )
+
+    def resident_keys(self):
+        """Keys currently resident (the sweep's scan set)."""
+        with self._mu:
+            return list(self._resident.keys())
+
+    # ------------------------------------------------------------- metrics
+
+    def _observe_resolve(self, tenant: str, solved: LiveSolveResult) -> None:
+        obs = probes.active()
+        if obs is None:
+            return
+        obs.live_resolves.labels(kind=solved.kind).inc()
+        obs.live_resolve_seconds.labels(kind=solved.kind).observe(
+            solved.seconds
+        )
+        obs.live_regret_bound.labels(tenant=tenant).set(solved.regret_bound)

@@ -1,0 +1,215 @@
+"""Background re-curation sweep: coalesce upload bursts, bound the regret.
+
+Uploads with ``resolve="none"`` land their delta durably but leave the
+stored solution stale (the manager's pending counters record how stale).
+The :class:`RecurationScheduler` turns those into curation work on a
+background thread:
+
+* **coalescing** — a burst of deltas triggers *one* warm re-solve once
+  the burst goes quiet for ``debounce_seconds`` (or immediately at
+  ``max_pending_deltas``), instead of one re-solve per upload;
+* **regret ceiling** — warm re-solves accumulate their certified regret
+  bounds; when the running total crosses ``regret_threshold`` (or a
+  single sweep finds ``max_pending_photos`` un-curated photos) the
+  scheduler escalates to a **full** two-phase re-solve, resetting the
+  accumulator;
+* **jobs integration** — with a :class:`~repro.jobs.manager.JobManager`
+  attached, full re-solves are submitted as ordinary ``by_ref`` solve
+  jobs (fair-queued, retried, journaled like any other job) and their
+  selections land through the manager's version-guarded
+  ``commit_solution`` — a concurrent ingest simply wins and the sweep
+  re-evaluates.  Without a job manager the full solve runs inline on the
+  sweep thread.
+
+The ``live.sweep`` fault site fires at the top of every sweep; a kill
+there is indistinguishable from the host dying between sweeps, and the
+store's one-write-per-commit design means no sweep can tear an instance.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro import faults
+from repro.errors import ReproError
+from repro.jobs.spec import JobSpec, JobState, new_job_id
+from repro.live.manager import LiveManager
+from repro.obs import probes
+
+__all__ = ["RecurationScheduler"]
+
+
+class RecurationScheduler:
+    """Debounced per-tenant re-curation riding the jobs subsystem."""
+
+    def __init__(
+        self,
+        manager: LiveManager,
+        *,
+        jobs=None,
+        interval: float = 0.25,
+        debounce_seconds: float = 1.0,
+        max_pending_deltas: int = 16,
+        max_pending_photos: int = 512,
+        regret_threshold: float = 0.25,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("sweep interval must be positive")
+        self._manager = manager
+        self._jobs = jobs
+        self.interval = float(interval)
+        self.debounce_seconds = float(debounce_seconds)
+        self.max_pending_deltas = int(max_pending_deltas)
+        self.max_pending_photos = int(max_pending_photos)
+        self.regret_threshold = float(regret_threshold)
+        self._tracked: Set[Tuple[str, str]] = set()
+        self._inflight: Dict[Tuple[str, str], Tuple[str, int]] = {}
+        self._mu = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.sweeps = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="live-recuration", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+            self._thread = None
+
+    def track(self, tenant: str, instance_id: str) -> None:
+        """Register an instance for sweeping (ingestion calls this)."""
+        with self._mu:
+            self._tracked.add((tenant, instance_id))
+
+    # ---------------------------------------------------------------- sweep
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.sweep_once()
+            except faults.ProcessKilled:
+                raise
+            except Exception:
+                # The sweep is best-effort: a failing instance must not
+                # stall curation for every other tenant.  The next tick
+                # retries; errors surface through the job journal and
+                # metrics, not a dead thread.
+                continue
+
+    def sweep_once(self) -> Dict[str, Any]:
+        """One pass over every tracked instance; returns action counts."""
+        faults.check("live.sweep")
+        self.sweeps += 1
+        actions = {"warm": 0, "full": 0, "committed": 0, "skipped": 0}
+        with self._mu:
+            keys = set(self._tracked) | set(self._inflight)
+        keys |= set(self._manager.resident_keys())
+        now = time.time()
+        for key in sorted(keys):
+            try:
+                self._sweep_key(key, now, actions)
+            except faults.ProcessKilled:
+                raise
+            except ReproError:
+                actions["skipped"] += 1
+        obs = probes.active()
+        if obs is not None:
+            obs.live_sweeps.inc()
+            for kind in ("warm", "full"):
+                if actions[kind]:
+                    obs.live_recurations.labels(trigger=kind).inc(
+                        actions[kind]
+                    )
+        return actions
+
+    def _sweep_key(
+        self, key: Tuple[str, str], now: float, actions: Dict[str, int]
+    ) -> None:
+        tenant, instance_id = key
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            if self._poll_job(key, inflight):
+                actions["committed"] += 1
+            return
+        status = self._manager.status(tenant, instance_id)
+        needs_full = (
+            status.accumulated_regret >= self.regret_threshold
+            or status.pending_photos >= self.max_pending_photos
+        )
+        if needs_full:
+            self._trigger_full(key, status.version)
+            actions["full"] += 1
+            return
+        if status.pending_deltas <= 0:
+            return
+        quiet = (
+            status.last_ingest_at is None
+            or now - status.last_ingest_at >= self.debounce_seconds
+        )
+        if quiet or status.pending_deltas >= self.max_pending_deltas:
+            # Coalesce the whole burst into one warm re-solve.
+            self._manager.recurate(tenant, instance_id, kind="warm")
+            actions["warm"] += 1
+
+    # ------------------------------------------------------------ full path
+
+    def _trigger_full(self, key: Tuple[str, str], version: int) -> None:
+        tenant, instance_id = key
+        if self._jobs is None:
+            self._manager.recurate(tenant, instance_id, kind="full")
+            return
+        job_id = self._jobs.submit(
+            JobSpec(
+                job_id=new_job_id(),
+                by_ref={"tenant": tenant, "instance_id": instance_id},
+                tenant=tenant,
+                algorithm="phocus",
+            )
+        )
+        with self._mu:
+            self._inflight[key] = (job_id, version)
+
+    def _poll_job(
+        self, key: Tuple[str, str], inflight: Tuple[str, int]
+    ) -> bool:
+        """Advance one in-flight full-solve job; True iff it committed."""
+        tenant, instance_id = key
+        job_id, version = inflight
+        doc = self._jobs.status(job_id)
+        if doc is None:
+            with self._mu:
+                self._inflight.pop(key, None)
+            return False
+        state = JobState(doc["state"])
+        if not state.terminal:
+            return False
+        with self._mu:
+            self._inflight.pop(key, None)
+        if state is not JobState.SUCCEEDED:
+            return False
+        result = doc.get("result") or {}
+        selection = result.get("selection")
+        if selection is None:
+            return False
+        committed = self._manager.commit_solution(
+            tenant,
+            instance_id,
+            selection,
+            expect_version=version,
+            mode=str(result.get("algorithm", "phocus")),
+            seconds=float(result.get("elapsed_seconds", 0.0)),
+        )
+        return committed is not None

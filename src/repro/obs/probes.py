@@ -245,6 +245,52 @@ class Instruments:
             ("phase",),
         )
 
+        # ------------------------------------------------------------- live
+        self.live_ingests = reg.counter(
+            "phocus_live_ingests_total",
+            "photo-delta ingestions committed to the tenant store",
+            ("tenant",),
+            max_series=256,
+        )
+        self.live_photos = reg.counter(
+            "phocus_live_photos_total",
+            "photos appended to live archives via delta ingestion",
+            ("tenant",),
+            max_series=256,
+        )
+        self.live_resolves = reg.counter(
+            "phocus_live_resolves_total",
+            "re-curation solves, by kind (warm seeded vs cold two-phase)",
+            ("kind",),
+        )
+        self.live_resolve_seconds = reg.histogram(
+            "phocus_live_resolve_seconds",
+            "wall-clock of one re-curation solve",
+            ("kind",),
+        )
+        self.live_regret_bound = reg.gauge(
+            "phocus_live_regret_bound",
+            "certified relative regret bound of the latest stored solution",
+            ("tenant",),
+            max_series=256,
+        )
+        self.live_pending = reg.gauge(
+            "phocus_live_pending_deltas",
+            "deferred (un-curated) deltas awaiting the re-curation sweep",
+            ("tenant",),
+            max_series=256,
+        )
+        self.live_sweeps = reg.counter(
+            "phocus_live_sweeps_total",
+            "re-curation scheduler sweep passes",
+        )
+        self.live_recurations = reg.counter(
+            "phocus_live_recurations_total",
+            "sweep-triggered re-curations, by trigger (warm coalesce vs "
+            "full regret/backlog escalation)",
+            ("trigger",),
+        )
+
         # ------------------------------------------------------- resilience
         self.resilience_shed = reg.counter(
             "phocus_resilience_shed_total",

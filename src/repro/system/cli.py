@@ -203,6 +203,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="SIGTERM drain: how long running solves get to checkpoint "
         "before being requeued from their last snapshot",
     )
+    serve_p.add_argument(
+        "--recuration",
+        action="store_true",
+        help="run the background re-curation sweep over live instances "
+        "(requires --tenants-root)",
+    )
+    serve_p.add_argument(
+        "--recuration-interval",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="re-curation sweep period",
+    )
+    serve_p.add_argument(
+        "--recuration-debounce",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="coalesce an upload burst into one warm re-solve once it has "
+        "been quiet this long",
+    )
+    serve_p.add_argument(
+        "--recuration-regret",
+        type=float,
+        default=0.25,
+        metavar="BOUND",
+        help="escalate to a full re-solve once the accumulated certified "
+        "regret crosses this threshold",
+    )
 
     jobs_p = sub.add_parser(
         "jobs", help="submit and track background solve jobs on a running service"
@@ -298,6 +327,78 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="store / warm-cache / quota view for one tenant"
     )
     tstats_p.add_argument("--tenant", required=True)
+
+    live_p = sub.add_parser(
+        "live", help="online incremental curation on a running service"
+    )
+    live_p.add_argument(
+        "--server",
+        default="http://127.0.0.1:8471",
+        help="base URL of a running 'phocus serve' instance",
+    )
+    live_sub = live_p.add_subparsers(dest="live_command", required=True)
+
+    def _photo_source(p: argparse.ArgumentParser, default_photos: int) -> None:
+        p.add_argument("--tenant", required=True)
+        p.add_argument("--id", required=True, dest="instance_id")
+        p.add_argument(
+            "--photos-file",
+            help='JSON file {"costs": [...], "embeddings": [[...]]} '
+            "(default: a synthetic archive)",
+        )
+        p.add_argument(
+            "--photos",
+            type=int,
+            default=default_photos,
+            help="synthetic photo count (ignored with --photos-file)",
+        )
+        p.add_argument("--dim", type=int, default=16)
+        p.add_argument("--seed", type=int, default=0)
+
+    lcreate_p = live_sub.add_parser(
+        "create", help="build, cold-solve and store a live archive"
+    )
+    _photo_source(lcreate_p, 1000)
+    lcreate_p.add_argument("--tau", type=float, default=0.8)
+    lcreate_p.add_argument(
+        "--budget-fraction",
+        type=float,
+        default=0.1,
+        help="budget as a fraction of the total corpus cost",
+    )
+    lcreate_p.add_argument(
+        "--budget", type=float, help="absolute budget (overrides the fraction)"
+    )
+    lcreate_p.add_argument("--target-recall", type=float, default=0.95)
+    lcreate_p.add_argument(
+        "--no-solve",
+        action="store_true",
+        help="store the archive without an initial cold solve",
+    )
+
+    lingest_p = live_sub.add_parser(
+        "ingest", help="upload a photo delta (one atomic version bump)"
+    )
+    _photo_source(lingest_p, 10)
+    lingest_p.add_argument(
+        "--resolve",
+        default="warm",
+        choices=["warm", "none"],
+        help="warm re-solve inline, or defer curation to the sweep",
+    )
+
+    lstatus_p = live_sub.add_parser(
+        "status", help="curation status of one live instance"
+    )
+    lstatus_p.add_argument("--tenant", required=True)
+    lstatus_p.add_argument("--id", required=True, dest="instance_id")
+
+    lrec_p = live_sub.add_parser(
+        "recurate", help="force a warm or full re-solve now"
+    )
+    lrec_p.add_argument("--tenant", required=True)
+    lrec_p.add_argument("--id", required=True, dest="instance_id")
+    lrec_p.add_argument("--kind", default="warm", choices=["warm", "full"])
 
     scale_p = sub.add_parser(
         "scale", help="million-photo fused streamed builds (no dense SIM)"
@@ -687,6 +788,125 @@ def _cmd_tenants(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_photos(args: argparse.Namespace):
+    """The (costs, embeddings) payload of a live create/ingest command."""
+    import json
+
+    if args.photos_file:
+        with open(args.photos_file, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        return list(doc["costs"]), [list(row) for row in doc["embeddings"]]
+    from repro.scale import synthetic_archive
+
+    costs, embeddings = synthetic_archive(
+        args.photos, dim=args.dim, seed=args.seed
+    )
+    return costs.tolist(), embeddings.tolist()
+
+
+def _print_live_solution(doc: dict) -> None:
+    solution = doc.get("solution")
+    if solution is None:
+        print("  solution     : none (deferred to the re-curation sweep)")
+        return
+    print(
+        f"  solution     : {solution['kind']} {solution['mode']}, value "
+        f"{solution['value']:.4f}, {len(solution['selection'])} photos kept"
+    )
+    print(
+        f"  regret bound : {solution['regret_bound']:.4%} of the certified "
+        f"optimum upper bound ({solution['upper_bound']:.4f})"
+    )
+    if solution.get("evicted") or solution.get("added"):
+        print(
+            f"  churn        : +{len(solution.get('added', []))} "
+            f"-{len(solution.get('evicted', []))} photos vs previous"
+        )
+
+
+def _cmd_live(args: argparse.Namespace) -> int:
+    import json
+
+    server = args.server
+    base = f"/tenants/{args.tenant}/instances/{args.instance_id}"
+    if args.live_command == "create":
+        costs, embeddings = _load_photos(args)
+        budget = (
+            args.budget
+            if args.budget is not None
+            else sum(costs) * args.budget_fraction
+        )
+        payload = {
+            "costs": costs,
+            "embeddings": embeddings,
+            "budget": budget,
+            "tau": args.tau,
+            "seed": args.seed,
+            "target_recall": args.target_recall,
+            "solve": not args.no_solve,
+        }
+        status, doc = _http(server, "POST", f"{base}/live", payload)
+        if status != 201:
+            print(f"error: {doc.get('error', status)}", file=sys.stderr)
+            return 1
+        build = doc["build"]
+        print(
+            f"created live {args.tenant}/{args.instance_id} version "
+            f"{doc['version']}: {build['n_photos']} photos, "
+            f"{build['nnz']} similarity entries"
+        )
+        _print_live_solution(doc)
+        return 0
+    if args.live_command == "ingest":
+        costs, embeddings = _load_photos(args)
+        payload = {
+            "costs": costs,
+            "embeddings": embeddings,
+            "resolve": args.resolve,
+        }
+        status, doc = _http(server, "POST", f"{base}/photos", payload)
+        if status != 200:
+            print(f"error: {doc.get('error', status)}", file=sys.stderr)
+            return 1
+        delta = doc["delta"]
+        print(
+            f"ingested {delta['n_added']} photos into "
+            f"{args.tenant}/{args.instance_id} (version {doc['version']}, "
+            f"{delta['n_before']} -> {delta['n_before'] + delta['n_added']} "
+            f"photos, {delta['seconds']:.3f}s)"
+        )
+        if args.resolve == "none":
+            print(f"  pending      : {doc['pending_deltas']} deferred delta(s)")
+        _print_live_solution(doc)
+        return 0
+    if args.live_command == "recurate":
+        status, doc = _http(
+            server, "POST", f"{base}/recurate", {"kind": args.kind}
+        )
+        if status == 409:
+            print(
+                "error: a concurrent ingest moved the instance; retry",
+                file=sys.stderr,
+            )
+            return 1
+        if status != 200:
+            print(f"error: {doc.get('error', status)}", file=sys.stderr)
+            return 1
+        print(
+            f"recurated {args.tenant}/{args.instance_id} "
+            f"({args.kind}, version {doc['version']})"
+        )
+        _print_live_solution(doc)
+        return 0
+    # status
+    status, doc = _http(server, "GET", f"{base}/live")
+    if status != 200:
+        print(f"error: {doc.get('error', status)}", file=sys.stderr)
+        return 1
+    print(json.dumps(doc, indent=2))
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     """``phocus obs dump``: print a Prometheus exposition to stdout.
 
@@ -834,6 +1054,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_jobs(args)
     if args.command == "tenants":
         return _cmd_tenants(args)
+    if args.command == "live":
+        return _cmd_live(args)
     if args.command == "scale":
         return _cmd_scale(args)
     if args.command == "obs":
@@ -894,6 +1116,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             tenants_cache_bytes=args.tenants_cache_mb * 1024 * 1024,
             tenant_quota=tenant_quota,
             resilience=resilience,
+            recuration=args.recuration,
+            recuration_interval=args.recuration_interval,
+            recuration_debounce=args.recuration_debounce,
+            recuration_regret=args.recuration_regret,
         ).start()
         print(f"PHOcus solver service listening on http://{service.address}")
         print(
@@ -903,7 +1129,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             + (", GET /metrics" if args.metrics else "")
             + (
                 ",\n           PUT/GET/DELETE /tenants/<t>/instances/<i>, "
-                "GET /tenants/<t>/stats"
+                "GET /tenants/<t>/stats,\n"
+                "           POST/GET .../instances/<i>/live, "
+                "POST .../instances/<i>/photos,\n"
+                "           POST .../instances/<i>/recurate"
                 if args.tenants_root
                 else ""
             )

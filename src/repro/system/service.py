@@ -52,6 +52,21 @@ archive API is also served:
                                                metadata
 ``/tenants/<t>/stats``             GET         store + warm-cache + quota
                                                view for one tenant
+``.../instances/<i>/live``         POST        build + store (and cold
+                                               solve) a *live* archive
+                                               from costs/embeddings
+``.../instances/<i>/live``         GET         curation status: version,
+                                               pending deltas,
+                                               ``recurated_at``,
+                                               ``regret_bound``, solution
+``.../instances/<i>/photos``       POST        ingest a photo delta as
+                                               one atomic version bump;
+                                               warm re-solve inline
+                                               (``resolve="warm"``) or
+                                               defer to the sweep
+``.../instances/<i>/recurate``     POST        force a warm/full
+                                               re-solve; 409 if an
+                                               ingest raced it
 =================================  ==========  ===========================
 
 and ``POST /solve``, ``/score``, and ``/jobs`` accept ``{"by_ref":
@@ -121,6 +136,8 @@ from repro.errors import (
 )
 from repro.jobs import JobManager, JobState, QueueFull, execute_solve_payload
 from repro.jobs.spec import JobSpec, new_job_id
+from repro.live import LiveManager, RecurationScheduler
+from repro.live.manager import DEFAULT_MAX_RESIDENT
 from repro.obs import probes as obs_probes
 from repro.obs.middleware import AccessLog, observe_request
 from repro.obs.prom import CONTENT_TYPE as _PROM_CONTENT_TYPE
@@ -155,8 +172,14 @@ _ALLOWED_METHODS: Dict[str, Tuple[str, ...]] = {
     "/metrics": ("GET",),
     "/tenants/<id>/instances": ("GET",),
     "/tenants/<id>/instances/<iid>": ("DELETE", "GET", "PUT"),
+    "/tenants/<id>/instances/<iid>/live": ("GET", "POST"),
+    "/tenants/<id>/instances/<iid>/photos": ("POST",),
+    "/tenants/<id>/instances/<iid>/recurate": ("POST",),
     "/tenants/<id>/stats": ("GET",),
 }
+
+# Live-curation sub-resources under /tenants/<id>/instances/<iid>/.
+_LIVE_TAILS = ("live", "photos", "recurate")
 
 
 def _tenants_route_key(path: str) -> Optional[str]:
@@ -168,6 +191,8 @@ def _tenants_route_key(path: str) -> Optional[str]:
         return "/tenants/<id>/instances"
     if len(tail) == 3 and tail[1] == "instances":
         return "/tenants/<id>/instances/<iid>"
+    if len(tail) == 4 and tail[1] == "instances" and tail[3] in _LIVE_TAILS:
+        return f"/tenants/<id>/instances/<iid>/{tail[3]}"
     return None
 
 
@@ -440,6 +465,108 @@ def _tenants_routes(
     return 200, {"deleted": meta.to_dict()}
 
 
+def _parse_photos(payload: Dict[str, Any]):
+    """Decode the ``costs``/``embeddings`` arrays of a live request body."""
+    import numpy as np
+
+    costs = _require(payload, "costs", list)
+    embeddings = _require(payload, "embeddings", list)
+    try:
+        costs_arr = np.asarray(costs, dtype=np.float64)
+        emb_arr = np.asarray(embeddings, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"costs/embeddings are not numeric arrays: {exc}")
+    if costs_arr.ndim != 1:
+        raise ValidationError("'costs' must be a flat list of numbers")
+    if emb_arr.ndim != 2:
+        raise ValidationError("'embeddings' must be a list of equal-length rows")
+    return costs_arr, emb_arr
+
+
+def _live_routes(
+    method: str,
+    path: str,
+    body: Optional[bytes],
+    tenants: Optional[Tenants],
+    live,
+    sweeper=None,
+) -> Tuple[int, Dict[str, Any]]:
+    """The online-curation sub-resources of a stored instance.
+
+    ``POST .../live`` builds + stores (and by default cold-solves) a live
+    archive; ``GET .../live`` reports curation status including the
+    current solution, ``recurated_at`` and ``regret_bound``;
+    ``POST .../photos`` ingests a delta as one atomic version bump;
+    ``POST .../recurate`` forces a warm or full re-solve (409 when a
+    concurrent ingest moved the version underneath it).
+    """
+    if tenants is None:
+        return 503, {"error": "no tenant store configured on this service"}
+    if live is None:
+        return 503, {"error": "live curation is not enabled on this service"}
+    tail = path.split("/")[2:]
+    tenant, instance_id, action = tail[0], tail[2], tail[3]
+    tenants.check_rate(tenant)
+    if action == "live" and method == "GET":
+        status = live.status(tenant, instance_id)
+        doc = status.to_dict()
+        doc["solution"] = status.solution
+        return 200, doc
+    if action == "recurate":
+        payload: Dict[str, Any] = {}
+        if body:
+            parsed, err = _parse_body(body)
+            if err is not None:
+                return err
+            payload = parsed
+        doc = live.recurate(
+            tenant, instance_id, kind=str(payload.get("kind", "warm"))
+        )
+        if doc is None:
+            return 409, {
+                "error": "instance version moved during the re-solve; retry"
+            }
+        return 200, doc
+    payload, err = _parse_body(body)
+    if err is not None:
+        return err
+    costs, embeddings = _parse_photos(payload)
+    if action == "live":  # POST — create the live archive
+        budget = payload.get("budget")
+        tau = payload.get("tau")
+        if not isinstance(budget, (int, float)) or not budget > 0:
+            raise ValidationError("request body needs a positive 'budget'")
+        if not isinstance(tau, (int, float)):
+            raise ValidationError("request body needs a numeric 'tau'")
+        doc = live.create(
+            tenant,
+            instance_id,
+            costs,
+            embeddings,
+            float(budget),
+            tau=float(tau),
+            seed=int(payload.get("seed", 0)),
+            n_bits=payload.get("n_bits", "auto"),
+            target_recall=float(payload.get("target_recall", 0.95)),
+            retained=[int(p) for p in payload.get("retained", [])],
+            solve=bool(payload.get("solve", True)),
+        )
+        if sweeper is not None:
+            sweeper.track(tenant, instance_id)
+        return 201, doc
+    # POST .../photos — delta ingestion
+    doc = live.ingest(
+        tenant,
+        instance_id,
+        costs,
+        embeddings,
+        resolve=str(payload.get("resolve", "warm")),
+    )
+    if sweeper is not None:
+        sweeper.track(tenant, instance_id)
+    return 200, doc
+
+
 def _jobs_routes(
     method: str,
     path: str,
@@ -499,6 +626,8 @@ def handle_request(
     *,
     headers: Optional[Any] = None,
     resilience: Optional[Resilience] = None,
+    live=None,
+    sweeper=None,
 ) -> Tuple[int, Dict[str, Any]]:
     """Pure request dispatcher (transport-independent, directly testable).
 
@@ -510,7 +639,12 @@ def handle_request(
     ``headers`` is any ``.get``-able view of the request headers (the
     ``X-Phocus-Deadline-Ms`` deadline); ``resilience`` is the service's
     :class:`~repro.resilience.Resilience` bundle — without one, every
-    resilience feature is inert and behaviour is unchanged.  Returns
+    resilience feature is inert and behaviour is unchanged.  ``live`` is
+    the service's :class:`~repro.live.LiveManager` backing the
+    ``.../live``, ``.../photos`` and ``.../recurate`` sub-resources
+    (503 without one); ``sweeper`` is the optional
+    :class:`~repro.live.RecurationScheduler`, told to track every
+    instance the live routes touch.  Returns
     ``(http_status, json_payload)`` — for ``/metrics`` the payload
     carries the exposition text under the ``RAW_BODY`` key, which the
     transport serves verbatim with the ``RAW_CONTENT_TYPE`` content type
@@ -614,6 +748,12 @@ def handle_request(
                 stats["resilience"] = resilience.snapshot()
             return 200, stats
         if path.startswith("/tenants/"):
+            if route_key and route_key.startswith(
+                "/tenants/<id>/instances/<iid>/"
+            ):
+                return _live_routes(
+                    method, path, body, tenants, live, sweeper
+                )
             return _tenants_routes(method, path, body, tenants)
         # /jobs and /jobs/<id>
         return _jobs_routes(
@@ -712,6 +852,8 @@ class _Handler(BaseHTTPRequestHandler):
             tenants=getattr(self.server, "phocus_tenants", None),
             headers=self.headers,
             resilience=getattr(self.server, "phocus_resilience", None),
+            live=getattr(self.server, "phocus_live", None),
+            sweeper=getattr(self.server, "phocus_sweeper", None),
         )
         self._reply(status, payload)
         observe_request(
@@ -795,6 +937,13 @@ class PhocusService:
         tenants_cache_bytes: float = 256 * 1024 * 1024,
         tenant_quota: Optional[TenantQuota] = None,
         resilience: Optional[Resilience] = None,
+        live_max_resident: int = DEFAULT_MAX_RESIDENT,
+        recuration: bool = False,
+        recuration_interval: float = 0.25,
+        recuration_debounce: float = 1.0,
+        recuration_max_pending: int = 16,
+        recuration_max_photos: int = 512,
+        recuration_regret: float = 0.25,
     ) -> None:
         self._server = _Server((host, port), _Handler)
         self.resilience = resilience
@@ -825,6 +974,29 @@ class PhocusService:
         self._server.phocus_jobs = self.jobs
         self._server.phocus_tenants = self.tenants
         self._server.phocus_resilience = resilience
+        # Live curation rides the tenant store: the manager is always
+        # available when tenants are configured; the background
+        # re-curation sweep is opt-in (``recuration=True``) and submits
+        # full re-solves through this service's own job manager.
+        self.live = (
+            LiveManager(self.tenants, max_resident=live_max_resident)
+            if self.tenants is not None
+            else None
+        )
+        self.sweeper: Optional[RecurationScheduler] = None
+        if recuration and self.live is not None:
+            self.sweeper = RecurationScheduler(
+                self.live,
+                jobs=self.jobs,
+                interval=recuration_interval,
+                debounce_seconds=recuration_debounce,
+                max_pending_deltas=recuration_max_pending,
+                max_pending_photos=recuration_max_photos,
+                regret_threshold=recuration_regret,
+            )
+            self.sweeper.start()
+        self._server.phocus_live = self.live
+        self._server.phocus_sweeper = self.sweeper
         # Arm (or reuse already-armed) process instruments; re-arming with
         # no arguments keeps an existing registry so multiple services in
         # one process share a single exposition.
@@ -874,6 +1046,10 @@ class PhocusService:
                 grace_seconds = self.resilience.drain.grace_seconds
         if grace_seconds is None:
             grace_seconds = 10.0
+        if self.sweeper is not None:
+            # Stop generating new curation work before the job manager
+            # starts checkpointing what is already running.
+            self.sweeper.stop()
         summary: Dict[str, Any] = {"interrupted": 0, "forced_requeue": 0}
         if self._owns_jobs:
             summary = self.jobs.drain(grace_seconds=grace_seconds)
@@ -885,6 +1061,8 @@ class PhocusService:
         return summary
 
     def stop(self) -> None:
+        if self.sweeper is not None:
+            self.sweeper.stop()
         if self._thread is None:
             return
         self._server.shutdown()

@@ -1,0 +1,209 @@
+"""Chaos tests for the live ingestion pipeline (``live.*`` fault sites).
+
+The crash-atomicity contract: a delta ingestion performs exactly one
+durable mutation — the tenant store's atomic versioned ``put`` — so a
+process killed *anywhere* in the pipeline (at the ingestion entry, just
+before the re-solve, or inside the store write/rename itself) leaves
+the stored instance either at the complete old version or the complete
+new one, never torn, and a retry of the same delta lands bit-identical
+state.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.faults.plan import FaultPlan, ProcessKilled
+from repro.live import LiveManager, RecurationScheduler
+from repro.live.archive import LiveArchive
+from repro.scale import synthetic_archive
+from repro.tenants import Tenants
+
+CHAOS_SEED = int(os.environ.get("PHOCUS_CHAOS_SEED", "0"))
+
+
+@pytest.fixture(autouse=True)
+def always_disarmed():
+    yield
+    faults.disarm()
+
+
+@pytest.fixture
+def tenants(tmp_path):
+    t = Tenants(str(tmp_path), sweep=False)
+    yield t
+    t.close()
+
+
+def _fresh(tenants, *, n=200, seed=3):
+    manager = LiveManager(tenants)
+    costs, emb = synthetic_archive(n, dim=8, seed=seed)
+    created = manager.create(
+        "acme", "a1", costs, emb, float(costs.sum()) * 0.25, tau=0.6, seed=seed
+    )
+    return manager, created
+
+
+def _delta(k=6, seed=91):
+    return synthetic_archive(k, dim=8, seed=seed)
+
+
+def _stored_state(tenants):
+    """(version, n_photos, selection) of the durable instance."""
+    envelope = tenants.store.get("acme", "a1")
+    doc = envelope["instance"]
+    curation = doc["live"]["curation"]
+    solution = curation.get("solution") or {}
+    return (
+        envelope["version"],
+        len(doc["photos"]),
+        solution.get("selection"),
+    )
+
+
+KILL_SITES = [
+    "live.append",       # before any state is touched
+    "live.resolve",      # archive grown in memory, nothing durable yet
+    "tenantstore.write", # inside the store's temp-file write
+    "tenantstore.replace",  # after the write, before the atomic rename
+]
+
+
+@pytest.mark.parametrize("site", KILL_SITES)
+def test_kill_mid_ingestion_never_tears_the_store(tenants, site):
+    manager, created = _fresh(tenants)
+    before = _stored_state(tenants)
+    assert before[0] == created["version"]
+
+    dc, de = _delta()
+    plan = FaultPlan(seed=CHAOS_SEED).on(site, "kill")
+    with faults.armed(plan):
+        with pytest.raises(ProcessKilled):
+            manager.ingest("acme", "a1", dc, de)
+        assert plan.fired(site) == 1
+
+    # Old version, old photo count, old solution — completely intact.
+    assert _stored_state(tenants) == before
+    # And a reopened store (full crash recovery) agrees.
+    reopened = Tenants(str(tenants.store.root), sweep=False)
+    try:
+        assert _stored_state(reopened) == before
+    finally:
+        reopened.close()
+
+    # The retry (new manager = post-crash process) lands the delta whole.
+    retry = LiveManager(tenants)
+    out = retry.ingest("acme", "a1", dc, de)
+    assert out["version"] == before[0] + 1
+    after = _stored_state(tenants)
+    assert after[1] == before[1] + len(dc)
+    assert after[2] == out["solution"]["selection"]
+
+
+def test_killed_ingestion_retry_is_bit_identical(tenants):
+    """The delta is deterministic: crash + retry == never crashed."""
+    manager, _ = _fresh(tenants, seed=7)
+    dc, de = _delta(5, seed=44)
+
+    plan = FaultPlan(seed=CHAOS_SEED).on("tenantstore.replace", "kill")
+    with faults.armed(plan):
+        with pytest.raises(ProcessKilled):
+            manager.ingest("acme", "a1", dc, de)
+    crashed_then_retried = LiveManager(tenants).ingest("acme", "a1", dc, de)
+
+    # A parallel universe where the crash never happened.
+    other = Tenants(str(tenants.store.root) + "-clean", sweep=False)
+    try:
+        clean_manager = LiveManager(other)
+        costs, emb = synthetic_archive(200, dim=8, seed=7)
+        clean_manager.create(
+            "acme", "a1", costs, emb, float(costs.sum()) * 0.25, tau=0.6, seed=7
+        )
+        clean = clean_manager.ingest("acme", "a1", dc, de)
+    finally:
+        other.close()
+
+    def _without_timing(doc):
+        return {k: v for k, v in doc.items() if k != "seconds"}
+
+    assert _without_timing(crashed_then_retried["solution"]) == _without_timing(
+        clean["solution"]
+    )
+    assert _without_timing(crashed_then_retried["delta"]) == _without_timing(
+        clean["delta"]
+    )
+
+
+def test_corrupt_store_write_is_quarantined_not_served(tenants):
+    manager, _ = _fresh(tenants)
+    dc, de = _delta()
+    plan = FaultPlan(seed=CHAOS_SEED).on("tenantstore.write", "corrupt")
+    with faults.armed(plan):
+        manager.ingest("acme", "a1", dc, de)  # the write "succeeds"...
+    # ...but a fresh process finds the corruption instead of serving it.
+    from repro.errors import InstanceNotFound
+
+    reopened = Tenants(str(tenants.store.root), sweep=False)
+    try:
+        with pytest.raises(InstanceNotFound):
+            LiveManager(reopened).status("acme", "a1")
+    finally:
+        reopened.close()
+
+
+def test_killed_sweep_leaves_manager_state_intact(tenants):
+    manager, _ = _fresh(tenants)
+    dc, de = _delta(3)
+    manager.ingest("acme", "a1", dc, de, resolve="none")
+    before = _stored_state(tenants)
+
+    sched = RecurationScheduler(
+        manager, debounce_seconds=0.0, regret_threshold=10.0
+    )
+    sched.track("acme", "a1")
+    plan = FaultPlan(seed=CHAOS_SEED).on("live.sweep", "kill")
+    with faults.armed(plan):
+        with pytest.raises(ProcessKilled):
+            sched.sweep_once()
+    assert _stored_state(tenants) == before
+
+    # The next sweep (fault cleared) performs the deferred curation.
+    actions = sched.sweep_once()
+    assert actions["warm"] == 1
+    assert manager.status("acme", "a1").pending_deltas == 0
+
+
+def test_kill_during_recurate_keeps_stale_solution_serving(tenants):
+    manager, created = _fresh(tenants)
+    dc, de = _delta(4)
+    manager.ingest("acme", "a1", dc, de, resolve="none")
+    before = _stored_state(tenants)
+
+    plan = FaultPlan(seed=CHAOS_SEED).on("live.resolve", "kill")
+    with faults.armed(plan):
+        with pytest.raises(ProcessKilled):
+            manager.recurate("acme", "a1", kind="full")
+    assert _stored_state(tenants) == before
+    # The stale-but-valid solution is still what status reports.
+    status = LiveManager(tenants).status("acme", "a1")
+    assert status.solution["selection"] == before[2]
+    assert status.pending_deltas == 1
+
+
+def test_transient_append_fault_raises_cleanly(tenants):
+    """A non-fatal raise at the ingestion entry surfaces as an error and
+    leaves the pipeline reusable (no lock leak, no partial state)."""
+    manager, _ = _fresh(tenants)
+    dc, de = _delta()
+    plan = FaultPlan(seed=CHAOS_SEED).on("live.append", "raise")
+    with faults.armed(plan):
+        with pytest.raises(OSError):
+            manager.ingest("acme", "a1", dc, de)
+        # Same manager, same process: the key lock was released and the
+        # next attempt (fault exhausted) succeeds.
+        out = manager.ingest("acme", "a1", dc, de)
+    assert out["version"] == 2
