@@ -3,7 +3,7 @@
 # Targets export PYTHONPATH=src so they match the tier-1 verify command
 # and work on a fresh clone without `make install`.
 
-.PHONY: install test bench bench-kernels bench-million million-smoke obs-smoke load-smoke overload-smoke bench-live live-smoke examples chaos results clean
+.PHONY: install test bench bench-kernels bench-million million-smoke obs-smoke load-smoke overload-smoke bench-live live-smoke bench-fidelity fidelity-smoke examples chaos results clean
 
 # Instance-size multiplier for the kernel bench (CI smoke uses 0.25).
 KERNEL_BENCH_SCALE ?= 1.0
@@ -97,6 +97,22 @@ bench-live:
 live-smoke:
 	$(PYTHONPATH_SRC) python benchmarks/bench_live.py --smoke
 
+# Multi-fidelity frontier: exclusive variant choice (keep / recompress /
+# drop) vs discard-only PHOcus at matched budgets.  Exits non-zero when
+# a gate fails (weak dominance at every budget, strict at >= 1,
+# aggregate solve overhead <= 2x, trivial-catalog bit-identity).
+FIDELITY_BENCH_OUT ?= BENCH_fidelity.json
+FIDELITY_BENCH_FLAGS ?=
+
+bench-fidelity:
+	$(PYTHONPATH_SRC) python benchmarks/bench_fidelity.py \
+		--out $(FIDELITY_BENCH_OUT) $(FIDELITY_BENCH_FLAGS)
+
+# CI gate: re-run the sweep checked against the committed
+# BENCH_fidelity.json (dominance, overhead, determinism hashes).
+fidelity-smoke:
+	$(PYTHONPATH_SRC) python benchmarks/bench_fidelity.py --smoke
+
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHONPATH_SRC) python $$f > /dev/null || exit 1; done
 	@echo "all examples ran cleanly"
@@ -107,7 +123,8 @@ chaos:
 		PHOCUS_CHAOS_SEED=$$seed $(PYTHONPATH_SRC) python -m pytest -q \
 			tests/test_faults.py tests/core/test_checkpoint.py \
 			tests/test_tenants_chaos.py tests/test_resilience_chaos.py \
-			tests/test_scale_chaos.py tests/test_live_chaos.py || exit 1; \
+			tests/test_scale_chaos.py tests/test_live_chaos.py \
+			tests/test_fidelity_chaos.py || exit 1; \
 	done
 
 results:

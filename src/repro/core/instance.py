@@ -830,6 +830,7 @@ class PARInstance:
         embeddings: Optional[np.ndarray] = None,
         *,
         incidence: Optional[IncidenceCSR] = None,
+        variants: Optional[object] = None,
     ) -> None:
         self.photos: List[Photo] = list(photos)
         self.n = len(self.photos)
@@ -875,6 +876,18 @@ class PARInstance:
                     "embeddings must be an (n_photos, dim) array when provided"
                 )
         self.embeddings = embeddings
+
+        # Optional per-photo variant menus (a repro.fidelity VariantCatalog,
+        # held duck-typed so core carries no fidelity import).  Archives
+        # uploaded with a catalog solve multi-fidelity by default.
+        if variants is not None:
+            n_photos = getattr(variants, "n_photos", None)
+            if n_photos != self.n:
+                raise ValidationError(
+                    f"variant catalog covers {n_photos} photos, "
+                    f"instance has {self.n}"
+                )
+        self.variants = variants
 
         # Membership index: photo id -> [(subset index, local index), ...].
         self.membership: List[List[Tuple[int, int]]] = [[] for _ in range(self.n)]
@@ -926,6 +939,7 @@ class PARInstance:
             self.budget,
             self.retained,
             embeddings=self.embeddings,
+            variants=self.variants,
         )
 
     def with_budget(self, budget: float) -> "PARInstance":
@@ -937,6 +951,7 @@ class PARInstance:
             self.retained,
             embeddings=self.embeddings,
             incidence=self.incidence,
+            variants=self.variants,
         )
 
     def with_adjusted_weights(

@@ -330,6 +330,7 @@ def build_view_instance(
     inst.subsets = subsets
     inst.retained = frozenset(int(p) for p in spec["retained"])
     inst.embeddings = None
+    inst.variants = None  # variant catalogs do not ride the shm pack
     inst.membership = [[] for _ in range(n)]
     for qi, q in enumerate(subsets):
         for local, photo_id in enumerate(q.members):

@@ -77,8 +77,13 @@ def _similarity_from_dict(doc: Dict[str, Any]):
 
 
 def instance_to_dict(instance: PARInstance) -> Dict[str, Any]:
-    """Render an instance as a JSON-compatible dict."""
-    return {
+    """Render an instance as a JSON-compatible dict.
+
+    The optional ``variants`` key (a VariantCatalog document) is written
+    only when the instance carries one, so pre-fidelity readers and
+    blobs stay byte-compatible in both directions.
+    """
+    doc = {
         "format": _FORMAT,
         "budget": instance.budget,
         "retained": sorted(instance.retained),
@@ -105,6 +110,10 @@ def instance_to_dict(instance: PARInstance) -> Dict[str, Any]:
             instance.embeddings.tolist() if instance.embeddings is not None else None
         ),
     }
+    variants = getattr(instance, "variants", None)
+    if variants is not None:
+        doc["variants"] = variants.to_dict()
+    return doc
 
 
 def instance_from_dict(doc: Dict[str, Any]) -> PARInstance:
@@ -148,6 +157,12 @@ def _instance_from_dict_unchecked(doc: Dict[str, Any]) -> PARInstance:
         for q in doc["subsets"]
     ]
     embeddings = doc.get("embeddings")
+    variants = doc.get("variants")
+    if variants is not None:
+        # Lazy import: core must not depend on repro.fidelity at load time.
+        from repro.fidelity.catalog import VariantCatalog
+
+        variants = VariantCatalog.from_dict(variants)
     return PARInstance(
         photos,
         subsets,
@@ -156,6 +171,7 @@ def _instance_from_dict_unchecked(doc: Dict[str, Any]) -> PARInstance:
         embeddings=np.asarray(embeddings, dtype=np.float64)
         if embeddings is not None
         else None,
+        variants=variants,
     )
 
 

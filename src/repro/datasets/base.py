@@ -162,6 +162,34 @@ class Dataset:
             photos=self.photos,
         )
 
+    def variant_catalog(self, levels=None, *, tiers=None):
+        """Per-photo recompression menus for multi-fidelity solves.
+
+        Builds a :class:`repro.fidelity.VariantCatalog` over this
+        dataset's photo costs.  ``levels`` is a sequence of ``(fidelity,
+        size_factor)`` pairs (``tiers`` the matching labels); omitted, the
+        :data:`repro.fidelity.catalog.DEFAULT_TIERS` JPEG re-encode menu
+        is used.  Attach the result to an instance via
+        ``variant_instance`` or pass it to the solver directly.
+        """
+        from repro.fidelity.catalog import VariantCatalog
+
+        costs = np.array([p.cost for p in self.photos], dtype=np.float64)
+        if levels is None:
+            return VariantCatalog.default(costs)
+        return VariantCatalog.from_levels(costs, levels, tiers=tiers)
+
+    def variant_instance(self, budget: float, *, levels=None, tiers=None, **kwargs):
+        """A PAR instance carrying its variant catalog (see ``instance``).
+
+        The returned instance solves multi-fidelity by default when a
+        ``fidelity`` policy names no explicit catalog — the catalog rides
+        through serialisation and the tenant store.
+        """
+        inst = self.instance(budget, **kwargs)
+        inst.variants = self.variant_catalog(levels, tiers=tiers)
+        return inst
+
     def instance_for_fraction(
         self,
         fraction: float,

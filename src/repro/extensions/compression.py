@@ -25,6 +25,14 @@ Selecting several variants of the same photo is never *invalid*, merely
 wasteful (their coverage dominates pairwise), and the greedy solvers'
 marginal gains make them avoid it naturally; :func:`deduplicate_variants`
 post-processes any remaining redundancy for reporting.
+
+Sparse inputs stay sparse: a CSR
+:class:`~repro.core.instance.SparseSimilarity` expands into the block
+CSR of :func:`_expand_sparse_similarity` (nnz × blocks², no dense
+detour).  The flat expansion doubles as the *cross-check oracle* for the
+exclusive-choice solver in :mod:`repro.fidelity`: after
+:func:`deduplicate_variants` its selection is a feasible exclusive
+assignment, and tests assert the exclusive solver's value dominates it.
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ from repro.core.instance import (
     PARInstance,
     Photo,
     PredefinedSubset,
+    SparseSimilarity,
 )
 from repro.errors import ValidationError
 
@@ -129,37 +138,34 @@ def expand_with_compression(
     subsets: List[PredefinedSubset] = []
     for q in instance.subsets:
         m = len(q)
-        if q.similarity.is_sparse:
-            # One vectorised CSR scatter: O(m^2 + nnz) total, instead of m
-            # row() calls that each allocate and fill a dense row.
-            indptr, cols, vals = q.similarity.csr()
-            base = np.zeros((m, m))
-            rows_idx = np.repeat(np.arange(m, dtype=np.int64), np.diff(indptr))
-            base[rows_idx, cols] = vals
-        else:
-            base = np.array(q.similarity.matrix, dtype=np.float64)
         fidelities = [1.0] + [lvl.fidelity for lvl in parsed]
         blocks = len(fidelities)
-        big = np.zeros((m * blocks, m * blocks))
-        for bi, fi in enumerate(fidelities):
-            for bj, fj in enumerate(fidelities):
-                # A pair's effective similarity is capped by both
-                # fidelities: a degraded copy neither covers nor is
-                # covered beyond its quality.
-                big[bi * m : (bi + 1) * m, bj * m : (bj + 1) * m] = base * (fi * fj)
-        # Self-similarity of a variant to itself is its squared fidelity
-        # short of 1?  No: a selected variant covers its own (q, origin)
-        # slot at exactly its fidelity; the diagonal must reflect that.
-        for bi, fi in enumerate(fidelities):
-            for i in range(m):
-                big[bi * m + i, bi * m + i] = 1.0 if fi == 1.0 else fi
-        # PAR requires a unit diagonal; we encode "covers itself at φ" by
-        # making the variant a DISTINCT member whose similarity to the
-        # original member slot is φ.  The variant's own (q, v) pair is not
-        # a scoring target — only original pairs carry relevance — so we
-        # give variants zero relevance and restore the unit diagonal.
-        np.fill_diagonal(big, 1.0)
-        big = np.clip((big + big.T) / 2.0, 0.0, 1.0)
+        if q.similarity.is_sparse:
+            # Sparse stays sparse: the expanded matrix is a blocks×blocks
+            # tiling of the base CSR, never densified (τ-thresholded
+            # million-photo instances would not survive an (m·B)² dense
+            # detour).
+            similarity = _expand_sparse_similarity(q.similarity, fidelities)
+        else:
+            base = np.array(q.similarity.matrix, dtype=np.float64)
+            big = np.zeros((m * blocks, m * blocks))
+            for bi, fi in enumerate(fidelities):
+                for bj, fj in enumerate(fidelities):
+                    # A pair's effective similarity is capped by both
+                    # fidelities: a degraded copy neither covers nor is
+                    # covered beyond its quality.
+                    big[bi * m : (bi + 1) * m, bj * m : (bj + 1) * m] = base * (
+                        fi * fj
+                    )
+            # PAR requires a unit diagonal; we encode "covers itself at φ"
+            # by making the variant a DISTINCT member whose similarity to
+            # the original member slot is φ.  The variant's own (q, v) pair
+            # is not a scoring target — only original pairs carry
+            # relevance — so variants get zero relevance below and the
+            # diagonal stays 1.
+            np.fill_diagonal(big, 1.0)
+            big = np.clip((big + big.T) / 2.0, 0.0, 1.0)
+            similarity = DenseSimilarity(big, validate=False)
 
         members = list(q.members)
         relevance = list(q.relevance)
@@ -175,7 +181,7 @@ def expand_with_compression(
                 q.weight,
                 members,
                 relevance,
-                DenseSimilarity(big, validate=False),
+                similarity,
                 normalize=False,
             )
         )
@@ -188,6 +194,54 @@ def expand_with_compression(
         embeddings=None,
     )
     return expanded, VariantMap(origin=origin, level=level)
+
+
+def _expand_sparse_similarity(
+    sim: SparseSimilarity, fidelities: Sequence[float]
+) -> SparseSimilarity:
+    """Tile a base CSR into the ``blocks × blocks`` variant similarity.
+
+    Block ``(bi, bj)`` of the expanded matrix is the base matrix scaled
+    by ``fidelities[bi] · fidelities[bj]``; the unit diagonal of every
+    expanded row is restored afterwards (each base row holds its own
+    diagonal entry, so each expanded row inherits exactly one).  nnz
+    grows by ``blocks²`` — the sparsity structure itself never
+    densifies.  Entries land in canonical per-row ascending-column
+    order, and the output keeps the base dtype (float32 stays float32).
+    """
+    indptr, cols, vals = sim.csr()
+    m = len(sim)
+    blocks = len(fidelities)
+    rows_idx = np.repeat(np.arange(m, dtype=np.int64), np.diff(indptr))
+    base_vals = vals.astype(np.float64)
+    out_cols_parts: List[np.ndarray] = []
+    out_vals_parts: List[np.ndarray] = []
+    for fi in fidelities:
+        rows_exp = np.concatenate([rows_idx] * blocks)
+        cols_exp = np.concatenate([cols + bj * m for bj in range(blocks)])
+        vals_exp = np.concatenate(
+            [base_vals * (fi * fj) for fj in fidelities]
+        )
+        # Per expanded row, block columns are disjoint ascending ranges,
+        # so sorting by (base row, expanded column) yields canonical CSR.
+        order = np.lexsort((cols_exp, rows_exp))
+        out_cols_parts.append(cols_exp[order])
+        out_vals_parts.append(vals_exp[order])
+    out_cols = np.concatenate(out_cols_parts)
+    out_vals = np.concatenate(out_vals_parts)
+    counts = np.tile(np.diff(indptr) * blocks, blocks)
+    out_indptr = np.zeros(m * blocks + 1, dtype=np.int64)
+    np.cumsum(counts, out=out_indptr[1:])
+    out_rows = np.repeat(np.arange(m * blocks, dtype=np.int64), counts)
+    out_vals[out_rows == out_cols] = 1.0
+    return SparseSimilarity.from_csr(
+        m * blocks,
+        out_indptr,
+        out_cols,
+        out_vals,
+        dtype=vals.dtype,
+        validate=False,
+    )
 
 
 def deduplicate_variants(

@@ -79,6 +79,12 @@ KNOWN_SITES: Dict[str, str] = {
     "mutates (check)",
     "live.resolve": "before a live re-curation solve, warm or full (check)",
     "live.sweep": "top of every re-curation scheduler sweep (check)",
+    "fidelity.catalog": "variant catalog construction and validation "
+    "(check)",
+    "fidelity.swap": "before an upgrade move is considered in the "
+    "exclusive drain (check)",
+    "fidelity.frontier": "top of every frontier budget sweep point "
+    "(check)",
     "resilience.clock_skew": "deadline expiry check — drop rule forces the "
     "clock to have jumped past the deadline (drop)",
     "resilience.slow_solve": "start of a solve payload — drop rule injects "

@@ -1,0 +1,119 @@
+"""Budget-vs-quality frontiers: multi-fidelity vs discard-only PHOcus.
+
+The headline claim of ROADMAP item 3 (and the recompression papers in
+PAPERS.md) is that *keeping a cheaper rendition* beats *discarding* at
+matched budgets.  :func:`budget_frontier` measures exactly that: for
+every budget in a sweep it runs the exclusive multi-fidelity solver
+(:func:`repro.fidelity.solver.fidelity_main`) and the discard-only
+baseline (:func:`repro.core.greedy.main_algorithm`) on the same
+instance and reports both objective values, wall-clock, and the
+per-point dominance verdict.
+
+The deployed *frontier policy* is best-of-both: discard-only is a
+feasible point of the exclusive action space (pick originals only), so
+a system offering recompression never has to return a worse archive —
+each point's ``frontier_value`` is the max of the two runs.  The raw
+exclusive value is reported alongside it, and the bench gate
+(``benchmarks/bench_fidelity.py``) additionally requires the *raw*
+exclusive value to weakly dominate at every budget and strictly at one
+or more, so the committed numbers show genuine wins, not the fallback.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter as _perf_counter
+from typing import Any, Dict, Optional, Sequence
+
+from repro.core.greedy import main_algorithm
+from repro.core.instance import PARInstance
+from repro.errors import ValidationError
+from repro.faults import check as _fault_check
+from repro.fidelity.catalog import VariantCatalog
+from repro.fidelity.solver import fidelity_main
+from repro.obs import probes as _obs_probes
+
+__all__ = ["budget_frontier"]
+
+#: Relative tolerance for dominance verdicts — two greedy values closer
+#: than this are "equal" (float accumulation noise, not a real gap).
+_DOMINANCE_RTOL = 1e-9
+
+
+def budget_frontier(
+    instance: PARInstance,
+    catalog: VariantCatalog,
+    budgets: Sequence[float],
+    *,
+    upgrade: bool = True,
+    compare: bool = True,
+) -> Dict[str, Any]:
+    """Sweep budgets; solve multi-fidelity (and optionally discard-only).
+
+    ``budgets`` are absolute byte budgets; each must cover the retention
+    set.  Returns ``{"points": [...], "checks": {...}}`` where every
+    point carries the exclusive run, the discard-only baseline (when
+    ``compare``), and its dominance verdict; ``checks`` aggregates the
+    weak/strict dominance the CI gate enforces.
+    """
+    budgets = [float(b) for b in budgets]
+    if not budgets:
+        raise ValidationError("budget_frontier: at least one budget required")
+    if any(not b > 0 for b in budgets):
+        raise ValidationError("budget_frontier: budgets must be positive")
+    _obs = _obs_probes.active()
+
+    points = []
+    for b in sorted(budgets):
+        _fault_check("fidelity.frontier")
+        inst_b = instance.with_budget(b)
+
+        t0 = _perf_counter()
+        frun = fidelity_main(inst_b, catalog, upgrade=upgrade)
+        fidelity_seconds = _perf_counter() - t0
+        quality = catalog.describe_selection(frun.chosen)
+
+        point: Dict[str, Any] = {
+            "budget": b,
+            "fidelity_value": frun.value,
+            "fidelity_cost": frun.cost,
+            "fidelity_mode": frun.mode,
+            "fidelity_seconds": fidelity_seconds,
+            "fidelity_evaluations": frun.evaluations,
+            "upgrades": len(frun.upgrades),
+            "quality": quality,
+        }
+        if compare:
+            t0 = _perf_counter()
+            drun = main_algorithm(inst_b)
+            discard_seconds = _perf_counter() - t0
+            tol = _DOMINANCE_RTOL * max(1.0, abs(drun.value))
+            point.update(
+                {
+                    "discard_value": drun.value,
+                    "discard_cost": drun.cost,
+                    "discard_mode": drun.mode,
+                    "discard_seconds": discard_seconds,
+                    "discard_evaluations": drun.evaluations,
+                    "discard_kept": len(drun.selection),
+                    # The deployed policy: best of both runs.
+                    "frontier_value": max(frun.value, drun.value),
+                    "frontier_policy": (
+                        "fidelity" if frun.value >= drun.value else "discard"
+                    ),
+                    "weakly_dominates": bool(frun.value >= drun.value - tol),
+                    "strictly_dominates": bool(frun.value > drun.value + tol),
+                }
+            )
+        points.append(point)
+        if _obs is not None:
+            _obs.fidelity_frontier_points.inc()
+
+    doc: Dict[str, Any] = {"budgets": sorted(budgets), "points": points}
+    if compare:
+        doc["checks"] = {
+            "weakly_dominates_all": all(p["weakly_dominates"] for p in points),
+            "strict_points": sum(
+                1 for p in points if p["strictly_dominates"]
+            ),
+        }
+    return doc

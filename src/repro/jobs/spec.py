@@ -106,6 +106,9 @@ class JobSpec:
     # shared-memory process pool (repro.core.parallel).
     budgets: Optional[Tuple[float, ...]] = None
     parallel_workers: Optional[int] = None
+    # Multi-fidelity policy document (repro.fidelity.policy vocabulary):
+    # when present the solve routes to the exclusive-choice solver.
+    fidelity: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if not self.job_id:
@@ -136,6 +139,8 @@ class JobSpec:
             object.__setattr__(self, "budgets", budgets)
         if self.parallel_workers is not None and self.parallel_workers < 1:
             raise ValidationError("parallel_workers must be >= 1")
+        if self.fidelity is not None and not isinstance(self.fidelity, dict):
+            raise ValidationError("'fidelity' must be a policy object")
 
     def solve_payload(self) -> Dict[str, Any]:
         """The equivalent ``POST /solve`` request body."""
@@ -156,6 +161,8 @@ class JobSpec:
             payload["budgets"] = list(self.budgets)
         if self.parallel_workers is not None:
             payload["parallel_workers"] = self.parallel_workers
+        if self.fidelity is not None:
+            payload["fidelity"] = self.fidelity
         return payload
 
     def to_dict(self) -> Dict[str, Any]:
@@ -176,6 +183,7 @@ class JobSpec:
             "checkpoint_every": self.checkpoint_every,
             "budgets": None if self.budgets is None else list(self.budgets),
             "parallel_workers": self.parallel_workers,
+            "fidelity": self.fidelity,
         }
 
     @classmethod
@@ -206,6 +214,7 @@ class JobSpec:
                     if doc.get("parallel_workers") is None
                     else int(doc["parallel_workers"])
                 ),
+                fidelity=doc.get("fidelity"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ValidationError(f"malformed job spec document: {exc!r}") from exc

@@ -117,6 +117,18 @@ def execute_solve_payload(
             "kept_fraction": report.kept_fraction,
             "checked_fraction": report.checked_fraction,
         }
+    fidelity = payload.get("fidelity")
+    if fidelity is not None:
+        if payload.get("budgets"):
+            raise ValidationError(
+                "use the fidelity policy's own 'budgets' key for "
+                "multi-fidelity sweeps, not the top-level 'budgets'"
+            )
+        with _trace.span("solve.fidelity") as sp:
+            sp.annotate(n=instance.n, tau=tau)
+            return _execute_fidelity(
+                instance, solver_instance, sparsify_doc, fidelity
+            )
     budgets = payload.get("budgets")
     if budgets:
         return _execute_sweep(
@@ -168,6 +180,34 @@ def execute_solve_payload(
             1.0 if bound <= 0 else min(1.0, true_value / bound)
         )
     doc = solution_to_dict(solution)
+    doc["sparsify"] = sparsify_doc
+    return doc
+
+
+def _execute_fidelity(
+    instance,
+    solver_instance,
+    sparsify_doc: Optional[Dict[str, Any]],
+    policy: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Route a solve to the exclusive multi-fidelity solver.
+
+    Mirrors the single-solve semantics: under ``tau > 0`` the solve runs
+    on the sparsified instance but the reported ``value`` is re-scored on
+    the original one (frontier sweeps keep their comparative values —
+    both arms of every point ran on the same sparsified instance).
+    """
+    from repro.fidelity.policy import execute_fidelity_payload, resolve_catalog
+    from repro.fidelity.solver import fidelity_score
+
+    doc = execute_fidelity_payload(policy, instance=solver_instance)
+    if solver_instance is not instance and doc.get("algorithm") == "fidelity":
+        catalog = resolve_catalog(instance, policy)
+        chosen = {
+            int(rec["photo"]): int(catalog.indptr[rec["photo"]]) + int(rec["variant"])
+            for rec in doc["chosen"]
+        }
+        doc["value"] = fidelity_score(instance, catalog, chosen)
     doc["sparsify"] = sparsify_doc
     return doc
 

@@ -40,6 +40,7 @@ _EXACT_ROUTES = frozenset(
         "/algorithms",
         "/solve",
         "/score",
+        "/fidelity/frontier",
         "/jobs",
         "/stats",
         "/metrics",

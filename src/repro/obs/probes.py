@@ -291,6 +291,38 @@ class Instruments:
             ("trigger",),
         )
 
+        # --------------------------------------------------------- fidelity
+        self.fidelity_solves = reg.counter(
+            "phocus_fidelity_solves_total",
+            "exclusive-choice multi-fidelity passes completed",
+            ("mode",),
+        )
+        self.fidelity_solve_seconds = reg.histogram(
+            "phocus_fidelity_solve_seconds",
+            "wall-clock of one exclusive-choice pass",
+            ("mode",),
+        )
+        self.fidelity_variants_selected = reg.counter(
+            "phocus_fidelity_variants_selected_total",
+            "variants chosen by exclusive passes, by catalog tier",
+            ("tier",),
+            max_series=64,
+        )
+        self.fidelity_upgrade_swaps = reg.counter(
+            "phocus_fidelity_upgrade_swaps_total",
+            "in-drain upgrades of a chosen variant to a higher-fidelity "
+            "sibling",
+        )
+        self.fidelity_frontier_points = reg.counter(
+            "phocus_fidelity_frontier_points_total",
+            "budget points evaluated by frontier sweeps",
+        )
+        self.fidelity_mean_fidelity = reg.gauge(
+            "phocus_fidelity_mean_fidelity",
+            "mean retained fidelity of the most recent fidelity solve "
+            "(dropped photos count as 0)",
+        )
+
         # ------------------------------------------------------- resilience
         self.resilience_shed = reg.counter(
             "phocus_resilience_shed_total",

@@ -92,6 +92,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated algorithm names",
     )
 
+    fidelity_p = sub.add_parser(
+        "fidelity",
+        help="multi-fidelity solve: keep / recompress / drop under the budget",
+    )
+    fidelity_p.add_argument("--dataset", required=True, help="registered dataset name")
+    fidelity_p.add_argument("--scale", type=float, default=0.1)
+    fidelity_p.add_argument("--seed", type=int, default=0)
+    fidelity_p.add_argument(
+        "--budget-fraction",
+        type=float,
+        default=0.1,
+        help="budget as a fraction of the corpus size (single solve)",
+    )
+    fidelity_p.add_argument(
+        "--budget-fractions",
+        help="comma-separated fractions — sweep the budget-vs-quality "
+        "frontier against discard-only PHOcus",
+    )
+    fidelity_p.add_argument(
+        "--levels",
+        help="recompression menu as fidelity:size pairs, e.g. "
+        "'0.85:0.45,0.6:0.22' (default: the built-in q85/q60 tiers)",
+    )
+    fidelity_p.add_argument("--mode", default="auto", choices=["auto", "uc", "cb"])
+    fidelity_p.add_argument(
+        "--no-upgrade",
+        action="store_true",
+        help="disable in-drain upgrades of chosen variants",
+    )
+
     sub.add_parser("demo", help="replay the paper's Figure 1 / Figure 3 example")
 
     inspect_p = sub.add_parser(
@@ -584,6 +614,88 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fidelity(args: argparse.Namespace) -> int:
+    from repro.fidelity import VariantCatalog, budget_frontier
+    from repro.fidelity.policy import execute_fidelity_payload
+
+    dataset = load_named(args.dataset, scale=args.scale, seed=args.seed)
+    total = dataset.total_cost()
+    if args.levels:
+        try:
+            pairs = [
+                (float(f), float(s))
+                for f, s in (lv.split(":") for lv in args.levels.split(",") if lv)
+            ]
+        except ValueError:
+            print("error: --levels wants fidelity:size pairs", file=sys.stderr)
+            return 2
+        catalog = dataset.variant_catalog(pairs)
+    else:
+        catalog = dataset.variant_catalog()
+    tiers = sorted(set(catalog.tier) - {"original"})
+    print(
+        f"dataset {dataset.name}: {dataset.n_photos} photos, "
+        f"{dataset.total_cost_mb():.1f} MB total; "
+        f"recompression tiers: {', '.join(tiers)}"
+    )
+
+    if args.budget_fractions:
+        fractions = [float(f) for f in args.budget_fractions.split(",") if f]
+        instance = dataset.instance(total)  # budget swept per point below
+        doc = budget_frontier(
+            instance,
+            catalog,
+            [total * f for f in fractions],
+            upgrade=not args.no_upgrade,
+        )
+        print(
+            f"{'budget':>10}  {'fidelity':>9}  {'discard':>9}  "
+            f"{'winner':<8}  {'kept':>5}  {'recomp':>6}  {'upgrades':>8}"
+        )
+        for frac, point in zip(sorted(fractions), doc["points"]):
+            q = point["quality"]
+            print(
+                f"{frac * 100:>9.1f}%  {point['fidelity_value']:>9.4f}  "
+                f"{point['discard_value']:>9.4f}  "
+                f"{point['frontier_policy']:<8}  {q['kept']:>5}  "
+                f"{q['recompressed']:>6}  {point['upgrades']:>8}"
+            )
+        checks = doc["checks"]
+        print(
+            f"frontier dominates discard-only at "
+            f"{'all' if checks['weakly_dominates_all'] else 'SOME'} budgets "
+            f"(strictly at {checks['strict_points']}/{len(doc['points'])})"
+        )
+        return 0
+
+    budget = total * args.budget_fraction
+    instance = dataset.instance(budget)
+    policy = {"mode": args.mode, "upgrade": not args.no_upgrade}
+    doc = execute_fidelity_payload(
+        {**policy, "catalog": catalog.to_dict()}, instance=instance
+    )
+    q = doc["quality"]
+    print(
+        f"budget               : {budget / MB:.1f} MB "
+        f"({args.budget_fraction * 100:g}% of corpus)"
+    )
+    print(
+        f"value                : {doc['value']:.4f} "
+        f"({doc['mode']} pass, {doc['evaluations']} evaluations)"
+    )
+    print(
+        f"kept                 : {q['kept']} of {q['photos']} photos "
+        f"({q['kept_original']} originals + {q['recompressed']} recompressed, "
+        f"{doc['upgrades']} upgrades)"
+    )
+    print(f"by tier              : {q['by_tier']}")
+    print(
+        f"mean fidelity        : {q['mean_fidelity']:.3f} "
+        f"(budget used: {doc['budget_utilisation'] * 100:.1f}%)"
+    )
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.bench.harness import format_grid, run_quality_grid
 
@@ -1041,6 +1153,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_solve(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "fidelity":
+        return _cmd_fidelity(args)
     if args.command == "inspect":
         from repro.system.analysis import analyze_instance
 

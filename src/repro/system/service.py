@@ -166,6 +166,7 @@ _ALLOWED_METHODS: Dict[str, Tuple[str, ...]] = {
     "/algorithms": ("GET",),
     "/solve": ("POST",),
     "/score": ("POST",),
+    "/fidelity/frontier": ("POST",),
     "/jobs": ("GET", "POST"),
     "/jobs/<id>": ("DELETE", "GET"),
     "/stats": ("GET",),
@@ -311,16 +312,46 @@ def _solve_endpoint(
 def _score_endpoint(
     payload: Dict[str, Any], tenants: Optional[Tenants]
 ) -> Dict[str, Any]:
-    selection = _require(payload, "selection", list)
+    fidelity = payload.get("fidelity")
+    if fidelity is None:
+        selection = _require(payload, "selection", list)
     with _resolved_instance(payload, tenants) as (instance, _hit):
         if instance is None:
             instance = instance_from_dict(_require(payload, "instance", dict))
+        if fidelity is not None:
+            # Multi-fidelity scoring: the policy's 'chosen' records name
+            # one variant per photo; see repro.fidelity.policy.
+            from repro.fidelity.policy import score_fidelity_payload
+
+            return score_fidelity_payload(fidelity, instance=instance)
         return {
             "value": score(instance, selection),
             "cost": instance.cost_of(selection),
             "feasible": instance.feasible(selection),
             "breakdown": score_breakdown(instance, selection),
         }
+
+
+def _fidelity_frontier_endpoint(
+    payload: Dict[str, Any], tenants: Optional[Tenants]
+) -> Dict[str, Any]:
+    """``POST /fidelity/frontier`` — a budget-vs-quality sweep.
+
+    Body: an instance source (inline ``instance`` or ``by_ref``), a
+    ``budgets`` list (top-level or inside the ``fidelity`` policy), and
+    optionally the rest of the fidelity policy vocabulary.
+    """
+    policy = dict(payload.get("fidelity") or {})
+    if payload.get("budgets") is not None:
+        policy["budgets"] = payload["budgets"]
+    if policy.get("budgets") is None:
+        raise ValidationError("frontier sweep needs a 'budgets' list")
+    from repro.fidelity.policy import execute_fidelity_payload
+
+    with _resolved_instance(payload, tenants) as (instance, _hit):
+        if instance is None:
+            instance = instance_from_dict(_require(payload, "instance", dict))
+        return execute_fidelity_payload(policy, instance=instance)
 
 
 def _require(payload: Dict[str, Any], key: str, kind) -> Any:
@@ -404,6 +435,7 @@ def _submit_job(
                 if payload.get("parallel_workers") is not None
                 else None
             ),
+            fidelity=payload.get("fidelity"),
         )
     except (TypeError, ValueError) as exc:
         if isinstance(exc, ValidationError):
@@ -715,7 +747,7 @@ def handle_request(
             return 200, {"version": __version__}
         if path == "/algorithms":
             return 200, {"algorithms": available_algorithms()}
-        if path in ("/solve", "/score"):
+        if path in ("/solve", "/score", "/fidelity/frontier"):
             payload, err = _parse_body(body)
             if err is not None:
                 return err
@@ -727,6 +759,8 @@ def handle_request(
                     payload["deadline_ms"] = deadline_ms
                 if path == "/solve":
                     return 200, _solve_endpoint(payload, tenants)
+                if path == "/fidelity/frontier":
+                    return 200, _fidelity_frontier_endpoint(payload, tenants)
                 return 200, _score_endpoint(payload, tenants)
             request_deadline = resilience.request_deadline(deadline_ms)
             with ExitStack() as stack:
@@ -739,6 +773,8 @@ def handle_request(
                     )
                 if path == "/solve":
                     return 200, _solve_endpoint(payload, tenants, resilience)
+                if path == "/fidelity/frontier":
+                    return 200, _fidelity_frontier_endpoint(payload, tenants)
                 return 200, _score_endpoint(payload, tenants)
         if path == "/stats":
             if jobs is None:

@@ -1,0 +1,110 @@
+"""Chaos tests for the multi-fidelity pipeline (``fidelity.*`` sites).
+
+The solver contract under crashes: catalog construction, the exclusive
+drain (including its upgrade moves), and the frontier sweep are all
+*pure* — they mutate nothing durable — so a process killed at any
+``fidelity.*`` site leaves no partial state behind, and a post-crash
+retry reproduces the clean run bit for bit (the solver is deterministic
+at a fixed archive seed).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import faults
+from repro.faults.plan import FaultPlan, ProcessKilled
+from repro.fidelity import (
+    VariantCatalog,
+    budget_frontier,
+    exclusive_lazy_greedy,
+    fidelity_main,
+)
+from repro.scale import build_streamed_instance, synthetic_archive
+
+CHAOS_SEED = int(os.environ.get("PHOCUS_CHAOS_SEED", "0"))
+
+
+@pytest.fixture(autouse=True)
+def always_disarmed():
+    yield
+    faults.disarm()
+
+
+def _archive(n=120, *, frac=0.15, seed=5):
+    costs, emb = synthetic_archive(n, dim=8, noise=0.7, seed=seed)
+    total = float(costs.sum())
+    instance, _ = build_streamed_instance(
+        costs, emb, total * frac, tau=0.5, rng=seed
+    )
+    return instance, VariantCatalog.default(instance.costs)
+
+
+def test_kill_during_catalog_build_then_retry_is_identical():
+    instance, clean = _archive()
+    plan = FaultPlan(seed=CHAOS_SEED).on("fidelity.catalog", "kill")
+    with faults.armed(plan):
+        with pytest.raises(ProcessKilled):
+            VariantCatalog.default(instance.costs)
+        assert plan.fired("fidelity.catalog") == 1
+        # Fault exhausted: the in-context retry builds the same catalog.
+        retry = VariantCatalog.default(instance.costs)
+    assert retry.to_dict() == clean.to_dict()
+
+
+def test_kill_at_upgrade_consideration_then_retry_is_bit_identical():
+    instance, catalog = _archive()
+    clean = exclusive_lazy_greedy(instance, catalog)
+    # The clean run must actually exercise the upgrade path, otherwise
+    # this test would pass vacuously with the site never reached.
+    assert clean.upgrades
+
+    plan = FaultPlan(seed=CHAOS_SEED).on("fidelity.swap", "kill")
+    with faults.armed(plan):
+        with pytest.raises(ProcessKilled):
+            exclusive_lazy_greedy(instance, catalog)
+        assert plan.fired("fidelity.swap") == 1
+    retry = exclusive_lazy_greedy(instance, catalog)
+    assert retry.chosen == clean.chosen
+    assert retry.value == clean.value
+    assert retry.cost == clean.cost
+    assert retry.evaluations == clean.evaluations
+    assert retry.upgrades == clean.upgrades
+
+
+def test_transient_swap_fault_raises_cleanly_and_solver_stays_usable():
+    instance, catalog = _archive()
+    clean = fidelity_main(instance, catalog)
+    plan = FaultPlan(seed=CHAOS_SEED).on("fidelity.swap", "raise")
+    with faults.armed(plan):
+        with pytest.raises(OSError):
+            fidelity_main(instance, catalog)
+        # Same process, fault exhausted: the next solve succeeds whole.
+        retry = fidelity_main(instance, catalog)
+    assert retry.chosen == clean.chosen
+    assert retry.value == clean.value
+
+
+def test_kill_mid_frontier_sweep_then_retry_is_identical():
+    instance, catalog = _archive(frac=1.0)
+    total = float(instance.costs.sum())
+    budgets = [total * 0.1, total * 0.25]
+
+    def _stable(doc):
+        drop = ("fidelity_seconds", "discard_seconds")
+        return [
+            {k: v for k, v in point.items() if k not in drop}
+            for point in doc["points"]
+        ]
+
+    clean = budget_frontier(instance, catalog, budgets)
+    plan = FaultPlan(seed=CHAOS_SEED).on("fidelity.frontier", "kill")
+    with faults.armed(plan):
+        with pytest.raises(ProcessKilled):
+            budget_frontier(instance, catalog, budgets)
+        assert plan.fired("fidelity.frontier") == 1
+    retry = budget_frontier(instance, catalog, budgets)
+    assert _stable(retry) == _stable(clean)
+    assert retry["checks"] == clean["checks"]
